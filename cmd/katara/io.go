@@ -1,0 +1,65 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"katara"
+	"katara/internal/rdf"
+	"katara/internal/table"
+)
+
+// readCSV loads a table, deriving its name from the file path.
+func readCSV(r io.Reader, path string) (*katara.Table, error) {
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	return table.ReadCSV(name, r)
+}
+
+// writeFacts serialises enrichment facts as N-Triples, minting IRIs in the
+// "enriched:" namespace for values with no KB resource.
+func writeFacts(kb *katara.KB, facts []katara.Fact, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for _, fact := range facts {
+		subj := resourceIRI(kb, fact.Subject)
+		if fact.IsType {
+			if _, err := fmt.Fprintf(f, "<%s> <%s> <%s> .\n",
+				subj, rdf.IRIType, kb.Term(fact.Type).Value); err != nil {
+				return err
+			}
+			continue
+		}
+		if len(fact.Path) > 0 {
+			// Multi-hop facts cannot be asserted without inventing the
+			// intermediate resource; record them as comments for curators.
+			labels := make([]string, len(fact.Path))
+			for i, p := range fact.Path {
+				labels[i] = kb.LabelOf(p)
+			}
+			if _, err := fmt.Fprintf(f, "# path fact: %q -%s-> %q\n",
+				fact.Subject, strings.Join(labels, "/"), fact.Object); err != nil {
+				return err
+			}
+			continue
+		}
+		obj := resourceIRI(kb, fact.Object)
+		if _, err := fmt.Fprintf(f, "<%s> <%s> <%s> .\n",
+			subj, kb.Term(fact.Prop).Value, obj); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func resourceIRI(kb *katara.KB, value string) string {
+	if hits := kb.MatchLabel(value, 0.7); len(hits) > 0 {
+		return kb.Term(hits[0].Resource).Value
+	}
+	return "enriched:" + strings.ReplaceAll(value, " ", "_")
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"katara"
+	"katara/internal/annotation"
+	"katara/internal/rdf"
+)
+
+func newScanner(input string) *bufio.Scanner {
+	return bufio.NewScanner(strings.NewReader(input))
+}
+
+func testKB() *katara.KB {
+	kb := katara.NewKB()
+	kb.AddFact(rdf.IRI("y:Italy"), rdf.IRI(rdf.IRIType), rdf.IRI("y:country"))
+	kb.AddFact(rdf.IRI("y:Italy"), rdf.IRI(rdf.IRILabel), rdf.Lit("Italy"))
+	kb.AddFact(rdf.IRI("y:hasCapital"), rdf.IRI(rdf.IRILabel), rdf.Lit("hasCapital"))
+	return kb
+}
+
+func TestReadCSVDerivesName(t *testing.T) {
+	tbl, err := readCSV(strings.NewReader("A,B\nItaly,Rome\n"), "/data/soccer.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Name != "soccer" || tbl.NumRows() != 1 {
+		t.Fatalf("table = %s with %d rows", tbl.Name, tbl.NumRows())
+	}
+}
+
+func TestWriteFacts(t *testing.T) {
+	kb := testKB()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "facts.nt")
+	facts := []katara.Fact{
+		{IsType: true, Subject: "Italy", Type: kb.Res("y:country")},
+		{Subject: "Italy", Prop: kb.Res("y:hasCapital"), Object: "Rome"},
+		{Subject: "Pirlo", Path: []rdf.ID{kb.Res("y:bornIn"), kb.Res("y:locatedIn")}, Object: "Italy"},
+	}
+	if err := writeFacts(kb, facts, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	if !strings.Contains(out, "<y:Italy> <rdf:type> <y:country>") {
+		t.Fatalf("type fact missing: %s", out)
+	}
+	if !strings.Contains(out, "<y:hasCapital>") {
+		t.Fatalf("rel fact missing: %s", out)
+	}
+	if !strings.Contains(out, "# path fact:") {
+		t.Fatalf("path fact comment missing: %s", out)
+	}
+	// Fact lines (not comments) must re-parse as N-Triples.
+	var ntOnly bytes.Buffer
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "#") || line == "" {
+			continue
+		}
+		ntOnly.WriteString(line + "\n")
+	}
+	s := rdf.New()
+	if _, err := s.ParseNTriples(&ntOnly); err != nil {
+		t.Fatalf("emitted facts are not valid N-Triples: %v", err)
+	}
+}
+
+func TestResourceIRIMintsWhenMissing(t *testing.T) {
+	kb := testKB()
+	if got := resourceIRI(kb, "Italy"); got != "y:Italy" {
+		t.Fatalf("existing resource = %q", got)
+	}
+	if got := resourceIRI(kb, "Atlantis City"); got != "enriched:Atlantis_City" {
+		t.Fatalf("minted resource = %q", got)
+	}
+}
+
+func TestPolicyOracles(t *testing.T) {
+	var s annotation.FactOracle = skepticalFacts{}
+	if s.TypeHolds("x", 0) || s.RelHolds("a", 0, "b") {
+		t.Fatal("skeptical oracle must refute everything")
+	}
+	if po, ok := s.(annotation.PathOracle); !ok || po.PathHolds("a", nil, "b") {
+		t.Fatal("skeptical path oracle broken")
+	}
+}
+
+func TestInteractiveFactsParsesAnswers(t *testing.T) {
+	kb := testKB()
+	mk := func(input string) interactiveFacts {
+		return interactiveFacts{kb: kb, in: newScanner(input)}
+	}
+	if !mk("y\n").TypeHolds("Italy", kb.Res("y:country")) {
+		t.Fatal("'y' should mean yes")
+	}
+	if !mk("YES\n").RelHolds("Italy", kb.Res("y:hasCapital"), "Rome") {
+		t.Fatal("'YES' should mean yes")
+	}
+	if mk("n\n").TypeHolds("Italy", kb.Res("y:country")) {
+		t.Fatal("'n' should mean no")
+	}
+	if mk("").TypeHolds("Italy", kb.Res("y:country")) {
+		t.Fatal("EOF should mean no")
+	}
+	// A non-yes answer is a no; only one line is consumed per question.
+	if mk("maybe\ny\n").PathHolds("Pirlo", []rdf.ID{kb.Res("y:bornIn")}, "Italy") {
+		t.Fatal("'maybe' should mean no")
+	}
+}

@@ -1,0 +1,208 @@
+// Command katara cleans a CSV table against an N-Triples knowledge base:
+// it discovers the table's pattern, annotates every tuple, reports
+// suspected errors with top-k possible repairs, and can write a repaired
+// copy of the table.
+//
+// Usage:
+//
+//	katara -kb yago.nt -in dirty.csv [-out cleaned.csv] [-k 3]
+//	       [-assume trust|skeptic] [-facts new-facts.nt] [-v]
+//
+// Without a crowd to consult, the -assume policy decides how to treat data
+// the KB does not cover: "trust" (default) treats it as KB incompleteness
+// and enriches the KB; "skeptic" treats it as erroneous and proposes
+// repairs.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"katara"
+	"katara/internal/rdf"
+)
+
+// skepticalFacts treats every fact missing from the KB as a data error.
+type skepticalFacts struct{}
+
+func (skepticalFacts) TypeHolds(string, rdf.ID) bool           { return false }
+func (skepticalFacts) RelHolds(string, rdf.ID, string) bool    { return false }
+func (skepticalFacts) PathHolds(string, []rdf.ID, string) bool { return false }
+
+// interactiveFacts asks the human at the terminal — the CLI *is* the crowd.
+type interactiveFacts struct {
+	kb *katara.KB
+	in *bufio.Scanner
+}
+
+func (f interactiveFacts) ask(prompt string) bool {
+	fmt.Printf("%s [y/N] ", prompt)
+	if !f.in.Scan() {
+		return false
+	}
+	ans := strings.ToLower(strings.TrimSpace(f.in.Text()))
+	return ans == "y" || ans == "yes"
+}
+
+func (f interactiveFacts) TypeHolds(value string, typ rdf.ID) bool {
+	return f.ask(fmt.Sprintf("Is %q a %s?", value, f.kb.LabelOf(typ)))
+}
+
+func (f interactiveFacts) RelHolds(subj string, prop rdf.ID, obj string) bool {
+	return f.ask(fmt.Sprintf("Does %q %s %q?", subj, f.kb.LabelOf(prop), obj))
+}
+
+func (f interactiveFacts) PathHolds(subj string, props []rdf.ID, obj string) bool {
+	labels := make([]string, len(props))
+	for i, p := range props {
+		labels[i] = f.kb.LabelOf(p)
+	}
+	return f.ask(fmt.Sprintf("Is %q related to %q through %s?",
+		subj, obj, strings.Join(labels, " then ")))
+}
+
+func main() {
+	var (
+		kbPath   = flag.String("kb", "", "knowledge base in N-Triples format (required)")
+		inPath   = flag.String("in", "", "input table as CSV with a header row (required)")
+		outPath  = flag.String("out", "", "write the repaired table to this CSV (top-1 repair applied)")
+		factPath = flag.String("facts", "", "write newly inferred facts to this N-Triples file")
+		k        = flag.Int("k", 3, "number of possible repairs per erroneous tuple")
+		assume   = flag.String("assume", "trust", "policy for KB-uncovered data: trust|skeptic|ask (ask = answer crowd questions at the terminal)")
+		paths    = flag.Bool("paths", false, "discover two-hop path relationships for unrelated column pairs")
+		dotPath  = flag.String("dot", "", "write the validated pattern as a Graphviz digraph to this file")
+		verbose  = flag.Bool("v", false, "print per-tuple annotations")
+	)
+	flag.Parse()
+	if *kbPath == "" || *inPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	kb := katara.NewKB()
+	if err := loadKB(kb, *kbPath); err != nil {
+		fatal(err)
+	}
+	in, err := os.Open(*inPath)
+	if err != nil {
+		fatal(err)
+	}
+	tbl, err := readTable(in, *inPath)
+	in.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := katara.Options{RepairK: *k, DiscoverPaths: *paths}
+	switch *assume {
+	case "trust":
+		// nil FactOracle = trusting policy
+	case "skeptic":
+		opts.FactOracle = skepticalFacts{}
+	case "ask":
+		opts.FactOracle = interactiveFacts{kb: kb, in: bufio.NewScanner(os.Stdin)}
+	default:
+		fatal(fmt.Errorf("unknown -assume %q", *assume))
+	}
+
+	cleaner := katara.NewCleaner(kb, katara.TrustingCrowd(), opts)
+	report, err := cleaner.Clean(tbl)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("table %s: %d rows x %d columns\n", tbl.Name, tbl.NumRows(), tbl.NumCols())
+	fmt.Printf("pattern: %s\n", report.Pattern.Render(kb, tbl.Columns))
+	if *dotPath != "" {
+		if err := os.WriteFile(*dotPath, []byte(report.Pattern.DOT(kb, tbl.Columns)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("pattern graph written to %s\n", *dotPath)
+	}
+	nKB, nCrowd, nErr := 0, 0, 0
+	for _, a := range report.Annotations {
+		switch a.Label {
+		case katara.ValidatedByKB:
+			nKB++
+		case katara.ValidatedByCrowd:
+			nCrowd++
+		default:
+			nErr++
+		}
+		if *verbose {
+			fmt.Printf("  row %-5d %s\n", a.Row, a.Label)
+		}
+	}
+	fmt.Printf("annotations: %d validated by KB, %d assumed correct, %d erroneous\n",
+		nKB, nCrowd, nErr)
+	fmt.Printf("new facts inferred: %d\n", len(report.NewFacts))
+
+	repaired := tbl.Clone()
+	for row, reps := range report.Repairs {
+		if len(reps) == 0 {
+			fmt.Printf("row %d: erroneous, no repair found\n", row)
+			continue
+		}
+		fmt.Printf("row %d: erroneous %v\n", row, tbl.Rows[row])
+		for i, r := range reps {
+			fmt.Printf("  repair %d: %s\n", i+1, r)
+		}
+		for _, ch := range reps[0].Changes {
+			repaired.Rows[row][ch.Col] = ch.To
+		}
+	}
+
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := repaired.WriteCSV(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("repaired table written to %s\n", *outPath)
+	}
+	if *factPath != "" && len(report.NewFacts) > 0 {
+		if err := writeFacts(kb, report.NewFacts, *factPath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("new facts written to %s\n", *factPath)
+	}
+}
+
+func loadKB(kb *katara.KB, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var n int
+	switch {
+	case strings.HasSuffix(path, ".ttl") || strings.HasSuffix(path, ".turtle"):
+		n, err = kb.ParseTurtle(f)
+	case strings.HasSuffix(path, ".snap"):
+		n, err = kb.ReadSnapshot(f)
+	default:
+		n, err = kb.ParseNTriples(f)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loaded %d triples from %s\n", n, path)
+	return nil
+}
+
+func readTable(f *os.File, name string) (*katara.Table, error) {
+	return readCSV(f, name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "katara:", err)
+	os.Exit(1)
+}

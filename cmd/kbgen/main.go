@@ -1,0 +1,130 @@
+// Command kbgen materialises the synthetic experimental inputs to disk:
+// the Yago-like and DBpedia-like knowledge bases as N-Triples, and the
+// WikiTables / WebTables / RelationalTables datasets as CSV files (clean
+// plus a 10%-error dirty variant of each relational table), so the CLI and
+// external tools can replay the experiments.
+//
+// Usage:
+//
+//	kbgen -out ./data [-seed 2015] [-scale 0.2] [-size default]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"katara/internal/table"
+	"katara/internal/workload"
+	"katara/internal/world"
+)
+
+func main() {
+	var (
+		outDir = flag.String("out", "data", "output directory")
+		seed   = flag.Int64("seed", 2015, "master random seed")
+		scale  = flag.Float64("scale", 0.2, "RelationalTables scale factor")
+		size   = flag.String("size", "default", "world size: small|default|large")
+	)
+	flag.Parse()
+
+	var wcfg world.Config
+	switch *size {
+	case "small":
+		wcfg = world.Config{Persons: 150, Players: 80, Clubs: 16, Universities: 40, Films: 40, Books: 40}
+	case "large":
+		wcfg = world.Config{Persons: 2000, Players: 800, Clubs: 120, Universities: 300, Films: 300, Books: 300}
+	case "default":
+	default:
+		fatal(fmt.Errorf("unknown -size %q", *size))
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+	w := world.New(*seed, wcfg)
+
+	for _, kbb := range []struct {
+		name string
+		kb   *workload.KB
+	}{
+		{"yago", workload.YagoLike(w, *seed+101)},
+		{"dbpedia", workload.DBpediaLike(w, *seed+102)},
+	} {
+		ntPath := filepath.Join(*outDir, kbb.name+".nt")
+		f, err := os.Create(ntPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := kbb.kb.Store.WriteNTriples(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		// Also a binary snapshot for fast reloads (cmd/katara -kb x.snap).
+		snapPath := filepath.Join(*outDir, kbb.name+".snap")
+		sf, err := os.Create(snapPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := kbb.kb.Store.WriteSnapshot(sf); err != nil {
+			fatal(err)
+		}
+		if err := sf.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s + %s (%d triples)\n", ntPath, snapPath, kbb.kb.Store.NumTriples())
+	}
+
+	datasets := []*workload.Dataset{
+		workload.WikiTables(w, *seed+201),
+		workload.WebTables(w, *seed+202),
+		workload.RelationalTables(w, *seed+203, *scale),
+	}
+	for _, ds := range datasets {
+		dir := filepath.Join(*outDir, ds.Name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fatal(err)
+		}
+		for _, spec := range ds.Specs {
+			if err := writeCSV(filepath.Join(dir, spec.Table.Name+".csv"), spec.Table); err != nil {
+				fatal(err)
+			}
+			if ds.Name == "RelationalTables" {
+				dirty := spec.Table.Clone()
+				rng := rand.New(rand.NewSource(*seed + int64(len(spec.Table.Name))))
+				cols := make([]int, spec.Table.NumCols())
+				for i := range cols {
+					cols[i] = i
+				}
+				injected := table.InjectErrors(dirty, cols[1:], 0.10, rng)
+				if err := writeCSV(filepath.Join(dir, spec.Table.Name+".dirty.csv"), dirty); err != nil {
+					fatal(err)
+				}
+				fmt.Printf("wrote %s/%s.csv (+dirty variant, %d injected errors)\n",
+					dir, spec.Table.Name, len(injected))
+			}
+		}
+		fmt.Printf("wrote %d tables under %s\n", len(ds.Specs), dir)
+	}
+}
+
+func writeCSV(path string, t *table.Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kbgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,157 @@
+// Command kexp regenerates the paper's evaluation: every table (1–7) and
+// figure (6, 7, 8, 11, 12) of §7 and the appendices, over the synthetic
+// workload described in DESIGN.md.
+//
+// Usage:
+//
+//	kexp                              # run everything at the default scale
+//	kexp -exp table2,fig6             # selected experiments
+//	kexp -scale 1.0 -seed 42          # bigger relational tables, new seed
+//
+// Experiment names: table1 table2 table3 table4 table5 table6 table7
+// fig6 fig7 fig8 fig11 fig12 patterns ablation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"katara/internal/discovery"
+	"katara/internal/experiments"
+	"katara/internal/kbstats"
+	"katara/internal/world"
+)
+
+func main() {
+	var (
+		expList = flag.String("exp", "all", "comma-separated experiments to run (all|table1..table7|fig6|fig7|fig8|fig11|fig12|patterns)")
+		seed    = flag.Int64("seed", 2015, "master random seed")
+		scale   = flag.Float64("scale", 0.2, "RelationalTables scale factor (1.0 = Person 5000 rows)")
+		size    = flag.String("size", "default", "world size: small|default|large")
+		maxK    = flag.Int("maxk", 10, "maximum k for top-k curves")
+		maxQ    = flag.Int("maxq", 7, "maximum questions-per-variable for validation curves")
+		format  = flag.String("format", "table", "figure output: table|chart|csv")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed, Scale: *scale}
+	switch *size {
+	case "small":
+		cfg.World = world.Config{Persons: 150, Players: 80, Clubs: 16, Universities: 40, Films: 40, Books: 40}
+	case "large":
+		cfg.World = world.Config{Persons: 2000, Players: 800, Clubs: 120, Universities: 300, Films: 300, Books: 300}
+	case "default":
+		// package defaults
+	default:
+		fmt.Fprintf(os.Stderr, "kexp: unknown -size %q\n", *size)
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*expList, ",") {
+		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	all := want["all"]
+	sel := func(name string) bool { return all || want[name] }
+
+	fmt.Printf("# KATARA experiment driver (seed=%d scale=%.2f size=%s)\n", *seed, *scale, *size)
+	start := time.Now()
+	env := experiments.NewEnv(cfg)
+	fmt.Printf("# environment built in %v\n", time.Since(start).Round(time.Millisecond))
+	for _, kb := range env.KBs {
+		s := kbstats.Summarize(kb.Store)
+		fmt.Printf("# %-8s %6d triples, %5d entities, %4d types, %3d properties, %6d facts\n",
+			kb.Name, s.Triples, s.Entities, s.Types, s.Properties, s.Facts)
+	}
+	fmt.Println()
+
+	run := func(name string, f func() string) {
+		if !sel(name) {
+			return
+		}
+		t0 := time.Now()
+		out := f()
+		fmt.Println(out)
+		fmt.Printf("# %s finished in %v\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	run("table1", func() string { return experiments.RenderTable1(experiments.Table1(env)) })
+	run("table2", func() string { return experiments.RenderTable2(experiments.Table2(env)) })
+	run("table3", func() string { return experiments.RenderTable3(experiments.Table3(env)) })
+	topKF := func(title string, s []experiments.TopKFSeries) string {
+		switch *format {
+		case "chart":
+			return experiments.ChartTopKF(title, s)
+		case "csv":
+			return experiments.CSVTopKF(s)
+		default:
+			return experiments.RenderTopKF(title, s)
+		}
+	}
+	valid := func(title string, s []experiments.ValidationSeries) string {
+		switch *format {
+		case "chart":
+			return experiments.ChartValidation(title, s)
+		case "csv":
+			return experiments.CSVValidation(s)
+		default:
+			return experiments.RenderValidation(title, s)
+		}
+	}
+	run("fig6", func() string {
+		return topKF("Figure 6: Top-k F-measure (WebTables)", experiments.Figure6(env, *maxK))
+	})
+	run("fig11", func() string {
+		return topKF("Figure 11: Top-k F-measure (WikiTables, RelationalTables)", experiments.Figure11(env, *maxK))
+	})
+	run("fig7", func() string {
+		return valid("Figure 7: Pattern validation P/R (WebTables)", experiments.Figure7(env, *maxQ))
+	})
+	run("fig12", func() string {
+		return valid("Figure 12: Pattern validation P/R (WikiTables, RelationalTables)", experiments.Figure12(env, *maxQ))
+	})
+	run("table4", func() string { return experiments.RenderTable4(experiments.Table4(env)) })
+	run("table5", func() string { return experiments.RenderTable5(experiments.Table5(env)) })
+	run("fig8", func() string {
+		s := experiments.Figure8(env, 5)
+		switch *format {
+		case "chart":
+			return experiments.ChartRepairK(s)
+		case "csv":
+			return experiments.CSVRepairK(s)
+		default:
+			return experiments.RenderFigure8(s)
+		}
+	})
+	run("table6", func() string { return experiments.RenderTable6(experiments.Table6(env)) })
+	run("table7", func() string { return experiments.RenderTable7(experiments.Table7(env)) })
+	run("patterns", func() string { return renderValidatedPatterns(env) })
+	run("ablation", func() string { return experiments.RenderAblation(experiments.AblationCoherence(env)) })
+}
+
+// renderValidatedPatterns prints the top discovered pattern per relational
+// table and KB — the analogue of Fig. 10 in the appendix.
+func renderValidatedPatterns(env *experiments.Env) string {
+	var b strings.Builder
+	b.WriteString("Figure 10: Validated table patterns (RelationalTables)\n")
+	ds := env.Dataset("RelationalTables")
+	for _, kb := range env.KBs {
+		fmt.Fprintf(&b, "%s:\n", kb.Name)
+		for _, spec := range ds.Specs {
+			c := discovery.Generate(spec.Table, env.Stats[kb.Name], discovery.Options{
+				MaxCandidates: env.Cfg.MaxCandidates,
+				MaxRows:       env.Cfg.MaxRows,
+			})
+			ps := discovery.TopK(c, 1)
+			if len(ps) == 0 {
+				fmt.Fprintf(&b, "  %-12s (no pattern)\n", spec.Table.Name)
+				continue
+			}
+			fmt.Fprintf(&b, "  %-12s %s\n", spec.Table.Name, ps[0].Render(kb.Store, spec.Table.Columns))
+		}
+	}
+	return b.String()
+}

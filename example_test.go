@@ -1,0 +1,125 @@
+package katara_test
+
+import (
+	"fmt"
+
+	"katara"
+	"katara/internal/rdf"
+)
+
+// buildFig2KB assembles the Fig. 2 KB fragment used across the examples:
+// soccer players, countries and capitals, with S. Africa's capital fact
+// deliberately missing.
+func buildFig2KB() *katara.KB {
+	kb := katara.NewKB()
+	add := func(s, p, o string) { kb.AddFact(rdf.IRI(s), rdf.IRI(p), rdf.IRI(o)) }
+	lit := func(s, p, o string) { kb.AddFact(rdf.IRI(s), rdf.IRI(p), rdf.Lit(o)) }
+	for _, e := range []struct{ iri, typ, label string }{
+		{"y:Rossi", "person", "Rossi"},
+		{"y:Klate", "person", "Klate"},
+		{"y:Pirlo", "person", "Pirlo"},
+		{"y:Italy", "country", "Italy"},
+		{"y:SAfrica", "country", "S. Africa"},
+		{"y:Spain", "country", "Spain"},
+		{"y:Rome", "capital", "Rome"},
+		{"y:Pretoria", "capital", "Pretoria"},
+		{"y:Madrid", "capital", "Madrid"},
+	} {
+		add(e.iri, rdf.IRIType, e.typ)
+		lit(e.iri, rdf.IRILabel, e.label)
+	}
+	for _, c := range []string{"person", "country", "capital"} {
+		lit(c, rdf.IRILabel, c)
+	}
+	for _, p := range []string{"nationality", "hasCapital"} {
+		lit(p, rdf.IRILabel, p)
+	}
+	add("y:Italy", "hasCapital", "y:Rome")
+	add("y:Spain", "hasCapital", "y:Madrid")
+	add("y:Rossi", "nationality", "y:Italy")
+	add("y:Klate", "nationality", "y:SAfrica")
+	add("y:Pirlo", "nationality", "y:Italy")
+	return kb
+}
+
+// worldTruth answers the crowd's questions from the real world.
+type worldTruth struct{ kb *katara.KB }
+
+func (o worldTruth) TypeHolds(value string, typ rdf.ID) bool { return true }
+func (o worldTruth) RelHolds(subj string, prop rdf.ID, obj string) bool {
+	if o.kb.LabelOf(prop) != "hasCapital" {
+		return true
+	}
+	capitals := map[string]string{"Italy": "Rome", "Spain": "Madrid", "S. Africa": "Pretoria"}
+	return capitals[subj] == obj
+}
+
+// ExampleCleaner_Clean runs the paper's Fig. 1 running example: one tuple
+// validated by the KB, one confirmed by the crowd (enriching the KB), and
+// one flagged erroneous with a cost-1 repair.
+func ExampleCleaner_Clean() {
+	kb := buildFig2KB()
+	tbl := katara.NewTable("soccer", "A", "B", "C")
+	tbl.Append("Rossi", "Italy", "Rome")
+	tbl.Append("Klate", "S. Africa", "Pretoria")
+	tbl.Append("Pirlo", "Italy", "Madrid")
+
+	cleaner := katara.NewCleaner(kb, katara.TrustingCrowd(), katara.Options{
+		FactOracle: worldTruth{kb},
+	})
+	report, err := cleaner.Clean(tbl)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, a := range report.Annotations {
+		fmt.Printf("t%d: %s\n", a.Row+1, a.Label)
+	}
+	for _, f := range report.NewFacts {
+		fmt.Printf("new fact: %s %s %s\n", f.Subject, kb.LabelOf(f.Prop), f.Object)
+	}
+	for _, ch := range report.Repairs[2][0].Changes {
+		fmt.Printf("repair t3: %s -> %s\n", ch.From, ch.To)
+	}
+	// Output:
+	// t1: validated-by-kb
+	// t2: validated-by-kb-and-crowd
+	// t3: erroneous
+	// new fact: S. Africa hasCapital Pretoria
+	// repair t3: Madrid -> Rome
+}
+
+// ExampleCleaner_DiscoverPatterns shows §4's pattern discovery on its own.
+func ExampleCleaner_DiscoverPatterns() {
+	kb := buildFig2KB()
+	tbl := katara.NewTable("soccer", "A", "B", "C")
+	tbl.Append("Rossi", "Italy", "Rome")
+	tbl.Append("Klate", "S. Africa", "Pretoria")
+	tbl.Append("Pirlo", "Italy", "Madrid")
+
+	cleaner := katara.NewCleaner(kb, katara.TrustingCrowd(), katara.Options{})
+	patterns := cleaner.DiscoverPatterns(tbl)
+	best := patterns[0]
+	fmt.Println("B is a", kb.LabelOf(best.TypeOf(1)))
+	fmt.Println("C is a", kb.LabelOf(best.TypeOf(2)))
+	fmt.Println("B→C via", kb.LabelOf(best.EdgeBetween(1, 2).Prop))
+	// Output:
+	// B is a country
+	// C is a capital
+	// B→C via hasCapital
+}
+
+// ExampleBestKB shows §2's KB selection: discovery score picks the KB that
+// actually covers the table.
+func ExampleBestKB() {
+	covering := buildFig2KB()
+	empty := katara.NewKB()
+	tbl := katara.NewTable("t", "B", "C")
+	tbl.Append("Italy", "Rome")
+	tbl.Append("Spain", "Madrid")
+
+	idx, _ := katara.BestKB(tbl, []*katara.KB{empty, covering}, katara.Options{})
+	fmt.Println("selected KB:", idx)
+	// Output:
+	// selected KB: 1
+}

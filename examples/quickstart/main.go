@@ -1,0 +1,139 @@
+// Quickstart: the paper's running example (Figure 1 / Figure 2) end to end.
+//
+// We build the Yago fragment about soccer players, countries and capitals,
+// load the three-tuple table of Fig. 1 — including Pirlo's erroneous
+// (Italy, Madrid) pair — and run the full KATARA pipeline: pattern
+// discovery, annotation against KB + crowd, KB enrichment, and top-k
+// repairs.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"katara"
+	"katara/internal/rdf"
+)
+
+// worldTruth plays the crowd's knowledge of the real world: S. Africa's
+// capital is Pretoria (missing from the KB), Italy's is Rome (so the tuple
+// claiming Madrid is wrong).
+type worldTruth struct{ kb *katara.KB }
+
+func (o worldTruth) TypeHolds(value string, typ rdf.ID) bool { return true }
+func (o worldTruth) RelHolds(subj string, prop rdf.ID, obj string) bool {
+	if o.kb.LabelOf(prop) != "hasCapital" {
+		return true
+	}
+	capitals := map[string]string{"Italy": "Rome", "Spain": "Madrid", "S. Africa": "Pretoria"}
+	return capitals[subj] == obj
+}
+
+func main() {
+	kb := buildKB()
+	tbl := katara.NewTable("soccer", "A", "B", "C", "D", "E", "F", "G")
+	tbl.Append("Rossi", "Italy", "Rome", "Verona", "Italian", "Proto", "1.78")
+	tbl.Append("Klate", "S. Africa", "Pretoria", "Pirates", "Afrikaans", "P. Eliz.", "1.69")
+	tbl.Append("Pirlo", "Italy", "Madrid", "Juve", "Italian", "Flero", "1.77")
+
+	cleaner := katara.NewCleaner(kb, katara.TrustingCrowd(), katara.Options{
+		FactOracle: worldTruth{kb},
+	})
+	report, err := cleaner.Clean(tbl)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Discovered and validated table pattern (Fig. 2a):")
+	fmt.Println("  " + report.Pattern.Render(kb, tbl.Columns))
+	fmt.Println()
+
+	fmt.Println("Tuple annotations (Fig. 2b-d):")
+	for _, a := range report.Annotations {
+		fmt.Printf("  t%d %v -> %s\n", a.Row+1, tbl.Rows[a.Row][:3], a.Label)
+	}
+	fmt.Println()
+
+	fmt.Println("New facts confirmed by the crowd (KB enrichment):")
+	for _, f := range report.NewFacts {
+		if f.IsType {
+			fmt.Printf("  %q is a %s\n", f.Subject, kb.LabelOf(f.Type))
+		} else {
+			fmt.Printf("  %q %s %q\n", f.Subject, kb.LabelOf(f.Prop), f.Object)
+		}
+	}
+	fmt.Println()
+
+	fmt.Println("Top-k possible repairs for erroneous tuples (Example 13):")
+	for row, reps := range report.Repairs {
+		fmt.Printf("  t%d %v\n", row+1, tbl.Rows[row][:3])
+		for i, r := range reps {
+			fmt.Printf("    repair %d: %s\n", i+1, r)
+		}
+	}
+}
+
+// buildKB assembles the Fig. 2 KB fragment: types, labels, nationality and
+// hasCapital facts — with S. Africa's capital deliberately missing.
+func buildKB() *katara.KB {
+	kb := katara.NewKB()
+	add := func(s, p, o string) { kb.AddFact(rdf.IRI(s), rdf.IRI(p), rdf.IRI(o)) }
+	lit := func(s, p, o string) { kb.AddFact(rdf.IRI(s), rdf.IRI(p), rdf.Lit(o)) }
+
+	type ent struct{ iri, typ, label string }
+	for _, e := range []ent{
+		{"y:Rossi", "y:person", "Rossi"},
+		{"y:Klate", "y:person", "Klate"},
+		{"y:Pirlo", "y:person", "Pirlo"},
+		{"y:Italy", "y:country", "Italy"},
+		{"y:SAfrica", "y:country", "S. Africa"},
+		{"y:Spain", "y:country", "Spain"},
+		{"y:Rome", "y:capital", "Rome"},
+		{"y:Pretoria", "y:capital", "Pretoria"},
+		{"y:Madrid", "y:capital", "Madrid"},
+		{"y:Verona", "y:club", "Verona"},
+		{"y:Pirates", "y:club", "Pirates"},
+		{"y:Juve", "y:club", "Juve"},
+		{"y:Italian", "y:language", "Italian"},
+		{"y:Afrikaans", "y:language", "Afrikaans"},
+		{"y:Proto", "y:city", "Proto"},
+		{"y:PElizabeth", "y:city", "P. Eliz."},
+		{"y:Flero", "y:city", "Flero"},
+	} {
+		add(e.iri, rdf.IRIType, e.typ)
+		lit(e.iri, rdf.IRILabel, e.label)
+	}
+	for _, c := range []string{"y:person", "y:country", "y:capital", "y:club", "y:language", "y:city"} {
+		lit(c, rdf.IRILabel, c[2:])
+	}
+	for _, p := range []string{"y:nationality", "y:hasCapital", "y:playsFor", "y:speaks", "y:bornIn", "y:height"} {
+		lit(p, rdf.IRILabel, p[2:])
+	}
+
+	facts := [][3]string{
+		{"y:Italy", "y:hasCapital", "y:Rome"},
+		{"y:Spain", "y:hasCapital", "y:Madrid"},
+		// S. Africa -> Pretoria is intentionally absent (KB incompleteness).
+		{"y:Rossi", "y:nationality", "y:Italy"},
+		{"y:Klate", "y:nationality", "y:SAfrica"},
+		{"y:Pirlo", "y:nationality", "y:Italy"},
+		{"y:Rossi", "y:playsFor", "y:Verona"},
+		{"y:Klate", "y:playsFor", "y:Pirates"},
+		{"y:Pirlo", "y:playsFor", "y:Juve"},
+		{"y:Rossi", "y:speaks", "y:Italian"},
+		{"y:Klate", "y:speaks", "y:Afrikaans"},
+		{"y:Pirlo", "y:speaks", "y:Italian"},
+		{"y:Rossi", "y:bornIn", "y:Proto"},
+		{"y:Klate", "y:bornIn", "y:PElizabeth"},
+		{"y:Pirlo", "y:bornIn", "y:Flero"},
+	}
+	for _, f := range facts {
+		add(f[0], f[1], f[2])
+	}
+	lit("y:Rossi", "y:height", "1.78")
+	lit("y:Klate", "y:height", "1.69")
+	lit("y:Pirlo", "y:height", "1.77")
+	return kb
+}

@@ -1,0 +1,103 @@
+// University: the Table 6 comparison in miniature — KATARA vs the automatic
+// repairers (EQ and SCARE) on the University relation, with 10% errors
+// injected into the state column. The University table has near-unique keys
+// (each university appears once), which starves the redundancy-based
+// baselines while KATARA repairs from KB evidence.
+//
+//	go run ./examples/university
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"katara"
+	"katara/internal/cleaning"
+	"katara/internal/fd"
+	"katara/internal/table"
+	"katara/internal/workload"
+	"katara/internal/world"
+)
+
+func main() {
+	const seed = 17
+	w := world.New(seed, world.Config{})
+	kb := workload.YagoLike(w, seed)
+	spec := workload.UniversityTable(w, seed, 600)
+
+	clean := spec.Table
+	dirty := clean.Clone()
+	rng := rand.New(rand.NewSource(seed))
+	injected := table.InjectErrors(dirty, []int{2}, 0.10, rng) // state column
+	fmt.Printf("University table: %d rows, %d injected errors (state column)\n\n",
+		dirty.NumRows(), len(injected))
+
+	// --- KATARA ---
+	cleaner := katara.NewCleaner(kb.Store, katara.NewCrowd(10, 0.97, seed), katara.Options{
+		ValidationOracle: workload.SpecOracle{Spec: spec, KB: kb},
+		FactOracle:       workload.WorldOracle{W: w, KB: kb},
+		RepairK:          3,
+	})
+	report, err := cleaner.Clean(dirty.Clone())
+	if err != nil {
+		log.Fatal(err)
+	}
+	kCorrect, kChanges := 0, 0
+	for row, reps := range report.Repairs {
+		if len(reps) == 0 {
+			continue
+		}
+		hit := false
+		for _, rep := range reps {
+			ok := true
+			vals := append([]string(nil), dirty.Rows[row]...)
+			for _, ch := range rep.Changes {
+				vals[ch.Col] = ch.To
+			}
+			for c := range vals {
+				if vals[c] != clean.Rows[row][c] {
+					ok = false
+				}
+			}
+			if ok {
+				hit = true
+			}
+		}
+		kChanges++
+		if hit {
+			kCorrect++
+		}
+	}
+	fmt.Printf("KATARA (Yago):  pattern %s\n", report.Pattern.Render(kb.Store, dirty.Columns))
+	fmt.Printf("                repaired tuples with truth in top-3: %d / %d proposals (errors: %d)\n\n",
+		kCorrect, kChanges, len(injected))
+
+	// --- EQ ---
+	fds := []fd.FD{fd.New([]int{0}, []int{1, 2}), fd.New([]int{1}, []int{2})}
+	eqTbl := dirty.Clone()
+	eqChanges := cleaning.EQ(eqTbl, fds)
+	eqCorrect := 0
+	for _, ch := range eqChanges {
+		if ch.To == clean.Rows[ch.Row][ch.Col] {
+			eqCorrect++
+		}
+	}
+	fmt.Printf("EQ:             %d changes, %d correct (FDs: %v, %v)\n",
+		len(eqChanges), eqCorrect, fds[0], fds[1])
+
+	// --- SCARE ---
+	scTbl := dirty.Clone()
+	scChanges := cleaning.SCARE(scTbl, []int{0, 1}, []int{2}, cleaning.SCAREOptions{})
+	scCorrect := 0
+	for _, ch := range scChanges {
+		if ch.To == clean.Rows[ch.Row][ch.Col] {
+			scCorrect++
+		}
+	}
+	fmt.Printf("SCARE:          %d changes, %d correct\n\n", len(scChanges), scCorrect)
+
+	fmt.Println("The automatic repairers need repeated evidence; with near-unique")
+	fmt.Println("university keys they fix little, while KATARA aligns each tuple to")
+	fmt.Println("the KB's instance graphs (§7.4).")
+}

@@ -1,0 +1,3 @@
+module katara
+
+go 1.22

@@ -1,0 +1,137 @@
+package katara
+
+import (
+	"math/rand"
+	"testing"
+
+	"katara/internal/table"
+	"katara/internal/workload"
+	"katara/internal/world"
+)
+
+// TestEndToEndWorkload drives the public API over the full synthetic
+// workload: build a world and KB, corrupt a relational table, clean it, and
+// assert quantitative quality floors on detection and repair — the
+// integration-level counterpart of the per-module tests.
+func TestEndToEndWorkload(t *testing.T) {
+	const seed = 99
+	w := world.New(seed, world.Config{
+		Persons: 300, Players: 120, Clubs: 24, Universities: 80, Films: 40, Books: 40,
+	})
+	kb := workload.DBpediaLike(w, seed)
+	spec := workload.PersonTable(w, seed, 400)
+
+	clean := spec.Table
+	dirty := clean.Clone()
+	rng := rand.New(rand.NewSource(seed))
+	injected := table.InjectErrors(dirty, []int{1, 2, 3}, 0.10, rng)
+	if len(injected) < 20 {
+		t.Fatalf("only %d errors injected", len(injected))
+	}
+
+	cleaner := NewCleaner(kb.Store, NewCrowd(10, 0.97, seed), Options{
+		ValidationOracle: workload.SpecOracle{Spec: spec, KB: kb},
+		FactOracle:       workload.WorldOracle{W: w, KB: kb},
+		RepairK:          3,
+	})
+	report, err := cleaner.Clean(dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The validated pattern covers all four columns and carries the three
+	// ground-truth relationships.
+	if got := len(report.Pattern.Columns()); got != 4 {
+		t.Fatalf("pattern covers %d columns, want 4", got)
+	}
+	if got := len(report.Pattern.Edges); got < 3 {
+		t.Fatalf("pattern has %d edges, want ≥ 3", got)
+	}
+
+	// Detection: most corrupted rows are flagged, few clean rows are.
+	corrupted := map[int]bool{}
+	for _, c := range injected {
+		corrupted[c.Row] = true
+	}
+	tp, fp := 0, 0
+	flagged := map[int]bool{}
+	for _, a := range report.Annotations {
+		if a.Label == Erroneous {
+			flagged[a.Row] = true
+			if corrupted[a.Row] {
+				tp++
+			} else {
+				fp++
+			}
+		}
+	}
+	if float64(tp) < 0.8*float64(len(corrupted)) {
+		t.Fatalf("detection recall too low: %d of %d corrupted rows flagged", tp, len(corrupted))
+	}
+	if fp > len(corrupted) {
+		t.Fatalf("too many false flags: %d (vs %d real)", fp, len(corrupted))
+	}
+
+	// Repair: a solid share of flagged corrupted rows gets the truth in its
+	// top-3 repairs (bounded by the KB's deliberate incompleteness).
+	restored := 0
+	for row, reps := range report.Repairs {
+		if !corrupted[row] {
+			continue
+		}
+		for _, rep := range reps {
+			vals := append([]string(nil), dirty.Rows[row]...)
+			for _, ch := range rep.Changes {
+				vals[ch.Col] = ch.To
+			}
+			ok := true
+			for c := range vals {
+				if vals[c] != clean.Rows[row][c] {
+					ok = false
+				}
+			}
+			if ok {
+				restored++
+				break
+			}
+		}
+	}
+	if float64(restored) < 0.3*float64(tp) {
+		t.Fatalf("repairs restored only %d of %d flagged corrupted rows", restored, tp)
+	}
+
+	// Enrichment fed facts back into the KB.
+	if len(report.NewFacts) == 0 {
+		t.Fatal("no KB enrichment on a partially covered table")
+	}
+	t.Logf("detection %d/%d (fp %d), restored %d, new facts %d, questions %d",
+		tp, len(corrupted), fp, restored, len(report.NewFacts), report.QuestionsAsked)
+}
+
+// TestEndToEndCleanTableIsQuiet asserts the complementary property: a clean
+// table through the same pipeline produces (almost) no erroneous labels.
+func TestEndToEndCleanTableIsQuiet(t *testing.T) {
+	const seed = 100
+	w := world.New(seed, world.Config{
+		Persons: 200, Players: 80, Clubs: 16, Universities: 40, Films: 20, Books: 20,
+	})
+	kb := workload.DBpediaLike(w, seed)
+	spec := workload.PersonTable(w, seed, 250)
+	cleaner := NewCleaner(kb.Store, NewCrowd(10, 0.97, seed), Options{
+		ValidationOracle: workload.SpecOracle{Spec: spec, KB: kb},
+		FactOracle:       workload.WorldOracle{W: w, KB: kb},
+	})
+	report, err := cleaner.Clean(spec.Table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nErr := 0
+	for _, a := range report.Annotations {
+		if a.Label == Erroneous {
+			nErr++
+		}
+	}
+	if float64(nErr) > 0.05*float64(spec.Table.NumRows()) {
+		t.Fatalf("clean table: %d of %d rows flagged erroneous", nErr, spec.Table.NumRows())
+	}
+}

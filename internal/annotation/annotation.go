@@ -1,0 +1,345 @@
+// Package annotation implements KATARA's data annotation (§6.1): each tuple
+// is checked against the validated table pattern — fully covered by the KB
+// (correct), partially covered and confirmed by the crowd (correct, and a
+// new fact enriches the KB), or contradicted by the crowd (erroneous).
+package annotation
+
+import (
+	"fmt"
+	"strings"
+
+	"katara/internal/crowd"
+	"katara/internal/pattern"
+	"katara/internal/rdf"
+	"katara/internal/similarity"
+	"katara/internal/table"
+)
+
+// Label classifies a tuple per §6.1.
+type Label int
+
+const (
+	// ValidatedByKB: the tuple fully matches the pattern in the KB (case i).
+	ValidatedByKB Label = iota
+	// ValidatedByCrowd: the KB lacked coverage but the crowd confirmed every
+	// missing piece (case ii).
+	ValidatedByCrowd
+	// Erroneous: the crowd rejected at least one missing piece (case iii).
+	Erroneous
+)
+
+// String implements fmt.Stringer.
+func (l Label) String() string {
+	switch l {
+	case ValidatedByKB:
+		return "validated-by-kb"
+	case ValidatedByCrowd:
+		return "validated-by-kb-and-crowd"
+	case Erroneous:
+		return "erroneous"
+	default:
+		return fmt.Sprintf("Label(%d)", int(l))
+	}
+}
+
+// Fact is a statement confirmed by the crowd that was missing from the KB —
+// the KB-enrichment by-product (§6.1).
+type Fact struct {
+	IsType  bool
+	Subject string   // cell value
+	Type    rdf.ID   // when IsType
+	Prop    rdf.ID   // when !IsType and Path is empty
+	Path    []rdf.ID // §9 multi-hop fact: the property chain
+	Object  string   // cell value, when !IsType
+}
+
+// TupleAnnotation is the per-tuple outcome.
+type TupleAnnotation struct {
+	Row   int
+	Label Label
+	// NodeByKB[col] / EdgeByKB[i] / PathByKB[i] report which conditions the
+	// KB covered.
+	NodeByKB map[int]bool
+	EdgeByKB []bool
+	PathByKB []bool
+	// NewFacts are the crowd-confirmed facts for this tuple.
+	NewFacts []Fact
+}
+
+// Breakdown aggregates Table 5's fractions over values and relationships.
+type Breakdown struct {
+	TypeKB, TypeCrowd, TypeError int
+	RelKB, RelCrowd, RelError    int
+}
+
+// TypeFractions returns (kb, crowd, error) fractions over typed values.
+func (b Breakdown) TypeFractions() (kb, cr, er float64) {
+	n := float64(b.TypeKB + b.TypeCrowd + b.TypeError)
+	if n == 0 {
+		return 0, 0, 0
+	}
+	return float64(b.TypeKB) / n, float64(b.TypeCrowd) / n, float64(b.TypeError) / n
+}
+
+// RelFractions returns (kb, crowd, error) fractions over relationships.
+func (b Breakdown) RelFractions() (kb, cr, er float64) {
+	n := float64(b.RelKB + b.RelCrowd + b.RelError)
+	if n == 0 {
+		return 0, 0, 0
+	}
+	return float64(b.RelKB) / n, float64(b.RelCrowd) / n, float64(b.RelError) / n
+}
+
+// Result is the outcome of annotating a table.
+type Result struct {
+	Tuples    []TupleAnnotation
+	Breakdown Breakdown
+	NewFacts  []Fact // deduplicated KB-enrichment facts
+}
+
+// Errors returns the rows labelled Erroneous.
+func (r *Result) Errors() []int {
+	var out []int
+	for _, t := range r.Tuples {
+		if t.Label == Erroneous {
+			out = append(out, t.Row)
+		}
+	}
+	return out
+}
+
+// FactOracle supplies real-world ground truth for the simulated crowd.
+type FactOracle interface {
+	// TypeHolds reports whether value truly is an instance of typ.
+	TypeHolds(value string, typ rdf.ID) bool
+	// RelHolds reports whether prop truly relates subj to obj.
+	RelHolds(subj string, prop rdf.ID, obj string) bool
+}
+
+// PathOracle is optionally implemented by fact oracles that can verify the
+// §9 multi-hop path facts. Oracles without it refute path facts.
+type PathOracle interface {
+	PathHolds(subj string, props []rdf.ID, obj string) bool
+}
+
+// Annotator annotates tables against one validated pattern.
+type Annotator struct {
+	KB      *rdf.Store
+	Pattern *pattern.Pattern
+	Crowd   *crowd.Crowd
+	Oracle  FactOracle
+	// Threshold is the label-similarity threshold (default 0.7).
+	Threshold float64
+	// Enrich adds crowd-confirmed facts to the KB immediately, so later
+	// occurrences of the same value validate without the crowd — the effect
+	// that makes RelationalTables' KB share high in Table 5.
+	Enrich bool
+}
+
+// Annotate labels every tuple of tbl.
+func (a *Annotator) Annotate(tbl *table.Table) *Result {
+	threshold := a.Threshold
+	if threshold == 0 {
+		threshold = similarity.DefaultThreshold
+	}
+	res := &Result{}
+	seenFacts := map[string]bool{}
+	for row := range tbl.Rows {
+		ta := a.annotateTuple(tbl, row, threshold)
+		res.Tuples = append(res.Tuples, ta)
+		for _, f := range ta.NewFacts {
+			k := factKey(f)
+			if !seenFacts[k] {
+				seenFacts[k] = true
+				res.NewFacts = append(res.NewFacts, f)
+			}
+		}
+		// Table 5 accounting.
+		for _, n := range a.Pattern.Nodes {
+			if n.Type == rdf.NoID {
+				continue
+			}
+			switch {
+			case ta.NodeByKB[n.Column]:
+				res.Breakdown.TypeKB++
+			case ta.Label == Erroneous:
+				res.Breakdown.TypeError++
+			default:
+				res.Breakdown.TypeCrowd++
+			}
+		}
+		for i := range a.Pattern.Edges {
+			switch {
+			case ta.EdgeByKB[i]:
+				res.Breakdown.RelKB++
+			case ta.Label == Erroneous:
+				res.Breakdown.RelError++
+			default:
+				res.Breakdown.RelCrowd++
+			}
+		}
+		for i := range a.Pattern.Paths {
+			switch {
+			case ta.PathByKB[i]:
+				res.Breakdown.RelKB++
+			case ta.Label == Erroneous:
+				res.Breakdown.RelError++
+			default:
+				res.Breakdown.RelCrowd++
+			}
+		}
+	}
+	return res
+}
+
+func factKey(f Fact) string {
+	if f.IsType {
+		return fmt.Sprintf("t|%s|%d", similarity.Normalize(f.Subject), f.Type)
+	}
+	if len(f.Path) > 0 {
+		return fmt.Sprintf("p|%s|%v|%s", similarity.Normalize(f.Subject), f.Path, similarity.Normalize(f.Object))
+	}
+	return fmt.Sprintf("r|%s|%d|%s", similarity.Normalize(f.Subject), f.Prop, similarity.Normalize(f.Object))
+}
+
+// annotateTuple runs §6.1's two steps for one tuple.
+func (a *Annotator) annotateTuple(tbl *table.Table, row int, threshold float64) TupleAnnotation {
+	ta := TupleAnnotation{Row: row, NodeByKB: map[int]bool{}}
+	tuple := tbl.Rows[row]
+
+	// Step 1: validation by the KB (conceptually the per-tuple SPARQL
+	// coverage query; evaluated through the pattern matcher).
+	m := pattern.Evaluate(a.Pattern, a.KB, tuple, threshold)
+	for col, ok := range m.NodeOK {
+		ta.NodeByKB[col] = ok
+	}
+	ta.EdgeByKB = append([]bool(nil), m.EdgeOK...)
+	ta.PathByKB = append([]bool(nil), m.PathOK...)
+	if m.Full {
+		ta.Label = ValidatedByKB
+		return ta
+	}
+
+	// Step 2: validation by KB + crowd for each missing node and edge.
+	allConfirmed := true
+	for _, n := range a.Pattern.Nodes {
+		if n.Type == rdf.NoID || m.NodeOK[n.Column] || n.Column >= len(tuple) {
+			continue
+		}
+		val := tuple[n.Column]
+		holds := a.Oracle != nil && a.Oracle.TypeHolds(val, n.Type)
+		prompt := fmt.Sprintf("Is %q a %s?", val, a.KB.LabelOf(n.Type))
+		if a.Crowd.AskBoolean(prompt, holds) {
+			ta.NewFacts = append(ta.NewFacts, Fact{IsType: true, Subject: val, Type: n.Type})
+		} else {
+			allConfirmed = false
+		}
+	}
+	for i, e := range a.Pattern.Edges {
+		if m.EdgeOK[i] || e.From >= len(tuple) || e.To >= len(tuple) {
+			continue
+		}
+		sv, ov := tuple[e.From], tuple[e.To]
+		holds := a.Oracle != nil && a.Oracle.RelHolds(sv, e.Prop, ov)
+		prompt := fmt.Sprintf("Does %q %s %q?", sv, a.KB.LabelOf(e.Prop), ov)
+		if a.Crowd.AskBoolean(prompt, holds) {
+			ta.NewFacts = append(ta.NewFacts, Fact{Subject: sv, Prop: e.Prop, Object: ov})
+		} else {
+			allConfirmed = false
+		}
+	}
+
+	for i, pe := range a.Pattern.Paths {
+		if m.PathOK[i] || pe.From >= len(tuple) || pe.To >= len(tuple) {
+			continue
+		}
+		sv, ov := tuple[pe.From], tuple[pe.To]
+		holds := false
+		if po, ok := a.Oracle.(PathOracle); ok {
+			holds = po.PathHolds(sv, pe.Props, ov)
+		}
+		prompt := fmt.Sprintf("Is %q related to %q through %s?",
+			sv, ov, pathLabel(a.KB, pe.Props))
+		if a.Crowd.AskBoolean(prompt, holds) {
+			ta.NewFacts = append(ta.NewFacts, Fact{Subject: sv, Path: pe.Props, Object: ov})
+		} else {
+			allConfirmed = false
+		}
+	}
+
+	// The KB failed to validate the tuple as a whole, so edges that appear
+	// to hold individually cannot be trusted either: with ambiguous labels
+	// an edge can "hold" through candidate resources inconsistent with the
+	// rest of the tuple (e.g. a fuzzy-matched homonym club grounded in the
+	// claimed city). Every such edge is verified by the crowd before the
+	// tuple is accepted.
+	if allConfirmed {
+		for i, e := range a.Pattern.Edges {
+			if !m.EdgeOK[i] || e.From >= len(tuple) || e.To >= len(tuple) {
+				continue // missing edges were already asked above
+			}
+			sv, ov := tuple[e.From], tuple[e.To]
+			holds := a.Oracle != nil && a.Oracle.RelHolds(sv, e.Prop, ov)
+			prompt := fmt.Sprintf("Does %q %s %q?", sv, a.KB.LabelOf(e.Prop), ov)
+
+			if !a.Crowd.AskBoolean(prompt, holds) {
+				allConfirmed = false
+				ta.EdgeByKB[i] = false
+			}
+		}
+	}
+
+	if allConfirmed {
+		ta.Label = ValidatedByCrowd
+		if a.Enrich {
+			for _, f := range ta.NewFacts {
+				a.apply(f)
+			}
+		}
+	} else {
+		ta.Label = Erroneous
+		ta.NewFacts = nil // facts from an erroneous tuple are not trusted
+	}
+	return ta
+}
+
+func pathLabel(kb *rdf.Store, props []rdf.ID) string {
+	parts := make([]string, len(props))
+	for i, p := range props {
+		parts[i] = kb.LabelOf(p)
+	}
+	return strings.Join(parts, " then ")
+}
+
+// apply adds a confirmed fact to the KB, minting resources as needed.
+// Multi-hop path facts are not applied: asserting the chain would require
+// inventing the intermediate resource, which is §9's open "extending the
+// structure of the KBs" problem.
+func (a *Annotator) apply(f Fact) {
+	if len(f.Path) > 0 {
+		return
+	}
+	kb := a.KB
+	subj := a.resourceFor(f.Subject)
+	if f.IsType {
+		kb.Add(subj, kb.TypeID, f.Type)
+		return
+	}
+	obj := a.resourceFor(f.Object)
+	kb.Add(subj, f.Prop, obj)
+}
+
+// resourceFor finds the best existing resource labelled like value, or mints
+// a new one carrying the value as its label.
+func (a *Annotator) resourceFor(value string) rdf.ID {
+	threshold := a.Threshold
+	if threshold == 0 {
+		threshold = similarity.DefaultThreshold
+	}
+	if hits := a.KB.MatchLabel(value, threshold); len(hits) > 0 {
+		return hits[0].Resource
+	}
+	r := a.KB.Res("enriched:" + similarity.Normalize(value))
+	a.KB.AddFact(a.KB.Term(r), rdf.IRI(rdf.IRILabel), rdf.Lit(value))
+	return r
+}

@@ -1,0 +1,122 @@
+package annotation
+
+import (
+	"testing"
+
+	"katara/internal/crowd"
+	"katara/internal/pattern"
+	"katara/internal/rdf"
+	"katara/internal/table"
+)
+
+// pathKB: persons → (bornIn) → cities → (locatedIn) → countries, with one
+// chain missing from the KB (Xavi's city has no locatedIn fact).
+func pathFixture() (*rdf.Store, *pattern.Pattern, *table.Table) {
+	kb := rdf.New()
+	add := func(s, p, o string) { kb.AddFact(rdf.IRI(s), rdf.IRI(p), rdf.IRI(o)) }
+	lit := func(s, p, o string) { kb.AddFact(rdf.IRI(s), rdf.IRI(p), rdf.Lit(o)) }
+	for _, e := range []struct{ iri, typ, label string }{
+		{"y:Pirlo", "person", "Pirlo"},
+		{"y:Xavi", "person", "Xavi"},
+		{"y:Zidane", "person", "Zidane"},
+		{"y:Flero", "city", "Flero"},
+		{"y:Terrassa", "city", "Terrassa"},
+		{"y:Marseille", "city", "Marseille"},
+		{"y:Italy", "country", "Italy"},
+		{"y:Spain", "country", "Spain"},
+		{"y:France", "country", "France"},
+	} {
+		add(e.iri, rdf.IRIType, e.typ)
+		lit(e.iri, rdf.IRILabel, e.label)
+	}
+	add("y:Pirlo", "bornIn", "y:Flero")
+	add("y:Xavi", "bornIn", "y:Terrassa")
+	add("y:Zidane", "bornIn", "y:Marseille")
+	add("y:Flero", "locatedIn", "y:Italy")
+	// Terrassa -> Spain deliberately missing (KB incompleteness).
+	add("y:Marseille", "locatedIn", "y:France")
+
+	p := &pattern.Pattern{
+		Nodes: []pattern.Node{
+			{Column: 0, Type: kb.Res("person")},
+			{Column: 1, Type: kb.Res("country")},
+		},
+		Paths: []pattern.PathEdge{{
+			From: 0, To: 1,
+			Props: []rdf.ID{kb.Res("bornIn"), kb.Res("locatedIn")},
+		}},
+	}
+	tbl := table.New("t", "A", "B")
+	tbl.Append("Pirlo", "Italy")
+	tbl.Append("Xavi", "Spain")   // chain missing from KB, true in world
+	tbl.Append("Zidane", "Spain") // chain false: Zidane reaches France
+	return kb, p, tbl
+}
+
+// chainOracle knows the real birth countries.
+type chainOracle struct{}
+
+func (chainOracle) TypeHolds(string, rdf.ID) bool        { return true }
+func (chainOracle) RelHolds(string, rdf.ID, string) bool { return true }
+func (chainOracle) PathHolds(subj string, props []rdf.ID, obj string) bool {
+	truth := map[string]string{"Pirlo": "Italy", "Xavi": "Spain", "Zidane": "France"}
+	return truth[subj] == obj
+}
+
+func TestPathAnnotation(t *testing.T) {
+	kb, p, tbl := pathFixture()
+	ann := &Annotator{KB: kb, Pattern: p, Crowd: crowd.Perfect(3), Oracle: chainOracle{}}
+	res := ann.Annotate(tbl)
+	if res.Tuples[0].Label != ValidatedByKB {
+		t.Fatalf("Pirlo = %v, want validated-by-kb", res.Tuples[0].Label)
+	}
+	if res.Tuples[1].Label != ValidatedByCrowd {
+		t.Fatalf("Xavi = %v, want crowd-validated (KB gap)", res.Tuples[1].Label)
+	}
+	if res.Tuples[2].Label != Erroneous {
+		t.Fatalf("Zidane = %v, want erroneous", res.Tuples[2].Label)
+	}
+	// The confirmed chain becomes a path fact (not applied to the KB).
+	if len(res.NewFacts) != 1 || len(res.NewFacts[0].Path) != 2 {
+		t.Fatalf("NewFacts = %+v", res.NewFacts)
+	}
+	// Path facts are never asserted into the KB even with Enrich on.
+	before := kb.NumTriples()
+	ann2 := &Annotator{KB: kb, Pattern: p, Crowd: crowd.Perfect(3), Oracle: chainOracle{}, Enrich: true}
+	ann2.Annotate(tbl)
+	if kb.NumTriples() != before {
+		t.Fatal("path facts must not be asserted into the KB")
+	}
+}
+
+func TestPathBreakdownCountsAsRelationship(t *testing.T) {
+	kb, p, tbl := pathFixture()
+	ann := &Annotator{KB: kb, Pattern: p, Crowd: crowd.Perfect(3), Oracle: chainOracle{}}
+	res := ann.Annotate(tbl)
+	b := res.Breakdown
+	// 3 tuples × 1 path: Pirlo KB, Xavi crowd, Zidane error.
+	if b.RelKB != 1 || b.RelCrowd != 1 || b.RelError != 1 {
+		t.Fatalf("breakdown = %+v", b)
+	}
+}
+
+// oracleWithoutPaths implements only the base FactOracle: path facts must
+// then be refuted.
+type oracleWithoutPaths struct{}
+
+func (oracleWithoutPaths) TypeHolds(string, rdf.ID) bool        { return true }
+func (oracleWithoutPaths) RelHolds(string, rdf.ID, string) bool { return true }
+
+func TestPathOracleOptional(t *testing.T) {
+	kb, p, tbl := pathFixture()
+	ann := &Annotator{KB: kb, Pattern: p, Crowd: crowd.Perfect(3), Oracle: oracleWithoutPaths{}}
+	res := ann.Annotate(tbl)
+	// Xavi's missing chain cannot be verified without a PathOracle: refuted.
+	if res.Tuples[1].Label != Erroneous {
+		t.Fatalf("Xavi = %v, want erroneous under a path-less oracle", res.Tuples[1].Label)
+	}
+	// Pirlo's chain is in the KB: unaffected.
+	if res.Tuples[0].Label != ValidatedByKB {
+		t.Fatalf("Pirlo = %v", res.Tuples[0].Label)
+	}
+}

@@ -1,0 +1,77 @@
+// Package cleaning implements the automatic repair baselines of §7.4: the
+// equivalence-class FD repair (EQ) used by NADEEF [Bohannon et al. 2005] and
+// the statistical SCARE repairer [Yakout et al. 2013]. Both require value
+// redundancy in the data — the property the paper contrasts with KATARA's
+// KB-based evidence.
+package cleaning
+
+import (
+	"sort"
+
+	"katara/internal/fd"
+	"katara/internal/table"
+)
+
+// Change is one cell modification made by a repair algorithm.
+type Change struct {
+	Row, Col int
+	From, To string
+}
+
+// EQ repairs t in place against the given FDs using equivalence classes:
+// rows sharing an FD's LHS key must agree on the RHS; each violating class
+// is repaired to its most frequent RHS value (minimum number of changes,
+// the cost model of [2]). FDs are applied to a fixpoint (bounded), since a
+// repair under one FD can surface violations of another.
+//
+// It returns the changes applied. The repaired table is heuristically
+// consistent but — as the paper stresses — not necessarily *correct*.
+func EQ(t *table.Table, fds []fd.FD) []Change {
+	var changes []Change
+	const maxPasses = 10
+	for pass := 0; pass < maxPasses; pass++ {
+		passChanges := eqPass(t, fds)
+		changes = append(changes, passChanges...)
+		if len(passChanges) == 0 {
+			break
+		}
+	}
+	return changes
+}
+
+func eqPass(t *table.Table, fds []fd.FD) []Change {
+	var changes []Change
+	for _, f := range fds {
+		for _, v := range fd.Violations(t, f) {
+			target := pluralityValue(t, v.Rows, v.Col)
+			for _, r := range v.Rows {
+				if t.Rows[r][v.Col] != target {
+					changes = append(changes, Change{Row: r, Col: v.Col, From: t.Rows[r][v.Col], To: target})
+					t.Rows[r][v.Col] = target
+				}
+			}
+		}
+	}
+	return changes
+}
+
+// pluralityValue returns the most frequent value of col among rows, ties
+// broken lexicographically for determinism.
+func pluralityValue(t *table.Table, rows []int, col int) string {
+	counts := map[string]int{}
+	for _, r := range rows {
+		counts[t.Rows[r][col]]++
+	}
+	vals := make([]string, 0, len(counts))
+	for v := range counts {
+		vals = append(vals, v)
+	}
+	sort.Strings(vals)
+	best, bestN := "", -1
+	for _, v := range vals {
+		if counts[v] > bestN {
+			best, bestN = v, counts[v]
+		}
+	}
+	return best
+}

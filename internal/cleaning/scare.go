@@ -1,0 +1,107 @@
+package cleaning
+
+import (
+	"math"
+	"sort"
+	"strconv"
+
+	"katara/internal/table"
+)
+
+// SCAREOptions configures the statistical repairer.
+type SCAREOptions struct {
+	// Threshold is the log-likelihood-ratio margin a replacement value must
+	// beat the current value by before a change is made. The paper notes
+	// this parameter is "hard to set precisely" (§7.4); default 1.0.
+	Threshold float64
+	// Smoothing is the Laplace smoothing constant (default 0.5).
+	Smoothing float64
+}
+
+func (o SCAREOptions) withDefaults() SCAREOptions {
+	if o.Threshold == 0 {
+		o.Threshold = 1.0
+	}
+	if o.Smoothing == 0 {
+		o.Smoothing = 0.5
+	}
+	return o
+}
+
+// SCARE repairs t in place following Yakout et al.: the reliable columns
+// are assumed correct; each flexible (unreliable) column is modelled with a
+// naive-Bayes conditional P(value | reliable attributes) trained on the data
+// itself, and a cell is updated to the maximum-likelihood value when that
+// value beats the current one by the threshold margin. Its behaviour is
+// redundancy-bound: without repeated evidence the model cannot beat the
+// current value and nothing changes.
+func SCARE(t *table.Table, reliable, flexible []int, opts SCAREOptions) []Change {
+	opts = opts.withDefaults()
+	var changes []Change
+	for _, target := range flexible {
+		changes = append(changes, scareColumn(t, reliable, target, opts)...)
+	}
+	return changes
+}
+
+func scareColumn(t *table.Table, reliable []int, target int, opts SCAREOptions) []Change {
+	// Train: counts of target values, and co-occurrence counts
+	// (reliableCol, reliableValue, targetValue).
+	classCount := map[string]int{}
+	cooc := map[[2]string]map[string]int{} // (colID|value) -> targetValue -> count
+	key := func(col int, v string) [2]string {
+		return [2]string{strconv.Itoa(col), v}
+	}
+	for _, row := range t.Rows {
+		tv := row[target]
+		classCount[tv]++
+		for _, rc := range reliable {
+			k := key(rc, row[rc])
+			if cooc[k] == nil {
+				cooc[k] = map[string]int{}
+			}
+			cooc[k][tv]++
+		}
+	}
+	classes := make([]string, 0, len(classCount))
+	for v := range classCount {
+		classes = append(classes, v)
+	}
+	sort.Strings(classes)
+	total := len(t.Rows)
+	v := float64(len(classes))
+	s := opts.Smoothing
+
+	logLik := func(row []string, cand string) float64 {
+		ll := math.Log((float64(classCount[cand]) + s) / (float64(total) + s*v))
+		for _, rc := range reliable {
+			k := key(rc, row[rc])
+			var c int
+			if m := cooc[k]; m != nil {
+				c = m[cand]
+			}
+			ll += math.Log((float64(c) + s) / (float64(classCount[cand]) + s*v))
+		}
+		return ll
+	}
+
+	var changes []Change
+	for ri, row := range t.Rows {
+		cur := row[target]
+		curLL := logLik(row, cur)
+		bestVal, bestLL := cur, curLL
+		for _, cand := range classes {
+			if cand == cur {
+				continue
+			}
+			if ll := logLik(row, cand); ll > bestLL {
+				bestVal, bestLL = cand, ll
+			}
+		}
+		if bestVal != cur && bestLL-curLL > opts.Threshold {
+			changes = append(changes, Change{Row: ri, Col: target, From: cur, To: bestVal})
+			t.Rows[ri][target] = bestVal
+		}
+	}
+	return changes
+}

@@ -1,0 +1,236 @@
+// Package crowd implements the crowdsourcing substrate: a simulated worker
+// pool standing in for the paper's expert crowd (10 students, §7.2). Each
+// question carries its ground-truth answer (the experiment harness generates
+// the data, so truth is known); workers are noisy channels around it. Every
+// question is assigned to three workers and decided by majority vote, as in
+// the paper (§5.1: "each question is asked three times, and the majority
+// answer is taken").
+package crowd
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Kind classifies questions per the paper's three task types.
+type Kind int
+
+const (
+	// TypeValidation asks "What is the most accurate type of the
+	// highlighted column?" (Q1, §5.1).
+	TypeValidation Kind = iota
+	// RelationshipValidation asks "What is the most accurate relationship
+	// for the highlighted columns?" (Q2, §5.1).
+	RelationshipValidation
+	// FactVerification asks a boolean "Does x P y?" (§6.1 step 2).
+	FactVerification
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case TypeValidation:
+		return "type-validation"
+	case RelationshipValidation:
+		return "relationship-validation"
+	case FactVerification:
+		return "fact-verification"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Question is one crowdsourcing task. Options holds the displayed choices
+// (boolean questions use {"Yes", "No"}); Truth indexes the correct one.
+// Difficulty in [0,1) raises worker error probability for ambiguous
+// questions (e.g. a type question whose sample values belong to several
+// candidate types, §5.1).
+type Question struct {
+	Kind       Kind
+	Prompt     string
+	Options    []string
+	Truth      int
+	Difficulty float64
+}
+
+// Boolean builds a yes/no FactVerification question.
+func Boolean(prompt string, holds bool) Question {
+	truth := 1
+	if holds {
+		truth = 0
+	}
+	return Question{
+		Kind:    FactVerification,
+		Prompt:  prompt,
+		Options: []string{"Yes", "No"},
+		Truth:   truth,
+	}
+}
+
+// Worker is one simulated crowd member with an independent reliability.
+type Worker struct {
+	ID       int
+	Accuracy float64 // probability of answering correctly on an easy question
+}
+
+// answer returns the worker's choice for q.
+func (w Worker) answer(q Question, rng *rand.Rand) int {
+	if len(q.Options) == 0 {
+		return q.Truth
+	}
+	errP := (1 - w.Accuracy) + q.Difficulty*w.Accuracy
+	if errP > 0.95 {
+		errP = 0.95
+	}
+	if rng.Float64() >= errP || len(q.Options) == 1 {
+		return q.Truth
+	}
+	// A wrong answer: uniform over the other options.
+	wrong := rng.Intn(len(q.Options) - 1)
+	if wrong >= q.Truth {
+		wrong++
+	}
+	return wrong
+}
+
+// Stats accumulates crowdsourcing cost accounting.
+type Stats struct {
+	Questions   int
+	Assignments int
+	ByKind      map[Kind]int
+}
+
+// Cost converts the accounting into money at a per-assignment rate — the
+// §1/§5 objective ("optimizing the order of issuing questions to reduce
+// monetary cost") made concrete. Crowdsourcing markets price per
+// assignment (each of the 3 redundant answers is paid), not per question.
+func (s Stats) Cost(perAssignment float64) float64 {
+	return float64(s.Assignments) * perAssignment
+}
+
+func (s *Stats) record(k Kind, assignments int) {
+	s.Questions++
+	s.Assignments += assignments
+	if s.ByKind == nil {
+		s.ByKind = make(map[Kind]int)
+	}
+	s.ByKind[k]++
+}
+
+// Crowd is the worker pool.
+type Crowd struct {
+	workers     []Worker
+	rng         *rand.Rand
+	assignments int
+	stats       Stats
+
+	// Quality control (quality.go): per-worker reliability estimates and
+	// the weighted-voting switch.
+	estimates Reliability
+	weighted  bool
+}
+
+// Option configures a Crowd.
+type Option func(*Crowd)
+
+// WithAssignments overrides the per-question assignment count (default 3).
+func WithAssignments(n int) Option {
+	return func(c *Crowd) {
+		if n > 0 {
+			c.assignments = n
+		}
+	}
+}
+
+// New builds a crowd of n workers with the given mean accuracy. Individual
+// worker accuracies are jittered ±0.05 around the mean, clamped to [0.5, 1].
+// All randomness flows from seed, keeping experiments reproducible.
+func New(n int, meanAccuracy float64, seed int64, opts ...Option) *Crowd {
+	rng := rand.New(rand.NewSource(seed))
+	c := &Crowd{rng: rng, assignments: 3}
+	for i := 0; i < n; i++ {
+		acc := meanAccuracy + (rng.Float64()-0.5)*0.1
+		if acc > 1 {
+			acc = 1
+		}
+		if acc < 0.5 {
+			acc = 0.5
+		}
+		c.workers = append(c.workers, Worker{ID: i, Accuracy: acc})
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Perfect returns a crowd of always-correct workers, for tests and for the
+// paper's "experts in the KB" assumption at its limit.
+func Perfect(n int) *Crowd {
+	c := &Crowd{rng: rand.New(rand.NewSource(0)), assignments: 3}
+	for i := 0; i < n; i++ {
+		c.workers = append(c.workers, Worker{ID: i, Accuracy: 1})
+	}
+	return c
+}
+
+// NumWorkers returns the pool size.
+func (c *Crowd) NumWorkers() int { return len(c.workers) }
+
+// Stats returns a copy of the accumulated accounting.
+func (c *Crowd) Stats() Stats {
+	s := c.stats
+	s.ByKind = make(map[Kind]int, len(c.stats.ByKind))
+	for k, v := range c.stats.ByKind {
+		s.ByKind[k] = v
+	}
+	return s
+}
+
+// ResetStats clears the accounting.
+func (c *Crowd) ResetStats() { c.stats = Stats{} }
+
+// Ask routes q to `assignments` distinct randomly chosen workers and returns
+// the majority answer (ties broken toward the lowest option index). With
+// reliability estimates installed (Calibrate / EstimateReliability), votes
+// are weighted by each worker's log-odds accuracy instead.
+func (c *Crowd) Ask(q Question) int {
+	n := c.assignments
+	if n > len(c.workers) {
+		n = len(c.workers)
+	}
+	c.stats.record(q.Kind, n)
+	if c.weighted {
+		return c.askWeighted(q, n)
+	}
+	perm := c.rng.Perm(len(c.workers))[:n]
+	votes := make(map[int]int)
+	for _, wi := range perm {
+		votes[c.workers[wi].answer(q, c.rng)]++
+	}
+	best, bestVotes := 0, -1
+	for opt := 0; opt < maxOption(q, votes); opt++ {
+		if v := votes[opt]; v > bestVotes {
+			best, bestVotes = opt, v
+		}
+	}
+	return best
+}
+
+// AskBoolean asks a yes/no question and returns true for "Yes".
+func (c *Crowd) AskBoolean(prompt string, holds bool) bool {
+	return c.Ask(Boolean(prompt, holds)) == 0
+}
+
+func maxOption(q Question, votes map[int]int) int {
+	m := len(q.Options)
+	for opt := range votes {
+		if opt >= m {
+			m = opt + 1
+		}
+	}
+	if m == 0 {
+		m = 1
+	}
+	return m
+}

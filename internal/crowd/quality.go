@@ -1,0 +1,166 @@
+package crowd
+
+import (
+	"math"
+)
+
+// Quality control for crowdsourcing. The paper assumes expert workers and
+// defers quality to the cited literature ("there are several efforts that
+// aim at improving the quality ... of crowdsourcing [4, 26]", §8); this
+// file implements the two standard mechanisms those lines refer to:
+//
+//   - gold-question calibration: workers answer questions with known
+//     answers and their accuracy is estimated directly;
+//   - Dawid–Skene-style estimation: worker reliability is inferred from
+//     agreement alone, with no gold answers, by iterating between weighted
+//     consensus and per-worker accuracy;
+//
+// plus log-odds weighted majority voting that uses the estimates.
+
+// Reliability holds per-worker estimated accuracies.
+type Reliability []float64
+
+// Calibrate asks every worker each gold question once and estimates worker
+// accuracies from their answers (Laplace-smoothed). The estimates are
+// installed for weighted voting and also returned. Gold questions are
+// accounted like normal questions.
+func (c *Crowd) Calibrate(gold []Question) Reliability {
+	correct := make([]int, len(c.workers))
+	for _, q := range gold {
+		c.stats.record(q.Kind, len(c.workers))
+		for i, w := range c.workers {
+			if w.answer(q, c.rng) == q.Truth {
+				correct[i]++
+			}
+		}
+	}
+	est := make(Reliability, len(c.workers))
+	for i := range est {
+		est[i] = (float64(correct[i]) + 1) / (float64(len(gold)) + 2)
+	}
+	c.estimates = est
+	c.weighted = true
+	return est
+}
+
+// workerAnswers records one round of raw answers for reliability inference.
+type workerAnswers struct {
+	question Question
+	answers  []int // per worker
+}
+
+// EstimateReliability runs a Dawid–Skene-style EM over a batch of
+// questions *without* consulting their ground truth: every worker answers
+// every question; consensus starts as simple majority and is refined by
+// weighting workers by their current accuracy estimate until the estimates
+// stabilise. It installs and returns the estimates.
+func (c *Crowd) EstimateReliability(batch []Question, iterations int) Reliability {
+	if iterations <= 0 {
+		iterations = 10
+	}
+	rounds := make([]workerAnswers, len(batch))
+	for qi, q := range batch {
+		c.stats.record(q.Kind, len(c.workers))
+		wa := workerAnswers{question: q, answers: make([]int, len(c.workers))}
+		for i, w := range c.workers {
+			wa.answers[i] = w.answer(q, c.rng)
+		}
+		rounds[qi] = wa
+	}
+
+	est := make(Reliability, len(c.workers))
+	for i := range est {
+		est[i] = 0.8 // uninformative prior
+	}
+	for it := 0; it < iterations; it++ {
+		// E-step: weighted consensus per question.
+		consensus := make([]int, len(rounds))
+		for qi, wa := range rounds {
+			votes := map[int]float64{}
+			for i, a := range wa.answers {
+				votes[a] += logOdds(est[i])
+			}
+			best, bestV := 0, math.Inf(-1)
+			for opt := 0; opt < len(wa.question.Options); opt++ {
+				if v, ok := votes[opt]; ok && v > bestV {
+					best, bestV = opt, v
+				}
+			}
+			consensus[qi] = best
+		}
+		// M-step: accuracy against the consensus.
+		next := make(Reliability, len(c.workers))
+		for i := range c.workers {
+			agree := 0
+			for qi, wa := range rounds {
+				if wa.answers[i] == consensus[qi] {
+					agree++
+				}
+			}
+			next[i] = (float64(agree) + 1) / (float64(len(rounds)) + 2)
+		}
+		converged := true
+		for i := range next {
+			if math.Abs(next[i]-est[i]) > 1e-6 {
+				converged = false
+			}
+		}
+		est = next
+		if converged {
+			break
+		}
+	}
+	c.estimates = est
+	c.weighted = true
+	return est
+}
+
+// Estimates returns the installed reliability estimates (nil before any
+// calibration).
+func (c *Crowd) Estimates() Reliability {
+	return append(Reliability(nil), c.estimates...)
+}
+
+// SetWeightedVoting toggles log-odds weighted majority voting. It requires
+// estimates (from Calibrate or EstimateReliability).
+func (c *Crowd) SetWeightedVoting(on bool) {
+	c.weighted = on && c.estimates != nil
+}
+
+// logOdds converts an accuracy estimate into a vote weight, clamped away
+// from the degenerate 0/1 endpoints.
+func logOdds(acc float64) float64 {
+	if acc < 0.05 {
+		acc = 0.05
+	}
+	if acc > 0.95 {
+		acc = 0.95
+	}
+	return math.Log(acc / (1 - acc))
+}
+
+// askWeighted is Ask's weighted-voting variant: the assignment set is
+// chosen as usual, but votes carry log-odds weights.
+func (c *Crowd) askWeighted(q Question, n int) int {
+	perm := c.rng.Perm(len(c.workers))[:n]
+	votes := map[int]float64{}
+	for _, wi := range perm {
+		a := c.workers[wi].answer(q, c.rng)
+		votes[a] += logOdds(c.estimates[wi])
+	}
+	best, bestV := 0, math.Inf(-1)
+	for opt := 0; opt < maxOption(q, intKeys(votes)); opt++ {
+		if v, ok := votes[opt]; ok && v > bestV {
+			best, bestV = opt, v
+		}
+	}
+	return best
+}
+
+func intKeys(m map[int]float64) map[int]int {
+	out := make(map[int]int, len(m))
+	for k := range m {
+		out[k] = 1
+	}
+	return out
+}

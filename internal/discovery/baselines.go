@@ -1,0 +1,158 @@
+package discovery
+
+import (
+	"math"
+	"sort"
+
+	"katara/internal/pattern"
+)
+
+// This file implements the two simple discovery baselines of §7.1:
+//
+//   - Support: ranks candidate types and relationships solely by support —
+//     the number of tuples they cover. It has no discriminativeness notion,
+//     so broad types ("Thing") dominate, which is exactly the weakness the
+//     paper reports.
+//   - MaxLike [Venetis et al.]: per column (pair), picks the candidate
+//     maximising the likelihood of the observed values given the type
+//     (relationship), independently across columns.
+//
+// Both reuse the best-first machinery via shadow candidate lists whose
+// TFIDF field carries the baseline's own score.
+
+// SupportTopK returns the top-k patterns under the Support baseline.
+func SupportTopK(c *Candidates, k int) []*pattern.Pattern {
+	shadow := reScore(c,
+		func(cc *ColumnCandidates, t ScoredType) float64 {
+			return float64(t.Support)
+		},
+		func(pc *PairCandidates, r ScoredRel) float64 {
+			return float64(r.Support)
+		},
+		// The naive baseline breaks support ties toward the *broader*
+		// candidate — it has no discriminativeness heuristic.
+		func(a, b ScoredType) bool {
+			return c.Stats.EntitiesOfType(a.Type) > c.Stats.EntitiesOfType(b.Type)
+		},
+		func(a, b ScoredRel) bool {
+			return c.Stats.NumFacts(a.Prop) > c.Stats.NumFacts(b.Prop)
+		},
+	)
+	return TopKNaive(shadow, k)
+}
+
+// MaxLikeTopK returns the top-k patterns under maximum-likelihood
+// estimation: P(values | T) = Π over covered cells of 1/|ENT(T)|, with a
+// fixed miss penalty for uncovered cells. Choices are independent per list,
+// which is the baseline's documented weakness (§7.1: "still chooses types
+// and relationships independently").
+func MaxLikeTopK(c *Candidates, k int) []*pattern.Pattern {
+	n := float64(len(c.Rows))
+	const missLogP = -20 // log-likelihood of a value not explained by the type
+	shadow := reScore(c,
+		func(cc *ColumnCandidates, t ScoredType) float64 {
+			size := float64(c.Stats.EntitiesOfType(t.Type))
+			if size < 1 {
+				size = 1
+			}
+			ll := float64(t.Support)*(-math.Log(size)) + (n-float64(t.Support))*missLogP
+			return ll
+		},
+		func(pc *PairCandidates, r ScoredRel) float64 {
+			size := float64(c.Stats.NumFacts(r.Prop))
+			if size < 1 {
+				size = 1
+			}
+			return float64(r.Support)*(-math.Log(size)) + (n-float64(r.Support))*missLogP
+		},
+		nil, nil,
+	)
+	// Log-likelihoods are negative; shift each list to non-negative so the
+	// best-first bound arithmetic stays admissible.
+	for i := range shadow.Columns {
+		shiftTypes(shadow.Columns[i].Types)
+	}
+	for i := range shadow.Pairs {
+		shiftRels(shadow.Pairs[i].Rels)
+	}
+	return TopKNaive(shadow, k)
+}
+
+func shiftTypes(ts []ScoredType) {
+	min := math.Inf(1)
+	for _, t := range ts {
+		if t.TFIDF < min {
+			min = t.TFIDF
+		}
+	}
+	for i := range ts {
+		ts[i].TFIDF -= min
+	}
+}
+
+func shiftRels(rs []ScoredRel) {
+	min := math.Inf(1)
+	for _, r := range rs {
+		if r.TFIDF < min {
+			min = r.TFIDF
+		}
+	}
+	for i := range rs {
+		rs[i].TFIDF -= min
+	}
+}
+
+// reScore deep-copies the candidate lists with new scores and re-sorts
+// them. Tie-breakers default to the main heuristics when nil.
+func reScore(c *Candidates,
+	typeScore func(*ColumnCandidates, ScoredType) float64,
+	relScore func(*PairCandidates, ScoredRel) float64,
+	typeTie func(a, b ScoredType) bool,
+	relTie func(a, b ScoredRel) bool,
+) *Candidates {
+	shadow := &Candidates{
+		Table:   c.Table,
+		Rows:    c.Rows,
+		Stats:   c.Stats,
+		Options: c.Options,
+	}
+	for i := range c.Columns {
+		cc := c.Columns[i]
+		nc := ColumnCandidates{Col: cc.Col, CellTypes: cc.CellTypes}
+		nc.Types = append([]ScoredType(nil), cc.Types...)
+		for j := range nc.Types {
+			nc.Types[j].TFIDF = typeScore(&cc, nc.Types[j])
+		}
+		sort.Slice(nc.Types, func(a, b int) bool {
+			ta, tb := nc.Types[a], nc.Types[b]
+			if ta.TFIDF != tb.TFIDF {
+				return ta.TFIDF > tb.TFIDF
+			}
+			if typeTie != nil {
+				return typeTie(ta, tb)
+			}
+			return ta.Type < tb.Type
+		})
+		shadow.Columns = append(shadow.Columns, nc)
+	}
+	for i := range c.Pairs {
+		pc := c.Pairs[i]
+		np := PairCandidates{From: pc.From, To: pc.To, CellRels: pc.CellRels, LiteralObject: pc.LiteralObject}
+		np.Rels = append([]ScoredRel(nil), pc.Rels...)
+		for j := range np.Rels {
+			np.Rels[j].TFIDF = relScore(&pc, np.Rels[j])
+		}
+		sort.Slice(np.Rels, func(a, b int) bool {
+			ra, rb := np.Rels[a], np.Rels[b]
+			if ra.TFIDF != rb.TFIDF {
+				return ra.TFIDF > rb.TFIDF
+			}
+			if relTie != nil {
+				return relTie(ra, rb)
+			}
+			return ra.Prop < rb.Prop
+		})
+		shadow.Pairs = append(shadow.Pairs, np)
+	}
+	return shadow
+}

@@ -1,0 +1,165 @@
+package discovery
+
+import (
+	"testing"
+
+	"katara/internal/kbstats"
+	"katara/internal/rdf"
+	"katara/internal/table"
+)
+
+// wordsA and wordsB are mutually dissimilar value pools (no shared stems),
+// so fuzzy matching behaves like it does on real entity names.
+var wordsA = []string{
+	"apple", "bridge", "candle", "dolphin", "engine", "falcon", "guitar",
+	"harbor", "island", "jacket", "kitten", "lantern", "meadow", "needle",
+	"orange", "pepper", "quartz", "rocket", "summit", "timber",
+}
+
+var wordsB = []string{
+	"anchor", "blossom", "copper", "drummer", "ember", "fountain", "glacier",
+	"hammock", "ivory", "jungle", "kernel", "lagoon", "marble", "nectar",
+	"obsidian", "prairie", "quiver", "raven", "saddle", "thunder",
+}
+
+// wordKB builds a KB with a strong A→B relationship on every row and a
+// single backward noise fact.
+func wordKB(t *testing.T) (*kbstats.Stats, *table.Table) {
+	t.Helper()
+	kb := rdf.New()
+	add := func(s, p, o string) { kb.AddFact(rdf.IRI(s), rdf.IRI(p), rdf.IRI(o)) }
+	lit := func(s, p, o string) { kb.AddFact(rdf.IRI(s), rdf.IRI(p), rdf.Lit(o)) }
+	tbl := table.New("t", "A", "B")
+	for i := range wordsA {
+		a, b := wordsA[i], wordsB[i]
+		add("r:"+a, rdf.IRIType, "ta")
+		lit("r:"+a, rdf.IRILabel, a)
+		add("r:"+b, rdf.IRIType, "tb")
+		lit("r:"+b, rdf.IRILabel, b)
+		add("r:"+a, "strong", "r:"+b)
+		tbl.Append(a, b)
+	}
+	add("r:"+wordsB[0], "weak", "r:"+wordsA[0])
+	return kbstats.New(kb), tbl
+}
+
+func TestConfidenceField(t *testing.T) {
+	stats, tbl := wordKB(t)
+	c := Generate(tbl, stats, Options{})
+	pc := c.PairFor(0, 1)
+	if pc == nil {
+		t.Fatal("no forward pair")
+	}
+	if pc.Rels[0].Confidence < 0.95 {
+		t.Fatalf("strong rel confidence = %f", pc.Rels[0].Confidence)
+	}
+}
+
+func TestMinEdgeConfidenceFiltersPairs(t *testing.T) {
+	stats, tbl := wordKB(t)
+	// The backward pair's only relationship covers 1/20 rows: its best
+	// confidence (~0.05) is below the default 0.15 floor.
+	c := Generate(tbl, stats, Options{MinSupport: 0.01})
+	if rev := c.PairFor(1, 0); rev != nil {
+		t.Fatalf("low-confidence pair survived: %+v", rev.Rels)
+	}
+	// Lowering the floor lets it through.
+	c2 := Generate(tbl, stats, Options{MinSupport: 0.01, MinEdgeConfidence: 0.01})
+	if rev := c2.PairFor(1, 0); rev == nil {
+		t.Fatal("pair missing with floor disabled")
+	}
+}
+
+func TestMinSupportFiltersTypes(t *testing.T) {
+	kb := rdf.New()
+	add := func(s, p, o string) { kb.AddFact(rdf.IRI(s), rdf.IRI(p), rdf.IRI(o)) }
+	lit := func(s, p, o string) { kb.AddFact(rdf.IRI(s), rdf.IRI(p), rdf.Lit(o)) }
+	tbl := table.New("t", "A")
+	for _, v := range wordsA {
+		add("r:"+v, rdf.IRIType, "common")
+		lit("r:"+v, rdf.IRILabel, v)
+		tbl.Append(v)
+	}
+	add("r:"+wordsA[0], rdf.IRIType, "rare")
+	stats := kbstats.New(kb)
+	c := Generate(tbl, stats, Options{MinSupport: 0.2})
+	cc := c.ColumnFor(0)
+	if cc == nil {
+		t.Fatal("no candidates at all")
+	}
+	for _, st := range cc.Types {
+		if kb.LabelOf(st.Type) == "rare" {
+			t.Fatal("rare type should be below the support floor")
+		}
+	}
+	c2 := Generate(tbl, stats, Options{MinSupport: 0.01})
+	found := false
+	for _, st := range c2.ColumnFor(0).Types {
+		if st.Support == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("rare type missing with floor lowered")
+	}
+}
+
+func TestBandSuppressesDistantFuzzyMatches(t *testing.T) {
+	kb := rdf.New()
+	add := func(s, p, o string) { kb.AddFact(rdf.IRI(s), rdf.IRI(p), rdf.IRI(o)) }
+	lit := func(s, p, o string) { kb.AddFact(rdf.IRI(s), rdf.IRI(p), rdf.Lit(o)) }
+	tbl := table.New("t", "A")
+	for _, v := range wordsA {
+		// Exact entity of type "city" plus a homonym "Old <v>" of type
+		// "club" — similar enough to pass the 0.7 threshold, far enough to
+		// fall outside the 0.1 band of the exact match.
+		add("c:"+v, rdf.IRIType, "city")
+		lit("c:"+v, rdf.IRILabel, v)
+		add("f:"+v, rdf.IRIType, "club")
+		lit("f:"+v, rdf.IRILabel, "Old "+v)
+		tbl.Append(v)
+	}
+	stats := kbstats.New(kb)
+	c := Generate(tbl, stats, Options{MinSupport: 0.01})
+	cc := c.ColumnFor(0)
+	if cc == nil {
+		t.Fatal("no candidates")
+	}
+	for _, st := range cc.Types {
+		if kb.LabelOf(st.Type) == "club" {
+			t.Fatal("band should suppress the homonym club type (exact city match exists)")
+		}
+	}
+	// Widening the band admits the homonyms.
+	c2 := Generate(tbl, stats, Options{Band: 0.4, MinSupport: 0.01})
+	cc2 := c2.ColumnFor(0)
+	if cc2 == nil {
+		t.Fatal("no candidates with wide band")
+	}
+	sawClub := false
+	for _, st := range cc2.Types {
+		if kb.LabelOf(st.Type) == "club" {
+			sawClub = true
+		}
+	}
+	if !sawClub {
+		t.Fatal("wide band should admit fuzzy homonyms")
+	}
+}
+
+func TestMatchExponentDampsFuzzyWeight(t *testing.T) {
+	stats, tbl := wordKB(t)
+	// With a typo'd table the weights drop but candidates survive.
+	dirty := tbl.Clone()
+	for i := range dirty.Rows {
+		dirty.Rows[i][0] += "x" // one-char typo on every A cell
+	}
+	c := Generate(dirty, stats, Options{})
+	pc := c.PairFor(0, 1)
+	if pc == nil {
+		t.Fatal("typos should not kill the relationship")
+	}
+	if pc.Rels[0].Confidence >= 0.9 {
+		t.Fatalf("fuzzy-only confidence should be damped, got %f", pc.Rels[0].Confidence)
+	}
+}

@@ -1,0 +1,109 @@
+package discovery
+
+import (
+	"testing"
+
+	"katara/internal/kbstats"
+	"katara/internal/table"
+)
+
+// assertCandidatesEqual compares the ranked lists of two candidate sets.
+func assertCandidatesEqual(t *testing.T, a, b *Candidates) {
+	t.Helper()
+	if len(a.Columns) != len(b.Columns) {
+		t.Fatalf("column counts differ: %d vs %d", len(a.Columns), len(b.Columns))
+	}
+	for i := range a.Columns {
+		ca, cb := a.Columns[i], b.Columns[i]
+		if ca.Col != cb.Col || len(ca.Types) != len(cb.Types) {
+			t.Fatalf("column %d lists differ: %d vs %d types", ca.Col, len(ca.Types), len(cb.Types))
+		}
+		for j := range ca.Types {
+			ta, tb := ca.Types[j], cb.Types[j]
+			if ta.Type != tb.Type || ta.Support != tb.Support {
+				t.Fatalf("col %d rank %d: %+v vs %+v", ca.Col, j, ta, tb)
+			}
+			if diff := ta.TFIDF - tb.TFIDF; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("col %d rank %d tfidf: %f vs %f", ca.Col, j, ta.TFIDF, tb.TFIDF)
+			}
+		}
+	}
+	if len(a.Pairs) != len(b.Pairs) {
+		t.Fatalf("pair counts differ: %d vs %d", len(a.Pairs), len(b.Pairs))
+	}
+	for i := range a.Pairs {
+		pa, pb := a.Pairs[i], b.Pairs[i]
+		if pa.From != pb.From || pa.To != pb.To || len(pa.Rels) != len(pb.Rels) {
+			t.Fatalf("pair %d differs: (%d,%d)x%d vs (%d,%d)x%d",
+				i, pa.From, pa.To, len(pa.Rels), pb.From, pb.To, len(pb.Rels))
+		}
+		for j := range pa.Rels {
+			ra, rb := pa.Rels[j], pb.Rels[j]
+			if ra.Prop != rb.Prop || ra.Support != rb.Support {
+				t.Fatalf("pair %d rank %d: %+v vs %+v", i, j, ra, rb)
+			}
+			if diff := ra.Confidence - rb.Confidence; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("pair %d rank %d confidence: %f vs %f", i, j, ra.Confidence, rb.Confidence)
+			}
+		}
+	}
+}
+
+func TestGenerateParallelMatchesSequential(t *testing.T) {
+	kb := testKB()
+	stats := kbstats.New(kb)
+	tbl := countryCapitalTable()
+	// Grow the table so it actually shards.
+	for i := 0; i < 3; i++ {
+		rows := append([][]string(nil), tbl.Rows...)
+		for _, r := range rows {
+			tbl.Rows = append(tbl.Rows, r)
+		}
+	}
+	seq := Generate(tbl, stats, Options{})
+	for _, workers := range []int{2, 3, 4, 8} {
+		par := GenerateParallel(tbl, kbstats.New(kb), Options{}, workers)
+		assertCandidatesEqual(t, seq, par)
+	}
+}
+
+func TestGenerateParallelSmallTableFallsBack(t *testing.T) {
+	kb := testKB()
+	stats := kbstats.New(kb)
+	tbl := countryCapitalTable() // 5 rows: below the sharding threshold
+	par := GenerateParallel(tbl, stats, Options{}, 8)
+	seq := Generate(tbl, kbstats.New(kb), Options{})
+	assertCandidatesEqual(t, seq, par)
+}
+
+func TestGenerateParallelTopKAgrees(t *testing.T) {
+	kb := testKB()
+	tbl := countryCapitalTable()
+	for i := 0; i < 4; i++ {
+		rows := append([][]string(nil), tbl.Rows...)
+		for _, r := range rows {
+			tbl.Rows = append(tbl.Rows, r)
+		}
+	}
+	seq := TopK(Generate(tbl, kbstats.New(kb), Options{}), 3)
+	par := TopK(GenerateParallel(tbl, kbstats.New(kb), Options{}, 4), 3)
+	if len(seq) != len(par) {
+		t.Fatalf("pattern counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].Key() != par[i].Key() {
+			t.Fatalf("rank %d: %s vs %s", i, seq[i].Key(), par[i].Key())
+		}
+	}
+}
+
+func TestGenerateParallelWithSampling(t *testing.T) {
+	kb := testKB()
+	tbl := table.New("bc", "B", "C")
+	for i := 0; i < 40; i++ {
+		tbl.Append(countryCapitalTable().Rows[i%5][0], countryCapitalTable().Rows[i%5][1])
+	}
+	seq := Generate(tbl, kbstats.New(kb), Options{MaxRows: 16})
+	par := GenerateParallel(tbl, kbstats.New(kb), Options{MaxRows: 16}, 4)
+	assertCandidatesEqual(t, seq, par)
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"katara/internal/discovery"
+	"katara/internal/metrics"
+)
+
+// AblationRow compares the full §4.2 scoring model against naiveScore (the
+// tf-idf-only variant the paper introduces and rejects) on one dataset × KB.
+type AblationRow struct {
+	Dataset, KB string
+	Full, Naive metrics.PR
+}
+
+// AblationCoherence quantifies what the semantic-coherence term buys: the
+// top-1 pattern under score(φ) vs naiveScore(φ), both over identical
+// candidates. This is the executable form of Example 5's argument.
+func AblationCoherence(e *Env) []AblationRow {
+	var out []AblationRow
+	for _, kb := range e.KBs {
+		for _, ds := range e.Datasets {
+			row := AblationRow{Dataset: ds.Name, KB: kb.Name}
+			var fp, fr, np, nr float64
+			n := 0
+			for _, spec := range ds.Specs {
+				c := e.candidates(spec, kb)
+				truth := spec.TruthPattern(kb)
+				if full := discovery.TopK(c, 1); len(full) > 0 {
+					pr := metrics.PatternPR(kb.Store, full[0], truth)
+					fp += pr.Precision
+					fr += pr.Recall
+				}
+				if naive := discovery.TopKNaive(c, 1); len(naive) > 0 {
+					pr := metrics.PatternPR(kb.Store, naive[0], truth)
+					np += pr.Precision
+					nr += pr.Recall
+				}
+				n++
+			}
+			if n > 0 {
+				row.Full = metrics.PR{Precision: fp / float64(n), Recall: fr / float64(n)}
+				row.Naive = metrics.PR{Precision: np / float64(n), Recall: nr / float64(n)}
+			}
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// RenderAblation prints the comparison.
+func RenderAblation(rows []AblationRow) string {
+	g := &grid{header: []string{"dataset", "KB", "score(φ) P", "R", "naiveScore P", "R", "ΔF"}}
+	for _, r := range rows {
+		g.add(r.Dataset, r.KB,
+			f2(r.Full.Precision), f2(r.Full.Recall),
+			f2(r.Naive.Precision), f2(r.Naive.Recall),
+			f2(r.Full.F()-r.Naive.F()))
+	}
+	return "Ablation: coherence term of score(φ) vs naiveScore (§4.2)\n" + g.String()
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ASCII rendering for the figure experiments: each curve becomes a row of
+// eighth-block bars, so `kexp` output shows the *shape* of a figure, not
+// just its numbers.
+
+var barRunes = []rune(" ▁▂▃▄▅▆▇█")
+
+// sparkline renders values in [0,1] as a block-character strip.
+func sparkline(values []float64) string {
+	var b strings.Builder
+	for _, v := range values {
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		idx := int(v*float64(len(barRunes)-1) + 0.5)
+		b.WriteRune(barRunes[idx])
+	}
+	return b.String()
+}
+
+// ChartTopKF renders Figure 6/11 series as sparklines.
+func ChartTopKF(title string, series []TopKFSeries) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — best F of top-k, k=1..%d\n", title, seriesLen(series))
+	for _, s := range series {
+		fmt.Fprintf(&b, "  %-18s %-8s %-9s |%s| %.2f→%.2f\n",
+			s.Dataset, s.KB, s.Algorithm, sparkline(s.F), first(s.F), last(s.F))
+	}
+	return b.String()
+}
+
+// ChartValidation renders Figure 7/12 series as sparklines (precision row
+// and recall row per curve).
+func ChartValidation(title string, series []ValidationSeries) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — validated-pattern quality, q=1..%d\n", title, vseriesLen(series))
+	for _, s := range series {
+		fmt.Fprintf(&b, "  %-18s %-8s P |%s| %.2f→%.2f\n",
+			s.Dataset, s.KB, sparkline(s.P), first(s.P), last(s.P))
+		fmt.Fprintf(&b, "  %-18s %-8s R |%s| %.2f→%.2f\n",
+			s.Dataset, s.KB, sparkline(s.R), first(s.R), last(s.R))
+	}
+	return b.String()
+}
+
+// ChartRepairK renders Figure 8 series as sparklines.
+func ChartRepairK(series []RepairKSeries) string {
+	var b strings.Builder
+	b.WriteString("Figure 8 — repair F vs k\n")
+	for _, s := range series {
+		if s.NA {
+			fmt.Fprintf(&b, "  %-12s %-8s |%s| N.A.\n", s.Table, s.KB,
+				strings.Repeat("·", 5))
+			continue
+		}
+		fmt.Fprintf(&b, "  %-12s %-8s |%s| %.2f→%.2f\n",
+			s.Table, s.KB, sparkline(s.F), first(s.F), last(s.F))
+	}
+	return b.String()
+}
+
+func seriesLen(s []TopKFSeries) int {
+	if len(s) == 0 {
+		return 0
+	}
+	return len(s[0].K)
+}
+
+func vseriesLen(s []ValidationSeries) int {
+	if len(s) == 0 {
+		return 0
+	}
+	return len(s[0].Q)
+}
+
+func first(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	return v[0]
+}
+
+func last(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	return v[len(v)-1]
+}
+
+// CSVTopKF exports figure series as CSV for external plotting.
+func CSVTopKF(series []TopKFSeries) string {
+	var b strings.Builder
+	b.WriteString("dataset,kb,algorithm,k,f\n")
+	for _, s := range series {
+		for i, k := range s.K {
+			fmt.Fprintf(&b, "%s,%s,%s,%d,%.4f\n", s.Dataset, s.KB, s.Algorithm, k, s.F[i])
+		}
+	}
+	return b.String()
+}
+
+// CSVValidation exports validation series as CSV.
+func CSVValidation(series []ValidationSeries) string {
+	var b strings.Builder
+	b.WriteString("dataset,kb,q,precision,recall\n")
+	for _, s := range series {
+		for i, q := range s.Q {
+			fmt.Fprintf(&b, "%s,%s,%d,%.4f,%.4f\n", s.Dataset, s.KB, q, s.P[i], s.R[i])
+		}
+	}
+	return b.String()
+}
+
+// CSVRepairK exports Figure 8 series as CSV.
+func CSVRepairK(series []RepairKSeries) string {
+	var b strings.Builder
+	b.WriteString("table,kb,k,f\n")
+	for _, s := range series {
+		if s.NA {
+			continue
+		}
+		for i, k := range s.K {
+			fmt.Fprintf(&b, "%s,%s,%d,%.4f\n", s.Table, s.KB, k, s.F[i])
+		}
+	}
+	return b.String()
+}

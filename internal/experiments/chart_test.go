@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSparkline(t *testing.T) {
+	s := sparkline([]float64{0, 0.5, 1})
+	runes := []rune(s)
+	if len(runes) != 3 {
+		t.Fatalf("len = %d", len(runes))
+	}
+	if runes[0] != ' ' || runes[2] != '█' {
+		t.Fatalf("sparkline = %q", s)
+	}
+	// Out-of-range values are clamped, never panic.
+	_ = sparkline([]float64{-1, 2})
+}
+
+func TestChartRenderers(t *testing.T) {
+	topk := []TopKFSeries{{
+		Dataset: "WebTables", KB: "Yago", Algorithm: "RankJoin",
+		K: []int{1, 2, 3}, F: []float64{0.8, 0.9, 0.95},
+	}}
+	out := ChartTopKF("Figure 6", topk)
+	if !strings.Contains(out, "RankJoin") || !strings.Contains(out, "0.80→0.95") {
+		t.Fatalf("chart = %q", out)
+	}
+	val := []ValidationSeries{{
+		Dataset: "WebTables", KB: "Yago",
+		Q: []int{1, 2}, P: []float64{0.7, 0.9}, R: []float64{0.6, 0.8},
+	}}
+	vout := ChartValidation("Figure 7", val)
+	if !strings.Contains(vout, " P |") || !strings.Contains(vout, " R |") {
+		t.Fatalf("validation chart = %q", vout)
+	}
+	rep := []RepairKSeries{
+		{Table: "Person", KB: "Yago", K: []int{1, 2}, F: []float64{0.5, 0.5}},
+		{Table: "Soccer", KB: "Yago", NA: true},
+	}
+	rout := ChartRepairK(rep)
+	if !strings.Contains(rout, "N.A.") || !strings.Contains(rout, "Person") {
+		t.Fatalf("repair chart = %q", rout)
+	}
+}
+
+func TestCSVExports(t *testing.T) {
+	topk := []TopKFSeries{{
+		Dataset: "WebTables", KB: "Yago", Algorithm: "RankJoin",
+		K: []int{1, 2}, F: []float64{0.8, 0.9},
+	}}
+	out := CSVTopKF(topk)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 || lines[0] != "dataset,kb,algorithm,k,f" {
+		t.Fatalf("csv = %q", out)
+	}
+	if lines[1] != "WebTables,Yago,RankJoin,1,0.8000" {
+		t.Fatalf("row = %q", lines[1])
+	}
+	val := CSVValidation([]ValidationSeries{{
+		Dataset: "W", KB: "Y", Q: []int{1}, P: []float64{0.5}, R: []float64{0.25},
+	}})
+	if !strings.Contains(val, "W,Y,1,0.5000,0.2500") {
+		t.Fatalf("validation csv = %q", val)
+	}
+	rep := CSVRepairK([]RepairKSeries{
+		{Table: "Person", KB: "Yago", K: []int{1}, F: []float64{0.4}},
+		{Table: "Soccer", KB: "Yago", NA: true},
+	})
+	if strings.Contains(rep, "Soccer") || !strings.Contains(rep, "Person,Yago,1,0.4000") {
+		t.Fatalf("repair csv = %q", rep)
+	}
+}
+
+func TestFirstLastHelpers(t *testing.T) {
+	if first(nil) != 0 || last(nil) != 0 {
+		t.Fatal("empty helpers broken")
+	}
+	if first([]float64{1, 2}) != 1 || last([]float64{1, 2}) != 2 {
+		t.Fatal("helpers broken")
+	}
+}

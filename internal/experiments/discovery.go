@@ -1,0 +1,336 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"katara/internal/discovery"
+	"katara/internal/metrics"
+	"katara/internal/rdf"
+	"katara/internal/workload"
+)
+
+// --- Table 1: dataset and KB characteristics ---
+
+// Table1Row counts annotatable columns and column pairs for one dataset
+// under one KB.
+type Table1Row struct {
+	Dataset, KB            string
+	NumTypes, NumRelations int
+}
+
+// Table1 reproduces "Table 1: Datasets and KBs characteristics".
+func Table1(e *Env) []Table1Row {
+	var out []Table1Row
+	for _, kb := range e.KBs {
+		for _, ds := range e.Datasets {
+			row := Table1Row{Dataset: ds.Name, KB: kb.Name}
+			for _, spec := range ds.Specs {
+				tp := spec.TruthPattern(kb)
+				for _, n := range tp.Nodes {
+					if n.Type != rdf.NoID {
+						row.NumTypes++
+					}
+				}
+				row.NumRelations += len(tp.Edges)
+			}
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// RenderTable1 prints the rows paper-style.
+func RenderTable1(rows []Table1Row) string {
+	g := &grid{header: []string{"dataset", "KB", "#-type", "#-relationship"}}
+	for _, r := range rows {
+		g.add(r.Dataset, r.KB, fmt.Sprint(r.NumTypes), fmt.Sprint(r.NumRelations))
+	}
+	return "Table 1: Datasets and KBs characteristics\n" + g.String()
+}
+
+// --- Table 2: pattern discovery precision/recall ---
+
+// Table2Cell is the macro-averaged P/R of one algorithm on one dataset
+// under one KB.
+type Table2Cell struct {
+	Dataset, KB, Algorithm string
+	PR                     metrics.PR
+	Skipped                int // tables the algorithm could not process (PGM guard)
+}
+
+// Table2 reproduces "Table 2: Pattern discovery precision and recall":
+// the top-1 pattern of each algorithm scored against the KB-specific ground
+// truth with hierarchy partial credit.
+func Table2(e *Env) []Table2Cell {
+	var out []Table2Cell
+	for _, kb := range e.KBs {
+		for _, ds := range e.Datasets {
+			cands := make([]*discoveryCands, len(ds.Specs))
+			for i, spec := range ds.Specs {
+				cands[i] = &discoveryCands{spec: spec, c: e.candidates(spec, kb)}
+			}
+			for _, algo := range algorithms() {
+				cell := Table2Cell{Dataset: ds.Name, KB: kb.Name, Algorithm: algo.Name}
+				var sumP, sumR float64
+				n := 0
+				for _, dc := range cands {
+					ps := algo.Run(e, dc.c, 1)
+					if ps == nil {
+						cell.Skipped++
+						continue
+					}
+					truth := dc.spec.TruthPattern(kb)
+					pr := metrics.PatternPR(kb.Store, ps[0], truth)
+					sumP += pr.Precision
+					sumR += pr.Recall
+					n++
+				}
+				if n > 0 {
+					cell.PR = metrics.PR{Precision: sumP / float64(n), Recall: sumR / float64(n)}
+				}
+				out = append(out, cell)
+			}
+		}
+	}
+	return out
+}
+
+type discoveryCands struct {
+	spec *workload.TableSpec
+	c    *discovery.Candidates
+}
+
+// RenderTable2 prints the P/R matrix paper-style, one block per KB.
+func RenderTable2(cells []Table2Cell) string {
+	byKB := map[string]map[string]map[string]Table2Cell{}
+	var kbs, datasets, algos []string
+	seenKB, seenDS, seenAlgo := map[string]bool{}, map[string]bool{}, map[string]bool{}
+	for _, c := range cells {
+		if byKB[c.KB] == nil {
+			byKB[c.KB] = map[string]map[string]Table2Cell{}
+		}
+		if byKB[c.KB][c.Dataset] == nil {
+			byKB[c.KB][c.Dataset] = map[string]Table2Cell{}
+		}
+		byKB[c.KB][c.Dataset][c.Algorithm] = c
+		if !seenKB[c.KB] {
+			seenKB[c.KB] = true
+			kbs = append(kbs, c.KB)
+		}
+		if !seenDS[c.Dataset] {
+			seenDS[c.Dataset] = true
+			datasets = append(datasets, c.Dataset)
+		}
+		if !seenAlgo[c.Algorithm] {
+			seenAlgo[c.Algorithm] = true
+			algos = append(algos, c.Algorithm)
+		}
+	}
+	out := "Table 2: Pattern discovery precision and recall\n"
+	for _, kb := range kbs {
+		header := []string{"dataset"}
+		for _, a := range algos {
+			header = append(header, a+" P", a+" R")
+		}
+		g := &grid{header: header}
+		for _, ds := range datasets {
+			row := []string{ds}
+			for _, a := range algos {
+				c := byKB[kb][ds][a]
+				row = append(row, f2(c.PR.Precision), f2(c.PR.Recall))
+			}
+			g.add(row...)
+		}
+		out += kb + "\n" + g.String()
+	}
+	return out
+}
+
+// --- Table 3: pattern discovery efficiency ---
+
+// Table3Cell is the wall-clock of one algorithm on one dataset under one
+// KB. NA marks runs the algorithm refused (PGM at Person scale).
+type Table3Cell struct {
+	Dataset, KB, Algorithm string
+	Elapsed                time.Duration
+	NA                     bool
+}
+
+// Table3 reproduces "Table 3: Pattern discovery efficiency". The Person
+// table is reported separately from the rest of RelationalTables, as in the
+// paper.
+func Table3(e *Env) []Table3Cell {
+	var out []Table3Cell
+	for _, kb := range e.KBs {
+		for _, ds := range e.Datasets {
+			groups := map[string][]*workload.TableSpec{}
+			order := []string{}
+			for _, spec := range ds.Specs {
+				name := ds.Name
+				if ds.Name == "RelationalTables" {
+					if spec.Table.Name == "Person" {
+						name = "Person"
+					} else {
+						name = "RelationalTables/Person"
+					}
+				}
+				if _, ok := groups[name]; !ok {
+					order = append(order, name)
+				}
+				groups[name] = append(groups[name], spec)
+			}
+			for _, gname := range order {
+				for _, algo := range algorithms() {
+					cell := Table3Cell{Dataset: gname, KB: kb.Name, Algorithm: algo.Name}
+					start := time.Now()
+					na := false
+					for _, spec := range groups[gname] {
+						c := e.candidates(spec, kb)
+						if ps := algo.Run(e, c, 1); ps == nil && algo.Name == "PGM" {
+							na = true
+						}
+					}
+					cell.Elapsed = time.Since(start)
+					cell.NA = na
+					out = append(out, cell)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RenderTable3 prints per-KB timing blocks.
+func RenderTable3(cells []Table3Cell) string {
+	out := "Table 3: Pattern discovery efficiency\n"
+	byKB := map[string]map[string]map[string]Table3Cell{}
+	var kbs, groups, algos []string
+	seenKB, seenG, seenA := map[string]bool{}, map[string]bool{}, map[string]bool{}
+	for _, c := range cells {
+		if byKB[c.KB] == nil {
+			byKB[c.KB] = map[string]map[string]Table3Cell{}
+		}
+		if byKB[c.KB][c.Dataset] == nil {
+			byKB[c.KB][c.Dataset] = map[string]Table3Cell{}
+		}
+		byKB[c.KB][c.Dataset][c.Algorithm] = c
+		if !seenKB[c.KB] {
+			seenKB[c.KB] = true
+			kbs = append(kbs, c.KB)
+		}
+		if !seenG[c.Dataset] {
+			seenG[c.Dataset] = true
+			groups = append(groups, c.Dataset)
+		}
+		if !seenA[c.Algorithm] {
+			seenA[c.Algorithm] = true
+			algos = append(algos, c.Algorithm)
+		}
+	}
+	for _, kb := range kbs {
+		g := &grid{header: append([]string{"dataset"}, algos...)}
+		for _, gr := range groups {
+			row := []string{gr}
+			for _, a := range algos {
+				c := byKB[kb][gr][a]
+				if c.NA {
+					row = append(row, "N.A.")
+				} else {
+					row = append(row, c.Elapsed.Round(time.Millisecond).String())
+				}
+			}
+			g.add(row...)
+		}
+		out += kb + "\n" + g.String()
+	}
+	return out
+}
+
+// --- Figures 6 and 11: top-k F-measure ---
+
+// TopKFSeries is one (dataset, KB, algorithm) curve of best-F vs k.
+type TopKFSeries struct {
+	Dataset, KB, Algorithm string
+	K                      []int
+	F                      []float64
+}
+
+// Figure6 reproduces "Figure 6: Top-k F-measure (WebTables)".
+func Figure6(e *Env, maxK int) []TopKFSeries {
+	return topKF(e, "WebTables", maxK)
+}
+
+// Figure11 reproduces the appendix-B curves for WikiTables and
+// RelationalTables.
+func Figure11(e *Env, maxK int) []TopKFSeries {
+	return append(topKF(e, "WikiTables", maxK), topKF(e, "RelationalTables", maxK)...)
+}
+
+func topKF(e *Env, dataset string, maxK int) []TopKFSeries {
+	if maxK <= 0 {
+		maxK = 10
+	}
+	ds := e.Dataset(dataset)
+	var out []TopKFSeries
+	for _, kb := range e.KBs {
+		cands := make([]*discoveryCands, len(ds.Specs))
+		for i, spec := range ds.Specs {
+			cands[i] = &discoveryCands{spec: spec, c: e.candidates(spec, kb)}
+		}
+		for _, algo := range algorithms() {
+			s := TopKFSeries{Dataset: dataset, KB: kb.Name, Algorithm: algo.Name}
+			// Top-k prefixes nest (the ranking is deterministic), so one
+			// maxK run per table yields every k's best-F.
+			sums := make([]float64, maxK)
+			counts := make([]int, maxK)
+			for _, dc := range cands {
+				ps := algo.Run(e, dc.c, maxK)
+				if ps == nil {
+					continue
+				}
+				truth := dc.spec.TruthPattern(kb)
+				bestSoFar := 0.0
+				for k := 1; k <= maxK; k++ {
+					if k <= len(ps) {
+						if f := metrics.PatternPR(kb.Store, ps[k-1], truth).F(); f > bestSoFar {
+							bestSoFar = f
+						}
+					}
+					sums[k-1] += bestSoFar
+					counts[k-1]++
+				}
+			}
+			for k := 1; k <= maxK; k++ {
+				s.K = append(s.K, k)
+				if counts[k-1] > 0 {
+					s.F = append(s.F, sums[k-1]/float64(counts[k-1]))
+				} else {
+					s.F = append(s.F, 0)
+				}
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// RenderTopKF prints curves as rows of F values.
+func RenderTopKF(title string, series []TopKFSeries) string {
+	if len(series) == 0 {
+		return title + ": no data\n"
+	}
+	header := []string{"dataset", "KB", "algorithm"}
+	for _, k := range series[0].K {
+		header = append(header, fmt.Sprintf("k=%d", k))
+	}
+	g := &grid{header: header}
+	for _, s := range series {
+		row := []string{s.Dataset, s.KB, s.Algorithm}
+		for _, f := range s.F {
+			row = append(row, f2(f))
+		}
+		g.add(row...)
+	}
+	return title + "\n" + g.String()
+}

@@ -1,0 +1,206 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§7 and appendices B–D): Tables 1–7 and Figures 6, 7, 8, 11,
+// 12. Each runner returns a structured result plus a Render() string whose
+// rows mirror the paper's presentation. Absolute numbers come from the
+// synthetic workload; the *shapes* (who wins, convergence points,
+// N.A. cells) are the reproduction targets — see EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"katara/internal/crowd"
+	"katara/internal/discovery"
+	"katara/internal/kbstats"
+	"katara/internal/pattern"
+	"katara/internal/validation"
+	"katara/internal/workload"
+	"katara/internal/world"
+)
+
+// Config scales and seeds an experimental environment.
+type Config struct {
+	Seed int64
+	// World sizes the synthetic ground truth (zero values = package
+	// defaults).
+	World world.Config
+	// Scale multiplies the RelationalTables row counts (default 0.2 — fast
+	// single-machine runs; 1.0 for the full-size tables).
+	Scale float64
+	// K is the top-k pattern budget for discovery (default 10).
+	K int
+	// MaxCandidates caps ranked candidate lists (default 8).
+	MaxCandidates int
+	// MaxRows caps the rows sampled during candidate generation for large
+	// tables (default 150; the paper distributed Person over 30 machines).
+	MaxRows int
+	// CrowdWorkers and CrowdAccuracy configure the simulated expert crowd
+	// (defaults 10 workers at 0.93 — the paper's student experts with
+	// occasional slips; 3-way majority brings per-question error to ~1.4%).
+	CrowdWorkers  int
+	CrowdAccuracy float64
+	// PGMMaxCells aborts PGM beyond this many cell variables (counted over
+	// the full table), reproducing Table 3's "N.A." on Person (default
+	// 3000: Person exceeds it at every scale, the other tables do not).
+	PGMMaxCells int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 2015 // SIGMOD'15
+	}
+	if c.Scale == 0 {
+		c.Scale = 0.2
+	}
+	if c.K == 0 {
+		c.K = 10
+	}
+	if c.MaxCandidates == 0 {
+		c.MaxCandidates = 8
+	}
+	if c.MaxRows == 0 {
+		c.MaxRows = 150
+	}
+	if c.CrowdWorkers == 0 {
+		c.CrowdWorkers = 10
+	}
+	if c.CrowdAccuracy == 0 {
+		c.CrowdAccuracy = 0.95
+	}
+	if c.PGMMaxCells == 0 {
+		c.PGMMaxCells = 3000
+	}
+	return c
+}
+
+// Env is a fully built experimental environment: the world, both KBs with
+// their statistics, and the three datasets.
+type Env struct {
+	Cfg      Config
+	World    *world.World
+	KBs      []*workload.KB // [Yago, DBpedia]
+	Stats    map[string]*kbstats.Stats
+	Datasets []*workload.Dataset // [WikiTables, WebTables, RelationalTables]
+}
+
+// NewEnv builds the environment for cfg.
+func NewEnv(cfg Config) *Env {
+	cfg = cfg.withDefaults()
+	w := world.New(cfg.Seed, cfg.World)
+	yago := workload.YagoLike(w, cfg.Seed+101)
+	dbp := workload.DBpediaLike(w, cfg.Seed+102)
+	env := &Env{
+		Cfg:   cfg,
+		World: w,
+		KBs:   []*workload.KB{yago, dbp},
+		Stats: map[string]*kbstats.Stats{
+			yago.Name: kbstats.New(yago.Store),
+			dbp.Name:  kbstats.New(dbp.Store),
+		},
+		Datasets: []*workload.Dataset{
+			workload.WikiTables(w, cfg.Seed+201),
+			workload.WebTables(w, cfg.Seed+202),
+			workload.RelationalTables(w, cfg.Seed+203, cfg.Scale),
+		},
+	}
+	return env
+}
+
+// Dataset returns the dataset by name.
+func (e *Env) Dataset(name string) *workload.Dataset {
+	for _, d := range e.Datasets {
+		if d.Name == name {
+			return d
+		}
+	}
+	return nil
+}
+
+// candidates runs candidate generation for one spec against one KB.
+func (e *Env) candidates(spec *workload.TableSpec, kb *workload.KB) *discovery.Candidates {
+	return discovery.Generate(spec.Table, e.Stats[kb.Name], discovery.Options{
+		MaxCandidates: e.Cfg.MaxCandidates,
+		MaxRows:       e.Cfg.MaxRows,
+	})
+}
+
+// newCrowd builds a fresh seeded crowd (one per experiment run, so runs are
+// independent and reproducible).
+func (e *Env) newCrowd(salt int64) *crowd.Crowd {
+	return crowd.New(e.Cfg.CrowdWorkers, e.Cfg.CrowdAccuracy, e.Cfg.Seed+salt)
+}
+
+// newValidator builds a validator for one spec/KB pair.
+func (e *Env) newValidator(spec *workload.TableSpec, kb *workload.KB, c *crowd.Crowd, salt int64) *validation.Validator {
+	return &validation.Validator{
+		KB:     kb.Store,
+		Table:  spec.Table,
+		Crowd:  c,
+		Oracle: workload.SpecOracle{Spec: spec, KB: kb},
+		Rng:    rand.New(rand.NewSource(e.Cfg.Seed + salt)),
+	}
+}
+
+// discoveryAlgorithms enumerates the §7.1 competitors in paper order.
+type discoveryAlgo struct {
+	Name string
+	Run  func(e *Env, c *discovery.Candidates, k int) []*pattern.Pattern
+}
+
+func algorithms() []discoveryAlgo {
+	return []discoveryAlgo{
+		{"Support", func(e *Env, c *discovery.Candidates, k int) []*pattern.Pattern {
+			return discovery.SupportTopK(c, k)
+		}},
+		{"MaxLike", func(e *Env, c *discovery.Candidates, k int) []*pattern.Pattern {
+			return discovery.MaxLikeTopK(c, k)
+		}},
+		{"PGM", func(e *Env, c *discovery.Candidates, k int) []*pattern.Pattern {
+			return discovery.PGMTopK(c, k, discovery.PGMOptions{MaxCells: e.Cfg.PGMMaxCells})
+		}},
+		{"RankJoin", func(e *Env, c *discovery.Candidates, k int) []*pattern.Pattern {
+			return discovery.TopK(c, k)
+		}},
+	}
+}
+
+// grid renders a simple fixed-width table.
+type grid struct {
+	header []string
+	rows   [][]string
+}
+
+func (g *grid) add(cells ...string) { g.rows = append(g.rows, cells) }
+
+func (g *grid) String() string {
+	widths := make([]int, len(g.header))
+	for i, h := range g.header {
+		widths[i] = len(h)
+	}
+	for _, r := range g.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(g.header)
+	for _, r := range g.rows {
+		line(r)
+	}
+	return b.String()
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"katara/internal/metrics"
+)
+
+// Render functions are exercised against hand-built rows, so their layout
+// paths (N.A. cells, per-KB blocks) are covered without re-running the
+// expensive experiments.
+
+func TestRenderTable3NA(t *testing.T) {
+	cells := []Table3Cell{
+		{Dataset: "Person", KB: "Yago", Algorithm: "PGM", NA: true},
+		{Dataset: "Person", KB: "Yago", Algorithm: "RankJoin", Elapsed: 90 * time.Millisecond},
+	}
+	out := RenderTable3(cells)
+	if !strings.Contains(out, "N.A.") {
+		t.Fatalf("missing N.A. cell:\n%s", out)
+	}
+	if !strings.Contains(out, "90ms") {
+		t.Fatalf("missing elapsed cell:\n%s", out)
+	}
+}
+
+func TestRenderTable6NA(t *testing.T) {
+	rows := []Table6Row{{
+		Table:        "Soccer",
+		KataraYagoNA: true,
+		KataraDBp:    metrics.PR{Precision: 0.9, Recall: 0.3},
+		EQ:           metrics.PR{Precision: 0.6, Recall: 0.2},
+	}}
+	out := RenderTable6(rows)
+	if !strings.Contains(out, "N.A.") || !strings.Contains(out, "0.90") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestRenderFigure8NA(t *testing.T) {
+	out := RenderFigure8([]RepairKSeries{
+		{Table: "Soccer", KB: "Yago", NA: true},
+		{Table: "Person", KB: "Yago", K: []int{1, 2}, F: []float64{0.4, 0.5}},
+	})
+	if strings.Count(out, "N.A.") != 2 {
+		t.Fatalf("NA row should fill every k column:\n%s", out)
+	}
+}
+
+func TestRenderTable7(t *testing.T) {
+	out := RenderTable7([]Table7Row{{
+		Dataset:    "WikiTables",
+		KataraYago: metrics.PR{Precision: 1, Recall: 0.11},
+		KataraDBp:  metrics.PR{Precision: 1, Recall: 0.30},
+	}})
+	if !strings.Contains(out, "0.11") || !strings.Contains(out, "N.A.") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestRenderEmptySeries(t *testing.T) {
+	if out := RenderTopKF("Figure 6", nil); !strings.Contains(out, "no data") {
+		t.Fatalf("empty top-k render: %q", out)
+	}
+	if out := RenderValidation("Figure 7", nil); !strings.Contains(out, "no data") {
+		t.Fatalf("empty validation render: %q", out)
+	}
+}
+
+func TestGridAlignment(t *testing.T) {
+	g := &grid{header: []string{"a", "bbbb"}}
+	g.add("xxxxx", "y")
+	out := g.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// Columns are padded to the widest cell.
+	if !strings.HasPrefix(lines[0], "a    ") || !strings.HasPrefix(lines[1], "xxxxx") {
+		t.Fatalf("alignment broken:\n%s", out)
+	}
+}

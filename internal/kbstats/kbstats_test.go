@@ -1,0 +1,228 @@
+package kbstats
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"katara/internal/rdf"
+)
+
+// exampleKB reproduces the setting of Example 5/6: countries have capitals;
+// economies and states are broader/narrower types that overlap countries;
+// capitals are a subclass of cities. Coherence must prefer
+// (country, hasCapital) over (economy, hasCapital) and (capital, ·) over
+// (city, ·) as objects.
+func exampleKB() *rdf.Store {
+	s := rdf.New()
+	add := func(sub, pred, obj string) { s.AddFact(rdf.IRI(sub), rdf.IRI(pred), rdf.IRI(obj)) }
+	lit := func(sub, pred, obj string) { s.AddFact(rdf.IRI(sub), rdf.IRI(pred), rdf.Lit(obj)) }
+	add("capital", rdf.IRISubClassOf, "city")
+
+	// 10 countries, each a capital fact; countries are also economies.
+	for i := 0; i < 10; i++ {
+		c := fmt.Sprintf("country%d", i)
+		cap := fmt.Sprintf("capital%d", i)
+		add(c, rdf.IRIType, "country")
+		add(c, rdf.IRIType, "economy")
+		lit(c, rdf.IRILabel, c)
+		add(cap, rdf.IRIType, "capital")
+		lit(cap, rdf.IRILabel, cap)
+		add(c, "hasCapital", cap)
+	}
+	// 30 extra economies without capitals (companies etc.).
+	for i := 0; i < 30; i++ {
+		e := fmt.Sprintf("econ%d", i)
+		add(e, rdf.IRIType, "economy")
+		lit(e, rdf.IRILabel, e)
+	}
+	// 40 plain cities that are not capitals.
+	for i := 0; i < 40; i++ {
+		c := fmt.Sprintf("city%d", i)
+		add(c, rdf.IRIType, "city")
+		lit(c, rdf.IRILabel, c)
+	}
+	// A couple of states with no hasCapital facts at all.
+	for i := 0; i < 5; i++ {
+		st := fmt.Sprintf("state%d", i)
+		add(st, rdf.IRIType, "state")
+		lit(st, rdf.IRILabel, st)
+	}
+	return s
+}
+
+func res(t *testing.T, kb *rdf.Store, iri string) rdf.ID {
+	t.Helper()
+	id := kb.LookupTerm(rdf.IRI(iri))
+	if id == rdf.NoID {
+		t.Fatalf("missing %s", iri)
+	}
+	return id
+}
+
+func TestCounts(t *testing.T) {
+	kb := exampleKB()
+	s := New(kb)
+	// 10 countries + 10 capitals + 30 economies + 40 cities + 5 states.
+	if s.NumEntities() != 95 {
+		t.Fatalf("NumEntities = %d, want 95", s.NumEntities())
+	}
+	if s.NumTypes() != 5 { // country, economy, capital, city, state
+		t.Fatalf("NumTypes = %d, want 5", s.NumTypes())
+	}
+	hc := res(t, kb, "hasCapital")
+	if s.NumFacts(hc) != 10 {
+		t.Fatalf("NumFacts(hasCapital) = %d", s.NumFacts(hc))
+	}
+	if len(s.Properties()) != 1 {
+		t.Fatalf("Properties = %v", s.Properties())
+	}
+}
+
+func TestEntitiesOfTypeIncludesSubclasses(t *testing.T) {
+	kb := exampleKB()
+	s := New(kb)
+	city := res(t, kb, "city")
+	if got := s.EntitiesOfType(city); got != 50 { // 40 cities + 10 capitals
+		t.Fatalf("EntitiesOfType(city) = %d, want 50", got)
+	}
+}
+
+func TestCoherenceOrdering(t *testing.T) {
+	kb := exampleKB()
+	s := New(kb)
+	hc := res(t, kb, "hasCapital")
+	country := res(t, kb, "country")
+	economy := res(t, kb, "economy")
+	capital := res(t, kb, "capital")
+	city := res(t, kb, "city")
+	state := res(t, kb, "state")
+
+	if sc, se := s.SubSC(country, hc), s.SubSC(economy, hc); sc <= se {
+		t.Fatalf("subSC(country)=%f should exceed subSC(economy)=%f", sc, se)
+	}
+	if oc, ocy := s.ObjSC(capital, hc), s.ObjSC(city, hc); oc <= ocy {
+		t.Fatalf("objSC(capital)=%f should exceed objSC(city)=%f", oc, ocy)
+	}
+	if got := s.SubSC(state, hc); got != 0 {
+		t.Fatalf("subSC(state, hasCapital) = %f, want 0 (empty intersection)", got)
+	}
+}
+
+func TestCoherenceBounds(t *testing.T) {
+	kb := exampleKB()
+	s := New(kb)
+	hc := res(t, kb, "hasCapital")
+	for _, typ := range []string{"country", "economy", "capital", "city", "state"} {
+		id := res(t, kb, typ)
+		for _, v := range []float64{s.SubSC(id, hc), s.ObjSC(id, hc)} {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("coherence out of [0,1]: %s -> %f", typ, v)
+			}
+		}
+	}
+}
+
+func TestPerfectCoherence(t *testing.T) {
+	// When every entity is a country with a capital fact, Pr(P∩T)=Pr(T)=
+	// Pr_sub(P), and coherence should be at its maximum 1.
+	kb := rdf.New()
+	for i := 0; i < 5; i++ {
+		c := fmt.Sprintf("c%d", i)
+		kb.AddFact(rdf.IRI(c), rdf.IRI(rdf.IRIType), rdf.IRI("country"))
+		kb.AddFact(rdf.IRI(c), rdf.IRI("p"), rdf.IRI(fmt.Sprintf("c%d", (i+1)%5)))
+	}
+	s := New(kb)
+	country := kb.LookupTerm(rdf.IRI("country"))
+	p := kb.LookupTerm(rdf.IRI("p"))
+	if got := s.SubSC(country, p); got != 1 {
+		t.Fatalf("perfect subject coherence = %f, want 1", got)
+	}
+}
+
+func TestMaxCoherence(t *testing.T) {
+	kb := exampleKB()
+	s := New(kb)
+	hc := res(t, kb, "hasCapital")
+	country := res(t, kb, "country")
+	capital := res(t, kb, "capital")
+	if got, want := s.MaxSubSC(hc), s.SubSC(country, hc); got < want {
+		t.Fatalf("MaxSubSC %f < subSC(country) %f", got, want)
+	}
+	if got, want := s.MaxObjSC(hc), s.ObjSC(capital, hc); got < want {
+		t.Fatalf("MaxObjSC %f < objSC(capital) %f", got, want)
+	}
+	// Maxima are themselves achieved by some type, hence ≤ 1.
+	if s.MaxSubSC(hc) > 1 || s.MaxObjSC(hc) > 1 {
+		t.Fatal("max coherence above 1")
+	}
+}
+
+func TestTFOrdering(t *testing.T) {
+	kb := exampleKB()
+	s := New(kb)
+	country := res(t, kb, "country")
+	city := res(t, kb, "city")
+	// Rarer type (10 countries) must have larger tf magnitude than the more
+	// populous city (50 with subclasses) — the "Country vs Place" intuition.
+	if s.TF(country) <= s.TF(city) {
+		t.Fatalf("TF(country)=%f should exceed TF(city)=%f", s.TF(country), s.TF(city))
+	}
+}
+
+func TestIDF(t *testing.T) {
+	kb := exampleKB()
+	s := New(kb)
+	// A cell with one type is more informative than a cell with two
+	// ("Microsoft" vs "Apple", §4.1).
+	if s.IDF(1) <= s.IDF(2) {
+		t.Fatal("IDF must decrease with ambiguity")
+	}
+	if s.IDF(0) != 0 {
+		t.Fatal("untyped cell has IDF 0")
+	}
+	if s.IDF(s.NumTypes()+5) != 0 {
+		t.Fatal("IDF clamped at 0")
+	}
+}
+
+func TestRelTFIDF(t *testing.T) {
+	kb := exampleKB()
+	s := New(kb)
+	hc := res(t, kb, "hasCapital")
+	if s.RelTF(hc) <= 0 {
+		t.Fatal("RelTF of existing property must be positive")
+	}
+	if s.RelTF(rdf.ID(9999)) != 0 {
+		t.Fatal("RelTF of unknown property must be 0")
+	}
+	if s.RelIDF(0) != 0 {
+		t.Fatal("RelIDF(0) must be 0")
+	}
+	if s.RelIDF(1) < 0 {
+		t.Fatal("RelIDF must be non-negative")
+	}
+}
+
+func TestCoherenceMemoisationConsistent(t *testing.T) {
+	kb := exampleKB()
+	s := New(kb)
+	hc := res(t, kb, "hasCapital")
+	country := res(t, kb, "country")
+	a := s.SubSC(country, hc)
+	b := s.SubSC(country, hc)
+	if a != b {
+		t.Fatal("memoised coherence differs")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	kb := exampleKB()
+	sum := Summarize(kb)
+	if sum.Entities != 95 || sum.Types != 5 || sum.Properties != 1 || sum.Facts != 10 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if sum.Triples != kb.NumTriples() {
+		t.Fatalf("triples = %d, want %d", sum.Triples, kb.NumTriples())
+	}
+}

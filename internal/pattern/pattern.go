@@ -1,0 +1,436 @@
+// Package pattern defines KATARA's table patterns (§3.2): labelled directed
+// graphs whose nodes are (column, KB type) pairs and whose edges are KB
+// relationships between columns, together with the tuple-matching semantics
+// (conditions 1–3) including full and partial matches.
+package pattern
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"katara/internal/rdf"
+	"katara/internal/similarity"
+)
+
+// Node types a table column with a KB class. Type == rdf.NoID marks an
+// untyped node, i.e. a column whose cells map to literals (e.g. heights).
+type Node struct {
+	Column int
+	Type   rdf.ID
+}
+
+// Edge is a directed relationship between two columns. From is the subject
+// column, To the object column, Prop the KB property (§3.2).
+type Edge struct {
+	From, To int
+	Prop     rdf.ID
+}
+
+// Pattern is a table pattern φ with its discovery score (§4.2). Paths holds
+// the §9 extension: multi-hop relationships through intermediate resources.
+type Pattern struct {
+	Nodes []Node
+	Edges []Edge
+	Paths []PathEdge
+	Score float64
+}
+
+// Clone deep-copies the pattern.
+func (p *Pattern) Clone() *Pattern {
+	cp := &Pattern{
+		Nodes: append([]Node(nil), p.Nodes...),
+		Edges: append([]Edge(nil), p.Edges...),
+		Score: p.Score,
+	}
+	for _, pe := range p.Paths {
+		cp.Paths = append(cp.Paths, PathEdge{
+			From: pe.From, To: pe.To,
+			Props: append([]rdf.ID(nil), pe.Props...),
+		})
+	}
+	return cp
+}
+
+// Columns returns the sorted set of columns covered by the pattern.
+func (p *Pattern) Columns() []int {
+	set := map[int]bool{}
+	for _, n := range p.Nodes {
+		set[n.Column] = true
+	}
+	for _, e := range p.Edges {
+		set[e.From] = true
+		set[e.To] = true
+	}
+	for _, pe := range p.Paths {
+		set[pe.From] = true
+		set[pe.To] = true
+	}
+	cols := make([]int, 0, len(set))
+	for c := range set {
+		cols = append(cols, c)
+	}
+	sort.Ints(cols)
+	return cols
+}
+
+// NodeFor returns the node typing column col, or nil.
+func (p *Pattern) NodeFor(col int) *Node {
+	for i := range p.Nodes {
+		if p.Nodes[i].Column == col {
+			return &p.Nodes[i]
+		}
+	}
+	return nil
+}
+
+// TypeOf returns the type of column col, or rdf.NoID.
+func (p *Pattern) TypeOf(col int) rdf.ID {
+	if n := p.NodeFor(col); n != nil {
+		return n.Type
+	}
+	return rdf.NoID
+}
+
+// EdgeBetween returns the edge from col i to col j, or nil.
+func (p *Pattern) EdgeBetween(i, j int) *Edge {
+	for k := range p.Edges {
+		if p.Edges[k].From == i && p.Edges[k].To == j {
+			return &p.Edges[k]
+		}
+	}
+	return nil
+}
+
+// Connected reports whether the pattern graph is connected (§3.2 assumes
+// table patterns are connected; disconnected components are treated as
+// independent patterns).
+func (p *Pattern) Connected() bool {
+	cols := p.Columns()
+	if len(cols) <= 1 {
+		return true
+	}
+	adj := map[int][]int{}
+	for _, e := range p.Edges {
+		adj[e.From] = append(adj[e.From], e.To)
+		adj[e.To] = append(adj[e.To], e.From)
+	}
+	for _, pe := range p.Paths {
+		adj[pe.From] = append(adj[pe.From], pe.To)
+		adj[pe.To] = append(adj[pe.To], pe.From)
+	}
+	seen := map[int]bool{cols[0]: true}
+	queue := []int{cols[0]}
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		for _, n := range adj[c] {
+			if !seen[n] {
+				seen[n] = true
+				queue = append(queue, n)
+			}
+		}
+	}
+	return len(seen) == len(cols)
+}
+
+// Components splits the pattern into connected components, each a pattern.
+func (p *Pattern) Components() []*Pattern {
+	cols := p.Columns()
+	parent := map[int]int{}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for _, c := range cols {
+		parent[c] = c
+	}
+	for _, e := range p.Edges {
+		parent[find(e.From)] = find(e.To)
+	}
+	byRoot := map[int]*Pattern{}
+	order := []int{}
+	for _, n := range p.Nodes {
+		r := find(n.Column)
+		if byRoot[r] == nil {
+			byRoot[r] = &Pattern{}
+			order = append(order, r)
+		}
+		byRoot[r].Nodes = append(byRoot[r].Nodes, n)
+	}
+	for _, e := range p.Edges {
+		r := find(e.From)
+		if byRoot[r] == nil {
+			byRoot[r] = &Pattern{}
+			order = append(order, r)
+		}
+		byRoot[r].Edges = append(byRoot[r].Edges, e)
+	}
+	out := make([]*Pattern, 0, len(order))
+	for _, r := range order {
+		out = append(out, byRoot[r])
+	}
+	return out
+}
+
+// Render pretty-prints the pattern using KB labels and column names.
+func (p *Pattern) Render(kb *rdf.Store, columns []string) string {
+	colName := func(c int) string {
+		if c >= 0 && c < len(columns) {
+			return columns[c]
+		}
+		return fmt.Sprintf("col%d", c)
+	}
+	var b strings.Builder
+	for i, n := range p.Nodes {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if n.Type == rdf.NoID {
+			fmt.Fprintf(&b, "%s(⊥)", colName(n.Column))
+		} else {
+			fmt.Fprintf(&b, "%s(%s)", colName(n.Column), kb.LabelOf(n.Type))
+		}
+	}
+	for _, e := range p.Edges {
+		fmt.Fprintf(&b, "; %s -%s-> %s", colName(e.From), kb.LabelOf(e.Prop), colName(e.To))
+	}
+	for _, pe := range p.Paths {
+		b.WriteString("; " + pe.Render(kb, columns))
+	}
+	if p.Score != 0 {
+		fmt.Fprintf(&b, " [score %.3f]", p.Score)
+	}
+	return b.String()
+}
+
+// DOT renders the pattern as a Graphviz digraph — the Fig. 2(a)
+// presentation: one node per typed column labelled "col (type)", one
+// labelled edge per relationship, dashed edges for §9 path relationships.
+func (p *Pattern) DOT(kb *rdf.Store, columns []string) string {
+	colName := func(c int) string {
+		if c >= 0 && c < len(columns) {
+			return columns[c]
+		}
+		return fmt.Sprintf("col%d", c)
+	}
+	var b strings.Builder
+	b.WriteString("digraph pattern {\n  rankdir=LR;\n  node [shape=ellipse];\n")
+	for _, n := range p.Nodes {
+		label := colName(n.Column)
+		if n.Type != rdf.NoID {
+			label = fmt.Sprintf("%s (%s)", label, kb.LabelOf(n.Type))
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", n.Column, label)
+	}
+	for _, e := range p.Edges {
+		fmt.Fprintf(&b, "  n%d -> n%d [label=%q];\n", e.From, e.To, kb.LabelOf(e.Prop))
+	}
+	for _, pe := range p.Paths {
+		parts := make([]string, len(pe.Props))
+		for i, pr := range pe.Props {
+			parts[i] = kb.LabelOf(pr)
+		}
+		fmt.Fprintf(&b, "  n%d -> n%d [label=%q, style=dashed];\n",
+			pe.From, pe.To, strings.Join(parts, "∘"))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Key returns a canonical identity string (type/edge assignments, ignoring
+// score), used for deduplication in discovery.
+func (p *Pattern) Key() string {
+	nodes := append([]Node(nil), p.Nodes...)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Column < nodes[j].Column })
+	edges := append([]Edge(nil), p.Edges...)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		if edges[i].To != edges[j].To {
+			return edges[i].To < edges[j].To
+		}
+		return edges[i].Prop < edges[j].Prop
+	})
+	var b strings.Builder
+	for _, n := range nodes {
+		fmt.Fprintf(&b, "n%d:%d;", n.Column, n.Type)
+	}
+	for _, e := range edges {
+		fmt.Fprintf(&b, "e%d-%d:%d;", e.From, e.To, e.Prop)
+	}
+	paths := append([]PathEdge(nil), p.Paths...)
+	sort.Slice(paths, func(i, j int) bool {
+		if paths[i].From != paths[j].From {
+			return paths[i].From < paths[j].From
+		}
+		return paths[i].To < paths[j].To
+	})
+	for _, pe := range paths {
+		fmt.Fprintf(&b, "p%d-%d:%v;", pe.From, pe.To, pe.Props)
+	}
+	return b.String()
+}
+
+// Match is the outcome of evaluating one tuple against a pattern (§3.2).
+type Match struct {
+	// Candidates holds, per covered column, the KB resources whose label
+	// matches the cell value and whose type satisfies the node (condition 2).
+	// Untyped nodes resolve to the literal ID if present in the KB.
+	Candidates map[int][]rdf.ID
+	// NodeOK reports condition 2 per column.
+	NodeOK map[int]bool
+	// EdgeOK reports condition 3 per edge index, tested independently.
+	EdgeOK []bool
+	// PathOK reports the §9 path-edge condition per path index.
+	PathOK []bool
+	// Full reports whether a single consistent resource assignment satisfies
+	// every node, edge and path (t ⊨ φ).
+	Full bool
+	// Assignment is one witnessing resource assignment when Full.
+	Assignment map[int]rdf.ID
+}
+
+// Partial reports whether the tuple partially matches: at least one node or
+// edge condition holds but not all (§3.2, Example 3).
+func (m *Match) Partial() bool {
+	if m.Full {
+		return false
+	}
+	any := false
+	for _, ok := range m.NodeOK {
+		if ok {
+			any = true
+		}
+	}
+	for _, ok := range m.EdgeOK {
+		if ok {
+			any = true
+		}
+	}
+	for _, ok := range m.PathOK {
+		if ok {
+			any = true
+		}
+	}
+	return any
+}
+
+// matchBand keeps only resource matches scoring within this margin of a
+// cell's best match: an exact match suppresses distant fuzzy homonyms
+// ("FC Springfield" must not satisfy conditions meant for "Springfield"),
+// while a typo cell with no exact match still resolves through its best
+// fuzzy candidates.
+const matchBand = 0.1
+
+// Evaluate matches tuple (indexed by column) against p over kb with the
+// given label-similarity threshold.
+func Evaluate(p *Pattern, kb *rdf.Store, tuple []string, threshold float64) *Match {
+	m := &Match{
+		Candidates: make(map[int][]rdf.ID, len(p.Nodes)),
+		NodeOK:     make(map[int]bool, len(p.Nodes)),
+		EdgeOK:     make([]bool, len(p.Edges)),
+	}
+	for _, n := range p.Nodes {
+		if n.Column >= len(tuple) {
+			continue
+		}
+		val := tuple[n.Column]
+		var cands []rdf.ID
+		if n.Type == rdf.NoID {
+			if id := kb.LookupTerm(rdf.Lit(val)); id != rdf.NoID {
+				cands = []rdf.ID{id}
+			} else if id := kb.LookupTerm(rdf.Lit(similarity.Normalize(val))); id != rdf.NoID {
+				cands = []rdf.ID{id}
+			}
+		} else {
+			hits := kb.MatchLabel(val, threshold)
+			best := 0.0
+			if len(hits) > 0 {
+				best = hits[0].Score
+			}
+			for _, hit := range hits {
+				if hit.Score < best-matchBand {
+					break // hits are sorted by score
+				}
+				if kb.HasType(hit.Resource, n.Type) {
+					cands = append(cands, hit.Resource)
+				}
+			}
+		}
+		m.Candidates[n.Column] = cands
+		m.NodeOK[n.Column] = len(cands) > 0
+	}
+	for i, e := range p.Edges {
+		m.EdgeOK[i] = edgeHolds(kb, e, m.Candidates[e.From], m.Candidates[e.To])
+	}
+	evaluatePaths(p, kb, m)
+	m.Full, m.Assignment = consistentAssignment(p, kb, m)
+	return m
+}
+
+func edgeHolds(kb *rdf.Store, e Edge, subs, objs []rdf.ID) bool {
+	for _, s := range subs {
+		for _, o := range objs {
+			if kb.HasPredicate(s, e.Prop, o) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// consistentAssignment searches for one resource per column satisfying all
+// nodes and edges simultaneously (condition 1's one-to-one mapping plus
+// conditions 2–3). Patterns are small, so plain backtracking suffices.
+func consistentAssignment(p *Pattern, kb *rdf.Store, m *Match) (bool, map[int]rdf.ID) {
+	cols := p.Columns()
+	for _, c := range cols {
+		if len(m.Candidates[c]) == 0 {
+			return false, nil
+		}
+	}
+	assign := make(map[int]rdf.ID, len(cols))
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(cols) {
+			return true
+		}
+		c := cols[i]
+		for _, r := range m.Candidates[c] {
+			assign[c] = r
+			ok := true
+			for _, e := range p.Edges {
+				sID, sOK := assign[e.From]
+				oID, oOK := assign[e.To]
+				if sOK && oOK && !kb.HasPredicate(sID, e.Prop, oID) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				for _, pe := range p.Paths {
+					sID, sOK := assign[pe.From]
+					oID, oOK := assign[pe.To]
+					if sOK && oOK && !HasPath(kb, sID, pe.Props, oID) {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok && rec(i+1) {
+				return true
+			}
+		}
+		delete(assign, c)
+		return false
+	}
+	if rec(0) {
+		return true, assign
+	}
+	return false, nil
+}

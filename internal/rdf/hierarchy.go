@@ -1,0 +1,214 @@
+package rdf
+
+import "sort"
+
+// This file implements the RDFS reasoning KATARA needs: transitive closure
+// over rdfs:subClassOf and rdfs:subPropertyOf, type membership with
+// subsumption, and the reflexive-transitive path semantics of the SPARQL
+// property paths rdfs:subClassOf* / rdfs:subPropertyOf* (§3.1, §4.1).
+
+func (s *Store) ensureClosures() {
+	if s.closureGen == s.gen && s.superCls != nil {
+		return
+	}
+	s.superCls = transitiveClosure(s.pso[s.SubClassOfID])
+	s.subCls = transitiveClosure(s.pos[s.SubClassOfID])
+	s.superProp = transitiveClosure(s.pso[s.SubPropertyOfID])
+	s.subProp = transitiveClosure(s.pos[s.SubPropertyOfID])
+	s.closureGen = s.gen
+}
+
+// transitiveClosure computes, for every node in edges, the set of nodes
+// reachable via one or more hops. Cycles are tolerated (a node never
+// includes itself unless reachable through a cycle).
+func transitiveClosure(edges map[ID][]ID) map[ID][]ID {
+	out := make(map[ID][]ID, len(edges))
+	var visit func(n ID, seen map[ID]bool) []ID
+	visit = func(n ID, seen map[ID]bool) []ID {
+		if r, ok := out[n]; ok {
+			return r
+		}
+		if seen[n] {
+			return nil // cycle guard; partial result is fine
+		}
+		seen[n] = true
+		set := make(map[ID]bool)
+		for _, next := range edges[n] {
+			set[next] = true
+			for _, far := range visit(next, seen) {
+				set[far] = true
+			}
+		}
+		delete(seen, n)
+		r := make([]ID, 0, len(set))
+		for id := range set {
+			r = append(r, id)
+		}
+		sort.Slice(r, func(i, j int) bool { return r[i] < r[j] })
+		out[n] = r
+		return r
+	}
+	for n := range edges {
+		visit(n, map[ID]bool{})
+	}
+	return out
+}
+
+// WarmClosures forces computation of the class and property closures so a
+// quiescent store can be read concurrently (the closures are memoised
+// lazily and the memo write is not synchronised).
+func (s *Store) WarmClosures() { s.ensureClosures() }
+
+// SuperClasses returns the strict superclasses of c (transitive).
+func (s *Store) SuperClasses(c ID) []ID {
+	s.ensureClosures()
+	return s.superCls[c]
+}
+
+// SubClasses returns the strict subclasses of c (transitive).
+func (s *Store) SubClasses(c ID) []ID {
+	s.ensureClosures()
+	return s.subCls[c]
+}
+
+// SuperProperties returns the strict super-properties of p (transitive).
+func (s *Store) SuperProperties(p ID) []ID {
+	s.ensureClosures()
+	return s.superProp[p]
+}
+
+// SubProperties returns the strict sub-properties of p (transitive).
+func (s *Store) SubProperties(p ID) []ID {
+	s.ensureClosures()
+	return s.subProp[p]
+}
+
+// IsSubClassOf reports whether c == d or c is a transitive subclass of d.
+func (s *Store) IsSubClassOf(c, d ID) bool {
+	if c == d {
+		return true
+	}
+	for _, sup := range s.SuperClasses(c) {
+		if sup == d {
+			return true
+		}
+	}
+	return false
+}
+
+// IsSubPropertyOf reports whether p == q or p is a transitive sub-property of q.
+func (s *Store) IsSubPropertyOf(p, q ID) bool {
+	if p == q {
+		return true
+	}
+	for _, sup := range s.SuperProperties(p) {
+		if sup == q {
+			return true
+		}
+	}
+	return false
+}
+
+// DirectTypes returns the asserted rdf:type classes of x.
+func (s *Store) DirectTypes(x ID) []ID { return s.Objects(x, s.TypeID) }
+
+// AllTypes returns the asserted types of x together with all their
+// superclasses — the result set of the paper's Q_types query
+// (?x rdf:type/rdfs:subClassOf* ?c).
+func (s *Store) AllTypes(x ID) []ID {
+	direct := s.DirectTypes(x)
+	if len(direct) == 0 {
+		return nil
+	}
+	set := make(map[ID]bool, len(direct)*2)
+	for _, t := range direct {
+		set[t] = true
+		for _, sup := range s.SuperClasses(t) {
+			set[sup] = true
+		}
+	}
+	out := make([]ID, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HasType reports whether x has type c directly or through subclassing,
+// i.e. type(x)=c or subclassOf(type(x), c) per §3.2 condition 2.
+func (s *Store) HasType(x, c ID) bool {
+	for _, t := range s.DirectTypes(x) {
+		if s.IsSubClassOf(t, c) {
+			return true
+		}
+	}
+	return false
+}
+
+// InstancesOf returns the entities whose asserted type is c or any subclass
+// of c. The result is sorted and deduplicated.
+func (s *Store) InstancesOf(c ID) []ID {
+	classes := append([]ID{c}, s.SubClasses(c)...)
+	var out []ID
+	for _, cl := range classes {
+		out = append(out, s.Subjects(s.TypeID, cl)...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return dedupe(out)
+}
+
+// Classes returns every resource used as an rdf:type object or in the
+// subclass hierarchy — the KB's set of types.
+func (s *Store) Classes() []ID {
+	set := make(map[ID]bool)
+	for c := range s.pos[s.TypeID] {
+		set[c] = true
+	}
+	for c := range s.pso[s.SubClassOfID] {
+		set[c] = true
+	}
+	for c := range s.pos[s.SubClassOfID] {
+		set[c] = true
+	}
+	out := make([]ID, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PredicatesBetweenSub returns the predicates p such that some (sub, p', obj)
+// holds with p' = p or subpropertyOf(p', p) — the ?P/rdfs:subPropertyOf*
+// semantics of the paper's Q_rels queries.
+func (s *Store) PredicatesBetweenSub(sub, obj ID) []ID {
+	direct := s.PredicatesBetween(sub, obj)
+	if len(direct) == 0 {
+		return nil
+	}
+	set := make(map[ID]bool, len(direct))
+	for _, p := range direct {
+		set[p] = true
+		for _, sup := range s.SuperProperties(p) {
+			set[sup] = true
+		}
+	}
+	out := make([]ID, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HasPredicate reports whether (sub, p', obj) holds for p'=p or any
+// sub-property of p — §3.2 condition 3.
+func (s *Store) HasPredicate(sub, p, obj ID) bool {
+	for _, q := range s.PredicatesBetween(sub, obj) {
+		if s.IsSubPropertyOf(q, p) {
+			return true
+		}
+	}
+	return false
+}

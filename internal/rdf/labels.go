@@ -1,0 +1,85 @@
+package rdf
+
+import (
+	"sort"
+	"strings"
+
+	"katara/internal/similarity"
+)
+
+// This file implements label handling: every resource may carry one or more
+// rdfs:label literals; table cell values are resolved to resources through
+// exact (normalised) lookup or the fuzzy trigram index, mirroring the
+// paper's LARQ/Lucene setup with threshold 0.7.
+
+// LabelsOf returns the label strings of x.
+func (s *Store) LabelsOf(x ID) []string {
+	objs := s.Objects(x, s.LabelID)
+	out := make([]string, 0, len(objs))
+	for _, o := range objs {
+		if s.IsLiteral(o) {
+			out = append(out, s.terms[o].Value)
+		}
+	}
+	return out
+}
+
+// LabelOf returns the first label of x, or a human-readable fallback derived
+// from the IRI (§5.1: strip the text before the last slash and punctuation).
+func (s *Store) LabelOf(x ID) string {
+	if ls := s.LabelsOf(x); len(ls) > 0 {
+		return ls[0]
+	}
+	return DisplayName(s.terms[x].Value)
+}
+
+// DisplayName derives a readable name from an IRI per §5.1.
+func DisplayName(iri string) string {
+	if i := strings.LastIndexByte(iri, '/'); i >= 0 {
+		iri = iri[i+1:]
+	}
+	if i := strings.LastIndexByte(iri, ':'); i >= 0 {
+		iri = iri[i+1:]
+	}
+	iri = strings.NewReplacer("_", " ", "#", " ").Replace(iri)
+	return strings.TrimSpace(iri)
+}
+
+// ResourcesLabeled returns the resources whose normalised label equals the
+// normalised value. Shared slice; read-only.
+func (s *Store) ResourcesLabeled(value string) []ID {
+	return s.labelIndex[similarity.Normalize(value)]
+}
+
+// LabelMatch is a fuzzy label resolution hit.
+type LabelMatch struct {
+	Resource ID
+	Score    float64
+}
+
+// MatchLabel resolves value to resources whose label is similar at or above
+// threshold, best match first. Exact matches score 1.
+func (s *Store) MatchLabel(value string, threshold float64) []LabelMatch {
+	cands := s.fuzzy.Lookup(value, threshold)
+	if len(cands) == 0 {
+		return nil
+	}
+	best := make(map[ID]float64, len(cands))
+	for _, c := range cands {
+		r := s.fuzzyIDs[c.ID]
+		if c.Score > best[r] {
+			best[r] = c.Score
+		}
+	}
+	out := make([]LabelMatch, 0, len(best))
+	for r, sc := range best {
+		out = append(out, LabelMatch{Resource: r, Score: sc})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Resource < out[j].Resource
+	})
+	return out
+}

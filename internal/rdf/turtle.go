@@ -1,0 +1,295 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// This file implements a Turtle-subset reader: real KB dumps (DBpedia
+// publishes Turtle) use prefixes and predicate/object lists, which N-Triples
+// lacks. Supported:
+//
+//	@prefix ex: <http://example.org/> .
+//	ex:Italy a ex:Country ;
+//	    rdfs:label "Italy", "Italia"@it ;
+//	    ex:capital ex:Rome .
+//
+// IRIs in angle brackets, prefixed names, `a` for rdf:type, `;` predicate
+// lists, `,` object lists, string literals with language tags or datatypes,
+// and `#` comments. Blank nodes and multi-line literals are not supported.
+
+// ParseTurtle reads Turtle from r into the store, returning the number of
+// triples added.
+func (s *Store) ParseTurtle(r io.Reader) (int, error) {
+	p := &turtleParser{store: s, prefixes: map[string]string{
+		"rdf":  "rdf:",
+		"rdfs": "rdfs:",
+	}}
+	return p.parse(r)
+}
+
+type turtleParser struct {
+	store    *Store
+	prefixes map[string]string
+	line     int
+	added    int
+}
+
+func (p *turtleParser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("rdf: turtle line %d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+// parse tokenises statement by statement. Turtle statements end with '.',
+// so we accumulate tokens until one is seen.
+func (p *turtleParser) parse(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var stmt []turtleToken
+	for sc.Scan() {
+		p.line++
+		toks, err := p.tokenizeLine(sc.Text())
+		if err != nil {
+			return p.added, err
+		}
+		for _, t := range toks {
+			if t.kind == ttDot {
+				if err := p.statement(stmt); err != nil {
+					return p.added, err
+				}
+				stmt = stmt[:0]
+				continue
+			}
+			stmt = append(stmt, t)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return p.added, err
+	}
+	if len(stmt) != 0 {
+		return p.added, p.errf("unterminated statement")
+	}
+	return p.added, nil
+}
+
+type turtleTokenKind int
+
+const (
+	ttTerm turtleTokenKind = iota // resolved Term
+	ttDot
+	ttSemicolon
+	ttComma
+	ttPrefixDecl // the @prefix keyword
+)
+
+type turtleToken struct {
+	kind turtleTokenKind
+	term Term
+	text string // raw text for prefix declarations
+}
+
+func (p *turtleParser) tokenizeLine(line string) ([]turtleToken, error) {
+	var out []turtleToken
+	i := 0
+	for i < len(line) {
+		c := line[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#':
+			return out, nil // comment to end of line
+		case c == '.':
+			out = append(out, turtleToken{kind: ttDot})
+			i++
+		case c == ';':
+			out = append(out, turtleToken{kind: ttSemicolon})
+			i++
+		case c == ',':
+			out = append(out, turtleToken{kind: ttComma})
+			i++
+		case c == '<':
+			end := strings.IndexByte(line[i:], '>')
+			if end < 0 {
+				return nil, p.errf("unterminated IRI")
+			}
+			out = append(out, turtleToken{kind: ttTerm, term: IRI(line[i+1 : i+end])})
+			i += end + 1
+		case c == '"':
+			term, n, err := p.scanLiteral(line[i:])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, turtleToken{kind: ttTerm, term: term})
+			i += n
+		case c == '@':
+			if strings.HasPrefix(line[i:], "@prefix") {
+				out = append(out, turtleToken{kind: ttPrefixDecl})
+				i += len("@prefix")
+				break
+			}
+			return nil, p.errf("unexpected '@' directive")
+		default:
+			j := i
+			for j < len(line) && !strings.ContainsRune(" \t\r,;.#<\"", rune(line[j])) {
+				j++
+			}
+			// A trailing '.' belongs to the statement, but dots inside
+			// prefixed names (rare) are kept; we already split on '.', so a
+			// name like ex:v1.2 is unsupported — acceptable for the subset.
+			word := line[i:j]
+			if word == "" {
+				return nil, p.errf("unexpected character %q", c)
+			}
+			out = append(out, turtleToken{kind: ttTerm, text: word})
+			i = j
+		}
+	}
+	return out, nil
+}
+
+func (p *turtleParser) scanLiteral(s string) (Term, int, error) {
+	i := 1
+	for i < len(s) {
+		if s[i] == '\\' {
+			i += 2
+			continue
+		}
+		if s[i] == '"' {
+			break
+		}
+		i++
+	}
+	if i >= len(s) {
+		return Term{}, 0, p.errf("unterminated literal")
+	}
+	val, err := strconv.Unquote(s[:i+1])
+	if err != nil {
+		return Term{}, 0, p.errf("bad literal %s: %v", s[:i+1], err)
+	}
+	n := i + 1
+	rest := s[n:]
+	switch {
+	case strings.HasPrefix(rest, "@"):
+		j := 1
+		for j < len(rest) && (unicode.IsLetter(rune(rest[j])) || rest[j] == '-') {
+			j++
+		}
+		n += j
+	case strings.HasPrefix(rest, "^^"):
+		n += 2
+		rest = rest[2:]
+		if strings.HasPrefix(rest, "<") {
+			j := strings.IndexByte(rest, '>')
+			if j < 0 {
+				return Term{}, 0, p.errf("unterminated datatype IRI")
+			}
+			n += j + 1
+		} else {
+			j := 0
+			for j < len(rest) && !strings.ContainsRune(" \t\r,;.", rune(rest[j])) {
+				j++
+			}
+			n += j
+		}
+	}
+	return Lit(val), n, nil
+}
+
+// resolve turns a raw word token into a term: `a`, prefixed name, or bare
+// word (kept as an opaque IRI).
+func (p *turtleParser) resolve(t turtleToken) (Term, error) {
+	if t.text == "" {
+		return t.term, nil
+	}
+	if t.text == "a" {
+		return IRI(IRIType), nil
+	}
+	if colon := strings.IndexByte(t.text, ':'); colon >= 0 {
+		prefix := t.text[:colon]
+		local := t.text[colon+1:]
+		if base, ok := p.prefixes[prefix]; ok {
+			if strings.HasSuffix(base, ":") { // vocabulary shorthand (rdf:, rdfs:)
+				return IRI(base + local), nil
+			}
+			return IRI(base + local), nil
+		}
+		// Unknown prefix: keep the name opaque (matches the engine's
+		// treatment of prefixed names).
+		return IRI(t.text), nil
+	}
+	return IRI(t.text), nil
+}
+
+// statement processes one accumulated statement (without its final dot).
+func (p *turtleParser) statement(toks []turtleToken) error {
+	if len(toks) == 0 {
+		return nil
+	}
+	if toks[0].kind == ttPrefixDecl {
+		if len(toks) != 3 {
+			return p.errf("malformed @prefix declaration")
+		}
+		name := toks[1].text
+		if !strings.HasSuffix(name, ":") {
+			return p.errf("prefix name must end with ':'")
+		}
+		if toks[2].term.Kind != Resource || toks[2].text != "" {
+			// must be an IRI token
+		}
+		if toks[2].text != "" || toks[2].term.Value == "" {
+			return p.errf("prefix IRI must be an <IRI>")
+		}
+		p.prefixes[strings.TrimSuffix(name, ":")] = toks[2].term.Value
+		return nil
+	}
+
+	subj, err := p.resolve(toks[0])
+	if err != nil {
+		return err
+	}
+	if subj.Kind != Resource {
+		return p.errf("subject must be a resource")
+	}
+	i := 1
+	for i < len(toks) {
+		pred, err := p.resolve(toks[i])
+		if err != nil {
+			return err
+		}
+		if pred.Kind != Resource {
+			return p.errf("predicate must be a resource")
+		}
+		i++
+		for {
+			if i >= len(toks) {
+				return p.errf("statement ends after predicate")
+			}
+			obj, err := p.resolve(toks[i])
+			if err != nil {
+				return err
+			}
+			i++
+			if p.store.AddFact(subj, pred, obj) {
+				p.added++
+			}
+			if i < len(toks) && toks[i].kind == ttComma {
+				i++
+				continue
+			}
+			break
+		}
+		if i < len(toks) {
+			if toks[i].kind != ttSemicolon {
+				return p.errf("expected ';' or '.' between predicates")
+			}
+			i++
+			if i == len(toks) {
+				break // trailing semicolon before the dot
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package similarity
+
+import "sort"
+
+// Index is a trigram inverted index over a set of strings, used for fuzzy
+// label lookup: given a query, it retrieves candidate ids whose indexed
+// string shares trigrams with the query, then verifies with Score. This is
+// the stand-in for the paper's Lucene (LARQ) index.
+type Index struct {
+	postings map[string][]int32 // trigram -> sorted ids
+	values   []string           // id -> normalised string
+	exact    map[string][]int32 // normalised string -> ids
+}
+
+// NewIndex returns an empty index.
+func NewIndex() *Index {
+	return &Index{
+		postings: make(map[string][]int32),
+		exact:    make(map[string][]int32),
+	}
+}
+
+// Add indexes s and returns its id. The caller keeps the id↔payload mapping.
+func (ix *Index) Add(s string) int32 {
+	id := int32(len(ix.values))
+	n := Normalize(s)
+	ix.values = append(ix.values, n)
+	ix.exact[n] = append(ix.exact[n], id)
+	seen := make(map[string]bool)
+	for _, g := range trigrams(n) {
+		if seen[g] {
+			continue
+		}
+		seen[g] = true
+		ix.postings[g] = append(ix.postings[g], id)
+	}
+	return id
+}
+
+// Len returns the number of indexed strings.
+func (ix *Index) Len() int { return len(ix.values) }
+
+// Value returns the normalised string stored under id.
+func (ix *Index) Value(id int32) string { return ix.values[id] }
+
+// Candidate is a fuzzy lookup hit.
+type Candidate struct {
+	ID    int32
+	Score float64
+}
+
+// Lookup returns ids whose strings match q at or above threshold, best
+// first. Exact (post-normalisation) matches are always returned with score 1.
+func (ix *Index) Lookup(q string, threshold float64) []Candidate {
+	n := Normalize(q)
+	var out []Candidate
+	seen := make(map[int32]bool)
+	for _, id := range ix.exact[n] {
+		out = append(out, Candidate{ID: id, Score: 1})
+		seen[id] = true
+	}
+	// Count shared trigrams per candidate; a candidate matching at Jaccard
+	// threshold t over query trigram set of size Q must share at least
+	// ceil(t/(1+t) * Q) trigrams — a standard filter bound. We use a looser
+	// floor to keep recall high for the non-Jaccard scorers.
+	grams := trigrams(n)
+	counts := make(map[int32]int)
+	for _, g := range grams {
+		for _, id := range ix.postings[g] {
+			counts[id]++
+		}
+	}
+	minShared := len(grams) / 4
+	if minShared < 1 {
+		minShared = 1
+	}
+	for id, c := range counts {
+		if seen[id] || c < minShared {
+			continue
+		}
+		if s := Score(n, ix.values[id]); s >= threshold {
+			out = append(out, Candidate{ID: id, Score: s})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

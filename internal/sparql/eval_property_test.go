@@ -1,0 +1,210 @@
+package sparql
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"katara/internal/rdf"
+)
+
+// Property tests comparing the engine against brute-force evaluation over
+// randomly generated stores.
+
+func genStore(seed int64) (*rdf.Store, []rdf.ID, []rdf.ID) {
+	rng := rand.New(rand.NewSource(seed))
+	s := rdf.New()
+	nEnt, nProp := 20+rng.Intn(20), 3+rng.Intn(3)
+	ents := make([]rdf.ID, nEnt)
+	for i := range ents {
+		ents[i] = s.Res(fmt.Sprintf("e%d", i))
+	}
+	props := make([]rdf.ID, nProp)
+	for i := range props {
+		props[i] = s.Res(fmt.Sprintf("p%d", i))
+	}
+	nFacts := 30 + rng.Intn(60)
+	for i := 0; i < nFacts; i++ {
+		s.Add(ents[rng.Intn(nEnt)], props[rng.Intn(nProp)], ents[rng.Intn(nEnt)])
+	}
+	return s, ents, props
+}
+
+// bruteTriples collects all (s,o) pairs of a predicate by scanning.
+func bruteTriples(s *rdf.Store, p rdf.ID) map[[2]rdf.ID]bool {
+	out := map[[2]rdf.ID]bool{}
+	for _, subj := range s.SubjectsWithPredicate(p) {
+		for _, obj := range s.Objects(subj, p) {
+			out[[2]rdf.ID{subj, obj}] = true
+		}
+	}
+	return out
+}
+
+func TestSelectMatchesBruteForceProperty(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		s, _, props := genStore(seed)
+		eng := NewEngine(s)
+		for i, p := range props {
+			res, err := eng.Run(fmt.Sprintf(`SELECT ?s ?o WHERE { ?s <p%d> ?o }`, i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bruteTriples(s, p)
+			if len(res.Rows) != len(want) {
+				t.Fatalf("seed %d p%d: engine %d rows, brute force %d", seed, i, len(res.Rows), len(want))
+			}
+			for _, row := range res.Rows {
+				if !want[[2]rdf.ID{row["s"], row["o"]}] {
+					t.Fatalf("seed %d: spurious row %v", seed, row)
+				}
+			}
+		}
+	}
+}
+
+func TestJoinMatchesBruteForceProperty(t *testing.T) {
+	for seed := int64(20); seed < 30; seed++ {
+		s, _, props := genStore(seed)
+		if len(props) < 2 {
+			continue
+		}
+		eng := NewEngine(s)
+		res, err := eng.Run(`SELECT ?a ?b ?c WHERE { ?a <p0> ?b . ?b <p1> ?c }`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p0 := bruteTriples(s, props[0])
+		p1 := bruteTriples(s, props[1])
+		want := map[[3]rdf.ID]bool{}
+		for ab := range p0 {
+			for bc := range p1 {
+				if ab[1] == bc[0] {
+					want[[3]rdf.ID{ab[0], ab[1], bc[1]}] = true
+				}
+			}
+		}
+		if len(res.Rows) != len(want) {
+			t.Fatalf("seed %d: join %d rows, brute force %d", seed, len(res.Rows), len(want))
+		}
+		for _, row := range res.Rows {
+			if !want[[3]rdf.ID{row["a"], row["b"], row["c"]}] {
+				t.Fatalf("seed %d: spurious join row %v", seed, row)
+			}
+		}
+	}
+}
+
+func TestPathEqualsExplicitJoinProperty(t *testing.T) {
+	// ?a <p0>/<p1> ?c must equal the projection of the explicit join.
+	for seed := int64(40); seed < 50; seed++ {
+		s, _, _ := genStore(seed)
+		eng := NewEngine(s)
+		path, err := eng.Run(`SELECT DISTINCT ?a ?c WHERE { ?a <p0>/<p1> ?c }`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		join, err := eng.Run(`SELECT DISTINCT ?a ?c WHERE { ?a <p0> ?b . ?b <p1> ?c }`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(path.Rows) != len(join.Rows) {
+			t.Fatalf("seed %d: path %d rows vs join %d rows", seed, len(path.Rows), len(join.Rows))
+		}
+		seen := map[[2]rdf.ID]bool{}
+		for _, row := range join.Rows {
+			seen[[2]rdf.ID{row["a"], row["c"]}] = true
+		}
+		for _, row := range path.Rows {
+			if !seen[[2]rdf.ID{row["a"], row["c"]}] {
+				t.Fatalf("seed %d: path row %v missing from join", seed, row)
+			}
+		}
+	}
+}
+
+func TestStarClosureMatchesBFSProperty(t *testing.T) {
+	for seed := int64(60); seed < 70; seed++ {
+		s, ents, props := genStore(seed)
+		eng := NewEngine(s)
+		p := props[0]
+		start := ents[0]
+		// Engine: e0 p0* ?x.
+		res, err := eng.Run(`SELECT DISTINCT ?x WHERE { e0 <p0>* ?x }`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Brute-force BFS.
+		want := map[rdf.ID]bool{start: true}
+		queue := []rdf.ID{start}
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			for _, o := range s.Objects(n, p) {
+				if !want[o] {
+					want[o] = true
+					queue = append(queue, o)
+				}
+			}
+		}
+		if len(res.Rows) != len(want) {
+			t.Fatalf("seed %d: star closure %d rows, BFS %d", seed, len(res.Rows), len(want))
+		}
+		for _, row := range res.Rows {
+			if !want[row["x"]] {
+				t.Fatalf("seed %d: spurious closure node %v", seed, row["x"])
+			}
+		}
+	}
+}
+
+func TestAskConsistentWithSelectProperty(t *testing.T) {
+	for seed := int64(80); seed < 90; seed++ {
+		s, _, _ := genStore(seed)
+		eng := NewEngine(s)
+		sel, err := eng.Run(`SELECT ?a ?c WHERE { ?a <p0>/<p1> ?c }`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ask, err := eng.Run(`ASK { ?a <p0>/<p1> ?c }`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ask.Bool != (len(sel.Rows) > 0) {
+			t.Fatalf("seed %d: ASK %v but SELECT has %d rows", seed, ask.Bool, len(sel.Rows))
+		}
+	}
+}
+
+func TestForwardBackwardSymmetryProperty(t *testing.T) {
+	// Binding the subject vs binding the object must agree.
+	for seed := int64(100); seed < 108; seed++ {
+		s, ents, props := genStore(seed)
+		eng := NewEngine(s)
+		p := props[0]
+		for _, e := range ents[:5] {
+			name := s.Term(e).Value
+			fwd, err := eng.Run(fmt.Sprintf(`SELECT ?o WHERE { %s <p0> ?o }`, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, row := range fwd.Rows {
+				oName := s.Term(row["o"]).Value
+				bwd, err := eng.Run(fmt.Sprintf(`SELECT ?s WHERE { ?s <p0> %s }`, oName))
+				if err != nil {
+					t.Fatal(err)
+				}
+				found := false
+				for _, br := range bwd.Rows {
+					if br["s"] == e {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("seed %d: %s -p0-> %s found forward but not backward", seed, name, oName)
+				}
+			}
+			_ = p
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package sparql
+
+import (
+	"testing"
+)
+
+func TestOptional(t *testing.T) {
+	s := fixture()
+	// Every person, with their height when known (only Rossi has one).
+	res := run(t, s, `SELECT ?x ?h WHERE {
+		?x a y:soccerPlayer .
+		OPTIONAL { ?x y:height ?h } }`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	withH, withoutH := 0, 0
+	for _, row := range res.Rows {
+		if _, ok := row["h"]; ok {
+			withH++
+			if s.Term(row["h"]).Value != "1.78" {
+				t.Fatalf("wrong height %v", s.Term(row["h"]))
+			}
+		} else {
+			withoutH++
+		}
+	}
+	if withH != 1 || withoutH != 1 {
+		t.Fatalf("optional split %d/%d, want 1/1", withH, withoutH)
+	}
+}
+
+func TestOptionalNeverShrinks(t *testing.T) {
+	s := fixture()
+	res := run(t, s, `SELECT ?x WHERE {
+		?x a y:country .
+		OPTIONAL { ?x y:noSuchProp ?y } }`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("OPTIONAL dropped solutions: %d rows", len(res.Rows))
+	}
+}
+
+func TestUnion(t *testing.T) {
+	s := fixture()
+	// Countries and capitals in one result.
+	res := run(t, s, `SELECT DISTINCT ?x WHERE {
+		{ ?x a y:country } UNION { ?x a y:capital } }`)
+	if len(res.Rows) != 4 { // Italy, Spain, Rome, Madrid
+		t.Fatalf("union rows = %d, want 4", len(res.Rows))
+	}
+}
+
+func TestUnionThreeBranches(t *testing.T) {
+	s := fixture()
+	res := run(t, s, `SELECT DISTINCT ?x WHERE {
+		{ ?x a y:country } UNION { ?x a y:capital } UNION { ?x a y:soccerPlayer } }`)
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(res.Rows))
+	}
+}
+
+func TestUnionSharesOuterBindings(t *testing.T) {
+	s := fixture()
+	// The union branches are evaluated under the outer binding of ?c.
+	res := run(t, s, `SELECT ?c ?x WHERE {
+		?c a y:country .
+		{ ?x y:nationality ?c } UNION { ?c y:hasCapital ?x } }`)
+	// Italy: Rossi, Pirlo (branch 1) + Rome (branch 2); Spain: Madrid.
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(res.Rows))
+	}
+}
+
+func TestNestedPlainGroup(t *testing.T) {
+	s := fixture()
+	res := run(t, s, `SELECT ?x WHERE { { ?x a y:country } }`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("nested group rows = %d", len(res.Rows))
+	}
+}
+
+func TestCountStar(t *testing.T) {
+	s := fixture()
+	res := run(t, s, `SELECT (COUNT(*) AS ?n) WHERE { ?x a y:country }`)
+	if res.Count != 2 {
+		t.Fatalf("count = %d, want 2", res.Count)
+	}
+	if len(res.Vars) != 1 || res.Vars[0] != "n" {
+		t.Fatalf("vars = %v", res.Vars)
+	}
+}
+
+func TestCountVariable(t *testing.T) {
+	s := fixture()
+	// Count players with a height: only Rossi.
+	res := run(t, s, `SELECT (COUNT(?h) AS ?n) WHERE {
+		?x a y:soccerPlayer .
+		OPTIONAL { ?x y:height ?h } }`)
+	if res.Count != 1 {
+		t.Fatalf("COUNT(?h) = %d, want 1", res.Count)
+	}
+	// COUNT(*) over the same pattern counts both solutions.
+	res2 := run(t, s, `SELECT (COUNT(*) AS ?n) WHERE {
+		?x a y:soccerPlayer .
+		OPTIONAL { ?x y:height ?h } }`)
+	if res2.Count != 2 {
+		t.Fatalf("COUNT(*) = %d, want 2", res2.Count)
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	s := fixture()
+	// Two players share the nationality Italy: DISTINCT collapses it.
+	res := run(t, s, `SELECT DISTINCT (COUNT(?c) AS ?n) WHERE { ?x y:nationality ?c }`)
+	if res.Count != 1 {
+		t.Fatalf("COUNT(DISTINCT ?c) = %d, want 1", res.Count)
+	}
+}
+
+func TestOrderBy(t *testing.T) {
+	s := fixture()
+	res := run(t, s, `SELECT ?x WHERE { ?x a y:country } ORDER BY ?x`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	a := s.Term(res.Rows[0]["x"]).Value
+	b := s.Term(res.Rows[1]["x"]).Value
+	if a > b {
+		t.Fatalf("not ascending: %s, %s", a, b)
+	}
+	res2 := run(t, s, `SELECT ?x WHERE { ?x a y:country } ORDER BY DESC(?x)`)
+	if s.Term(res2.Rows[0]["x"]).Value != b {
+		t.Fatal("DESC did not reverse the order")
+	}
+}
+
+func TestOrderByWithLimit(t *testing.T) {
+	s := fixture()
+	res := run(t, s, `SELECT ?x WHERE { ?x rdf:type ?t } ORDER BY ?x LIMIT 2`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestExtensionParseErrors(t *testing.T) {
+	bad := []string{
+		`SELECT (COUNT(*) ?n) WHERE { ?x a y:c }`,   // missing AS
+		`SELECT (SUM(*) AS ?n) WHERE { ?x a y:c }`,  // unsupported aggregate
+		`SELECT ?x WHERE { ?x a y:c } ORDER ?x`,     // missing BY
+		`SELECT ?x WHERE { OPTIONAL ?x a y:c }`,     // OPTIONAL needs a group
+		`SELECT ?x WHERE { { ?x a y:c } UNION ?x }`, // UNION needs a group
+		`SELECT (COUNT(*) AS ?n WHERE { ?x a y:c }`, // unbalanced parens
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("expected parse error for %q", src)
+		}
+	}
+}
+
+func TestExtensionStringRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		`SELECT ?x ?h WHERE { ?x a y:p . OPTIONAL { ?x y:h ?h } } ORDER BY DESC(?x) LIMIT 3`,
+		`SELECT (COUNT(?h) AS ?n) WHERE { { ?x a y:a } UNION { ?x a y:b } }`,
+	} {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if _, err := Parse(q.String()); err != nil {
+			t.Fatalf("re-parse of %q: %v", q.String(), err)
+		}
+	}
+}
+
+func TestCountUsedForKBStatistics(t *testing.T) {
+	// The §4.1 statistics are expressible as aggregates: number of entities
+	// of a type.
+	s := fixture()
+	res := run(t, s, `SELECT (COUNT(?x) AS ?n) WHERE { ?x rdf:type/rdfs:subClassOf* y:location }`)
+	if res.Count != 4 { // Italy, Spain, Rome, Madrid
+		t.Fatalf("entities under location = %d, want 4", res.Count)
+	}
+}

@@ -1,0 +1,180 @@
+// Package table implements the relational-table substrate: the (possibly
+// dirty) input tables KATARA cleans, CSV I/O, seeded error injection for the
+// repair experiments (§7.4: "we injected 10% random errors into columns that
+// are covered by the patterns"), and cell-level diffing against ground truth.
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// Table is a named relation. Column headers may be opaque ("A", "B", ...) —
+// KATARA never relies on them (§4.1).
+type Table struct {
+	Name    string
+	Columns []string
+	Rows    [][]string
+}
+
+// New returns an empty table with the given columns.
+func New(name string, columns ...string) *Table {
+	return &Table{Name: name, Columns: columns}
+}
+
+// NumRows returns the number of tuples.
+func (t *Table) NumRows() int { return len(t.Rows) }
+
+// NumCols returns the number of attributes.
+func (t *Table) NumCols() int { return len(t.Columns) }
+
+// Append adds a tuple. It panics if the arity is wrong — a programming
+// error, not an input error.
+func (t *Table) Append(row ...string) {
+	if len(row) != len(t.Columns) {
+		panic(fmt.Sprintf("table %s: row arity %d != %d", t.Name, len(row), len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Cell returns the value at (row, col).
+func (t *Table) Cell(row, col int) string { return t.Rows[row][col] }
+
+// Column returns the index of the named column, or -1.
+func (t *Table) Column(name string) int {
+	for i, c := range t.Columns {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Clone deep-copies the table.
+func (t *Table) Clone() *Table {
+	nt := &Table{Name: t.Name, Columns: append([]string(nil), t.Columns...)}
+	nt.Rows = make([][]string, len(t.Rows))
+	for i, r := range t.Rows {
+		nt.Rows[i] = append([]string(nil), r...)
+	}
+	return nt
+}
+
+// ColumnValues returns the values of column col in row order.
+func (t *Table) ColumnValues(col int) []string {
+	out := make([]string, len(t.Rows))
+	for i, r := range t.Rows {
+		out[i] = r[col]
+	}
+	return out
+}
+
+// ReadCSV parses a table from CSV. The first record is the header.
+func ReadCSV(name string, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("table: reading %s: %w", name, err)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("table: %s: empty input", name)
+	}
+	t := New(name, recs[0]...)
+	for i, rec := range recs[1:] {
+		if len(rec) != len(t.Columns) {
+			return nil, fmt.Errorf("table: %s: row %d has %d fields, want %d", name, i+1, len(rec), len(t.Columns))
+		}
+		t.Rows = append(t.Rows, rec)
+	}
+	return t, nil
+}
+
+// WriteCSV serialises the table as CSV with a header row.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CellRef addresses one cell.
+type CellRef struct{ Row, Col int }
+
+// Diff returns the cells where t and other disagree. Tables must have the
+// same shape.
+func (t *Table) Diff(other *Table) ([]CellRef, error) {
+	if t.NumRows() != other.NumRows() || t.NumCols() != other.NumCols() {
+		return nil, fmt.Errorf("table: shape mismatch %dx%d vs %dx%d",
+			t.NumRows(), t.NumCols(), other.NumRows(), other.NumCols())
+	}
+	var out []CellRef
+	for i := range t.Rows {
+		for j := range t.Rows[i] {
+			if t.Rows[i][j] != other.Rows[i][j] {
+				out = append(out, CellRef{Row: i, Col: j})
+			}
+		}
+	}
+	return out, nil
+}
+
+// InjectErrors corrupts the table in place: each tuple is modified with
+// probability rate; a corrupted tuple gets one randomly chosen cell among
+// cols overwritten with a wrong value drawn from the same column's domain
+// (a different row's value) or, with small probability, a typo. It returns
+// the corrupted cell references. This mirrors §7.4's error model.
+func InjectErrors(t *Table, cols []int, rate float64, rng *rand.Rand) []CellRef {
+	if len(cols) == 0 || t.NumRows() < 2 {
+		return nil
+	}
+	var injected []CellRef
+	for i := range t.Rows {
+		if rng.Float64() >= rate {
+			continue
+		}
+		col := cols[rng.Intn(len(cols))]
+		orig := t.Rows[i][col]
+		repl := orig
+		for attempt := 0; attempt < 20 && repl == orig; attempt++ {
+			if rng.Float64() < 0.15 {
+				repl = typo(orig, rng)
+			} else {
+				repl = t.Rows[rng.Intn(len(t.Rows))][col]
+			}
+		}
+		if repl == orig {
+			continue // column is constant; nothing to corrupt with
+		}
+		t.Rows[i][col] = repl
+		injected = append(injected, CellRef{Row: i, Col: col})
+	}
+	return injected
+}
+
+// typo applies a random single-character edit.
+func typo(s string, rng *rand.Rand) string {
+	if s == "" {
+		return "x"
+	}
+	r := []rune(s)
+	i := rng.Intn(len(r))
+	switch rng.Intn(3) {
+	case 0: // substitution
+		r[i] = rune('a' + rng.Intn(26))
+	case 1: // deletion
+		r = append(r[:i], r[i+1:]...)
+	default: // duplication
+		r = append(r[:i+1], r[i:]...)
+	}
+	return string(r)
+}

@@ -1,0 +1,356 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"katara/internal/pattern"
+	"katara/internal/rdf"
+	"katara/internal/table"
+	"katara/internal/world"
+)
+
+// RelSpec is a ground-truth relationship between two columns, in the
+// world's semantic vocabulary.
+type RelSpec struct {
+	From, To int
+	Name     string
+	// Literal marks relationships whose object column holds literals
+	// (heights, years) — the Q²_rels case.
+	Literal bool
+}
+
+// TableSpec is one table plus its ground truth.
+type TableSpec struct {
+	Table *table.Table
+	// ColTypes holds the semantic type of each column ("" = no entity type,
+	// e.g. numeric columns).
+	ColTypes []string
+	Rels     []RelSpec
+}
+
+// Dataset is a named family of table specs (§7's WikiTables, WebTables and
+// RelationalTables).
+type Dataset struct {
+	Name  string
+	Specs []*TableSpec
+}
+
+// TruthPattern maps a spec's semantic ground truth into one KB's
+// vocabulary. Columns and relationships the KB does not model are dropped —
+// ground truth is KB-specific, exactly as in the paper where tables "were
+// manually annotated using types and relationships in Yago as well as
+// DBPedia" (§7, Table 1).
+func (s *TableSpec) TruthPattern(kb *KB) *pattern.Pattern {
+	p := &pattern.Pattern{}
+	hasNode := map[int]bool{}
+	for col, sem := range s.ColTypes {
+		if sem == "" {
+			continue
+		}
+		if id := kb.TypeFor(sem); id != rdf.NoID {
+			p.Nodes = append(p.Nodes, pattern.Node{Column: col, Type: id})
+			hasNode[col] = true
+		}
+	}
+	for _, r := range s.Rels {
+		prop := kb.PropFor(r.Name)
+		if prop == rdf.NoID {
+			continue
+		}
+		// A relationship is only annotatable if its subject column is.
+		if !hasNode[r.From] {
+			continue
+		}
+		if !r.Literal && !hasNode[r.To] {
+			continue
+		}
+		p.Edges = append(p.Edges, pattern.Edge{From: r.From, To: r.To, Prop: prop})
+		if r.Literal && !hasNode[r.To] {
+			p.Nodes = append(p.Nodes, pattern.Node{Column: r.To, Type: rdf.NoID})
+		}
+	}
+	return p
+}
+
+// opaque returns opaque column names A, B, C, ... (§4.1: schemas are
+// unavailable or unusable).
+func opaque(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = string(rune('A' + i%26))
+		if i >= 26 {
+			out[i] += fmt.Sprint(i / 26)
+		}
+	}
+	return out
+}
+
+// --- RelationalTables (§7: Person, Soccer, University) ---
+
+// PersonTable builds the Person relation: person ⋈ country giving
+// (name, country, capital, language). FDs (Appendix D): A → B, C, D.
+// The paper's 316K-row table aggregates extracted bios, so the same person
+// recurs; we sample with replacement from a pool of ~rows/4 persons to
+// reproduce that redundancy (what gives EQ its high Person recall in
+// Table 6).
+func PersonTable(w *world.World, seed int64, rows int) *TableSpec {
+	rng := rand.New(rand.NewSource(seed))
+	t := table.New("Person", opaque(4)...)
+	poolSize := rows / 4
+	if poolSize < 1 {
+		poolSize = 1
+	}
+	if poolSize > len(w.Persons) {
+		poolSize = len(w.Persons)
+	}
+	perm := rng.Perm(len(w.Persons))[:poolSize]
+	for i := 0; i < rows; i++ {
+		p := w.Persons[perm[rng.Intn(poolSize)]]
+		c := w.CountryOf(p.Country)
+		t.Append(p.Name, c.Name, c.Capital, c.Language)
+	}
+	return &TableSpec{
+		Table:    t,
+		ColTypes: []string{world.TPerson, world.TCountry, world.TCapital, world.TLanguage},
+		Rels: []RelSpec{
+			{From: 0, To: 1, Name: world.RNationality},
+			{From: 1, To: 2, Name: world.RHasCapital},
+			{From: 1, To: 3, Name: world.RLanguage},
+		},
+	}
+}
+
+// SoccerTable builds the Soccer relation: (player, club, club city,
+// league). FDs: A → B; B → C, D. Players are distinct (the paper's 1625
+// players are unique scrapes), so redundancy exists only through shared
+// clubs — the property that caps EQ/SCARE recall in Table 6.
+func SoccerTable(w *world.World, seed int64, rows int) *TableSpec {
+	rng := rand.New(rand.NewSource(seed))
+	t := table.New("Soccer", opaque(4)...)
+	perm := rng.Perm(len(w.Players))
+	for i := 0; i < rows; i++ {
+		p := w.Players[perm[i%len(perm)]]
+		cl := w.ClubOf(p.Club)
+		t.Append(p.Name, cl.Name, cl.City, cl.League)
+	}
+	return &TableSpec{
+		Table:    t,
+		ColTypes: []string{world.TPlayer, world.TClub, world.TCity, world.TLeague},
+		Rels: []RelSpec{
+			{From: 0, To: 1, Name: world.RPlaysFor},
+			{From: 1, To: 2, Name: world.RClubCity},
+			{From: 1, To: 3, Name: world.RInLeague},
+		},
+	}
+}
+
+// UniversityTable builds the University relation: (university, city,
+// state). FDs: A → B, C and B → C. Universities are distinct (the paper's
+// 1357 US universities are unique), so the A-keyed FD offers EQ almost no
+// equivalence classes — its Table 6 recall collapse.
+func UniversityTable(w *world.World, seed int64, rows int) *TableSpec {
+	rng := rand.New(rand.NewSource(seed))
+	t := table.New("University", opaque(3)...)
+	perm := rng.Perm(len(w.Universities))
+	for i := 0; i < rows; i++ {
+		u := w.Universities[perm[i%len(perm)]]
+		t.Append(u.Name, u.City, u.State)
+	}
+	return &TableSpec{
+		Table:    t,
+		ColTypes: []string{world.TUniversity, world.TCity, world.TState},
+		Rels: []RelSpec{
+			{From: 0, To: 1, Name: world.RUnivCity},
+			{From: 0, To: 2, Name: world.RUnivState},
+			{From: 1, To: 2, Name: world.RCityState},
+		},
+	}
+}
+
+// RelationalTables bundles the three relational specs at the given scale.
+// The paper's sizes are Person 316K / Soccer 1625 / University 1357; scale
+// 1.0 yields 5000/1625/1357 (Person is clamped for a single machine — the
+// paper needed a 30-machine cluster purely for wall-clock).
+func RelationalTables(w *world.World, seed int64, scale float64) *Dataset {
+	if scale <= 0 {
+		scale = 1
+	}
+	n := func(base int) int {
+		v := int(float64(base) * scale)
+		if v < 10 {
+			v = 10
+		}
+		return v
+	}
+	return &Dataset{
+		Name: "RelationalTables",
+		Specs: []*TableSpec{
+			PersonTable(w, seed+1, n(5000)),
+			SoccerTable(w, seed+2, n(1625)),
+			UniversityTable(w, seed+3, n(1357)),
+		},
+	}
+}
+
+// --- WikiTables / WebTables: many small schemaless tables ---
+
+// tableKind enumerates the small-table templates.
+type tableKind int
+
+const (
+	kindCountryCapital tableKind = iota
+	kindPlayerCountry
+	kindFilmDirector
+	kindBookAuthor
+	kindUniversityState
+	kindClubCity
+	kindCountryLanguage
+	kindPersonBirth
+	numKinds
+)
+
+// smallTable builds one small table of the given kind with ~rows rows.
+func smallTable(w *world.World, rng *rand.Rand, kind tableKind, name string, rows int) *TableSpec {
+	switch kind {
+	case kindCountryCapital:
+		t := table.New(name, opaque(3)...)
+		perm := rng.Perm(len(w.Countries))
+		for i := 0; i < rows && i < len(perm); i++ {
+			c := w.Countries[perm[i]]
+			t.Append(c.Name, c.Capital, c.Continent)
+		}
+		return &TableSpec{
+			Table:    t,
+			ColTypes: []string{world.TCountry, world.TCapital, world.TContinent},
+			Rels: []RelSpec{
+				{From: 0, To: 1, Name: world.RHasCapital},
+				{From: 0, To: 2, Name: world.RContinent},
+			},
+		}
+	case kindPlayerCountry:
+		t := table.New(name, opaque(3)...)
+		perm := rng.Perm(len(w.Players))
+		for i := 0; i < rows && i < len(perm); i++ {
+			p := w.Players[perm[i]]
+			t.Append(p.Name, p.Country, p.Height)
+		}
+		return &TableSpec{
+			Table:    t,
+			ColTypes: []string{world.TPlayer, world.TCountry, ""},
+			Rels: []RelSpec{
+				{From: 0, To: 1, Name: world.RNationality},
+				{From: 0, To: 2, Name: world.RHeight, Literal: true},
+			},
+		}
+	case kindFilmDirector:
+		t := table.New(name, opaque(3)...)
+		perm := rng.Perm(len(w.Films))
+		for i := 0; i < rows && i < len(perm); i++ {
+			f := w.Films[perm[i]]
+			t.Append(f.Title, f.Director, f.Year)
+		}
+		return &TableSpec{
+			Table:    t,
+			ColTypes: []string{world.TFilm, world.TPerson, ""},
+			Rels: []RelSpec{
+				{From: 0, To: 1, Name: world.RDirector},
+				{From: 0, To: 2, Name: world.RFilmYear, Literal: true},
+			},
+		}
+	case kindBookAuthor:
+		t := table.New(name, opaque(3)...)
+		perm := rng.Perm(len(w.Books))
+		for i := 0; i < rows && i < len(perm); i++ {
+			b := w.Books[perm[i]]
+			t.Append(b.Title, b.Author, b.Year)
+		}
+		return &TableSpec{
+			Table:    t,
+			ColTypes: []string{world.TBook, world.TPerson, ""},
+			Rels: []RelSpec{
+				{From: 0, To: 1, Name: world.RAuthor},
+				{From: 0, To: 2, Name: world.RBookYear, Literal: true},
+			},
+		}
+	case kindUniversityState:
+		t := table.New(name, opaque(3)...)
+		perm := rng.Perm(len(w.Universities))
+		for i := 0; i < rows && i < len(perm); i++ {
+			u := w.Universities[perm[i]]
+			t.Append(u.Name, u.City, u.State)
+		}
+		return &TableSpec{
+			Table:    t,
+			ColTypes: []string{world.TUniversity, world.TCity, world.TState},
+			Rels: []RelSpec{
+				{From: 0, To: 1, Name: world.RUnivCity},
+				{From: 0, To: 2, Name: world.RUnivState},
+			},
+		}
+	case kindClubCity:
+		t := table.New(name, opaque(3)...)
+		perm := rng.Perm(len(w.Clubs))
+		for i := 0; i < rows && i < len(perm); i++ {
+			c := w.Clubs[perm[i]]
+			t.Append(c.Name, c.City, c.League)
+		}
+		return &TableSpec{
+			Table:    t,
+			ColTypes: []string{world.TClub, world.TCity, world.TLeague},
+			Rels: []RelSpec{
+				{From: 0, To: 1, Name: world.RClubCity},
+				{From: 0, To: 2, Name: world.RInLeague},
+			},
+		}
+	case kindCountryLanguage:
+		t := table.New(name, opaque(2)...)
+		perm := rng.Perm(len(w.Countries))
+		for i := 0; i < rows && i < len(perm); i++ {
+			c := w.Countries[perm[i]]
+			t.Append(c.Name, c.Language)
+		}
+		return &TableSpec{
+			Table:    t,
+			ColTypes: []string{world.TCountry, world.TLanguage},
+			Rels:     []RelSpec{{From: 0, To: 1, Name: world.RLanguage}},
+		}
+	default: // kindPersonBirth
+		t := table.New(name, opaque(3)...)
+		perm := rng.Perm(len(w.Persons))
+		for i := 0; i < rows && i < len(perm); i++ {
+			p := w.Persons[perm[i]]
+			t.Append(p.Name, p.BirthCity, p.Country)
+		}
+		return &TableSpec{
+			Table:    t,
+			ColTypes: []string{world.TPerson, world.TCity, world.TCountry},
+			Rels: []RelSpec{
+				{From: 0, To: 1, Name: world.RBornIn},
+				{From: 0, To: 2, Name: world.RNationality},
+			},
+		}
+	}
+}
+
+// WikiTables builds 28 small tables averaging ~32 rows (§7).
+func WikiTables(w *world.World, seed int64) *Dataset {
+	return smallTables(w, seed, "WikiTables", 28, 32)
+}
+
+// WebTables builds 30 small tables averaging ~67 rows (§7).
+func WebTables(w *world.World, seed int64) *Dataset {
+	return smallTables(w, seed, "WebTables", 30, 67)
+}
+
+func smallTables(w *world.World, seed int64, name string, count, avgRows int) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Dataset{Name: name}
+	for i := 0; i < count; i++ {
+		kind := tableKind(i % int(numKinds))
+		rows := avgRows/2 + rng.Intn(avgRows) // mean ≈ avgRows
+		tname := fmt.Sprintf("%s-%02d", name, i)
+		d.Specs = append(d.Specs, smallTable(w, rng, kind, tname, rows))
+	}
+	return d
+}

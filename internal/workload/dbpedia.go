@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"katara/internal/world"
+)
+
+// DBpediaLike builds the DBpedia-style KB: a small, flat ontology (the real
+// DBpedia has 865 classes vs Yago's 374K — here the *ratio* of class counts
+// is preserved against YagoLike), no capital class (capital columns resolve
+// to City), and a coverage profile complementary to Yago's: persons are
+// richer (Table 6: Person recall 0.94 vs 0.80), soccer relationships exist
+// but are sparse (recall 0.29), and universities are poorly covered
+// (recall 0.18).
+func DBpediaLike(w *world.World, seed int64) *KB {
+	cov := coverage{
+		entity: map[string]float64{
+			world.TPerson:     0.95,
+			world.TPlayer:     0.90,
+			world.TClub:       0.85,
+			world.TUniversity: 0.65,
+			world.TFilm:       0.90,
+			world.TBook:       0.90,
+			world.TCity:       0.95,
+		},
+		fact: map[string]float64{
+			world.RNationality: 0.93,
+			world.RBornIn:      0.85,
+			world.RHeight:      0.80,
+			world.RLanguage:    0.95,
+			world.RContinent:   0.95,
+			world.RPlaysFor:    0.70,
+			world.RInLeague:    0.80,
+			world.RClubCity:    0.80,
+			world.RUnivCity:    0.50,
+			world.RUnivState:   0.45,
+			world.RCityState:   0.60,
+			world.RDirector:    0.90,
+			world.RAuthor:      0.90,
+			world.RFilmYear:    0.85,
+			world.RBookYear:    0.85,
+		},
+		omit: map[string]bool{},
+	}
+	b := newBuilder("DBpedia", "dbp:", w, seed, cov)
+	st := b.kb.Store
+
+	thing := b.declareType("owl:Thing", "Thing", "", w.Known)
+	sub := func(semantic, label string, parentSem string) {
+		id := b.declareType("dbo:"+iriSafe(label), label, semantic, nil)
+		parent := thing
+		if parentSem != "" {
+			parent = b.kb.TypeID[parentSem]
+		}
+		b.subclass(id, parent)
+	}
+	sub(world.TPerson, "Person", "")
+	sub(world.TPlayer, "SoccerPlayer", world.TPerson)
+	sub(world.TLocation, "Place", "")
+	sub(world.TCity, "City", world.TLocation)
+	sub(world.TCountry, "Country", world.TLocation)
+	sub(world.TState, "AdministrativeRegion", world.TLocation)
+	sub(world.TContinent, "Continent", world.TLocation)
+	sub(world.TLanguage, "Language", "")
+	sub(world.TClub, "SoccerClub", "")
+	sub(world.TLeague, "SoccerLeague", "")
+	sub(world.TUniversity, "University", "")
+	sub(world.TFilm, "Film", "")
+	sub(world.TBook, "Book", "")
+	// NOTE: no Capital class — TypeFor(capital) resolves to City.
+
+	b.declareProp("dbo:capital", "capital", world.RHasCapital)
+	b.declareProp("dbo:officialLanguage", "officialLanguage", world.RLanguage)
+	b.declareProp("dbo:continent", "continent", world.RContinent)
+	b.declareProp("dbo:nationality", "nationality", world.RNationality)
+	b.declareProp("dbo:birthPlace", "birthPlace", world.RBornIn)
+	b.declareProp("dbo:height", "height", world.RHeight)
+	b.declareProp("dbo:team", "team", world.RPlaysFor)
+	b.declareProp("dbo:league", "league", world.RInLeague)
+	b.declareProp("dbo:ground", "ground", world.RClubCity)
+	b.declareProp("dbo:campus", "campus", world.RUnivCity)
+	b.declareProp("dbo:state", "state", world.RUnivState)
+	b.declareProp("dbo:capitalOf", "capitalOf", world.RCityState)
+	b.declareProp("dbo:director", "director", world.RDirector)
+	b.declareProp("dbo:author", "author", world.RAuthor)
+	b.declareProp("dbo:releaseYear", "releaseYear", world.RFilmYear)
+	b.declareProp("dbo:publicationYear", "publicationYear", world.RBookYear)
+	_ = st
+
+	b.populate(nil)
+	return b.kb
+}

@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"katara/internal/rdf"
+	"katara/internal/world"
+)
+
+// SpecOracle answers pattern-validation questions (validation.Oracle) from
+// a spec's ground truth, translated into one KB's vocabulary.
+type SpecOracle struct {
+	Spec *TableSpec
+	KB   *KB
+}
+
+// TrueType returns the KB type of column col, or rdf.NoID.
+func (o SpecOracle) TrueType(col int) rdf.ID {
+	if col < 0 || col >= len(o.Spec.ColTypes) || o.Spec.ColTypes[col] == "" {
+		return rdf.NoID
+	}
+	return o.KB.TypeFor(o.Spec.ColTypes[col])
+}
+
+// TrueRel returns the KB property relating (from, to), or rdf.NoID.
+func (o SpecOracle) TrueRel(from, to int) rdf.ID {
+	for _, r := range o.Spec.Rels {
+		if r.From == from && r.To == to {
+			return o.KB.PropFor(r.Name)
+		}
+	}
+	return rdf.NoID
+}
+
+// WorldOracle answers fact-verification questions (annotation.FactOracle)
+// from the world's ground truth, translating KB IRIs back to semantics.
+type WorldOracle struct {
+	W  *world.World
+	KB *KB
+}
+
+// TypeHolds consults the class's real-world membership predicate.
+func (o WorldOracle) TypeHolds(value string, typ rdf.ID) bool {
+	if check := o.KB.TypeCheck[typ]; check != nil {
+		return check(value)
+	}
+	if sem := o.KB.TypeName[typ]; sem != "" {
+		return o.W.TypeHolds(value, sem)
+	}
+	return false
+}
+
+// RelHolds consults the world's fact base.
+func (o WorldOracle) RelHolds(subj string, prop rdf.ID, obj string) bool {
+	sem := o.KB.PropName[prop]
+	if sem == "" {
+		return false
+	}
+	return o.W.RelHolds(subj, sem, obj)
+}
+
+// PathHolds verifies a §9 multi-hop fact against the world
+// (annotation.PathOracle).
+func (o WorldOracle) PathHolds(subj string, props []rdf.ID, obj string) bool {
+	rels := make([]string, len(props))
+	for i, p := range props {
+		sem := o.KB.PropName[p]
+		if sem == "" {
+			return false
+		}
+		rels[i] = sem
+	}
+	return o.W.PathHolds(subj, rels, obj)
+}

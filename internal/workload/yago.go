@@ -1,0 +1,279 @@
+package workload
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"katara/internal/rdf"
+	"katara/internal/world"
+)
+
+// catMember decides (deterministically per entity/category pair) whether a
+// wikicat membership is asserted. Real Yago categories are curated and
+// incomplete; the gaps are what let the clean wordnet classes out-support
+// their noisy subcategories during discovery.
+func catMember(value, label string) bool {
+	h := fnv.New32a()
+	h.Write([]byte(value))
+	h.Write([]byte{0})
+	h.Write([]byte(label))
+	return h.Sum32()%100 < 80
+}
+
+// YagoLike builds the Yago-style KB: a deep WordNet-flavoured class
+// hierarchy topped by owl:Thing, many auto-generated wikicat noise classes
+// (Yago has 374K types; we scale the *shape*, not the count), sub-property
+// links, and the coverage profile §7 implies — complete geography, good
+// persons/universities, and crucially *no soccer relationships at all*
+// (Fig. 10 / Table 6: "Yago cannot be used to repair Soccer because it does
+// not have relationships for Soccer").
+func YagoLike(w *world.World, seed int64) *KB {
+	cov := coverage{
+		entity: map[string]float64{
+			world.TPerson:     0.85,
+			world.TPlayer:     0.85,
+			world.TClub:       0.90,
+			world.TUniversity: 0.90,
+			world.TFilm:       0.80,
+			world.TBook:       0.75,
+			world.TCity:       0.95,
+		},
+		fact: map[string]float64{
+			world.RNationality: 0.85,
+			world.RBornIn:      0.70,
+			world.RHeight:      0.60,
+			world.RLanguage:    0.90,
+			world.RContinent:   0.90,
+			world.RUnivCity:    0.80,
+			world.RUnivState:   0.85,
+			world.RCityState:   0.90,
+			world.RDirector:    0.75,
+			world.RAuthor:      0.70,
+			world.RFilmYear:    0.60,
+			world.RBookYear:    0.55,
+		},
+		omit: map[string]bool{
+			world.RPlaysFor: true,
+			world.RInLeague: true,
+			world.RClubCity: true,
+		},
+	}
+	b := newBuilder("Yago", "yago:", w, seed, cov)
+	st := b.kb.Store
+
+	// Deep WordNet-style chains. The wordnet ids are synthetic but the
+	// naming mirrors the real Yago (§5.1's URI example). Every class gets a
+	// real-world membership predicate so the simulated crowd can answer
+	// about it.
+	known := func(v string) bool { return w.Known(v) }
+	anyOf := func(types ...string) func(string) bool {
+		return func(v string) bool {
+			for _, t := range types {
+				if w.TypeHolds(v, t) {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	thing := b.declareType("owl:Thing", "thing", "", known)
+	object := b.declareType("yago:wordnet_physical_entity_100001930", "physical entity", "", known)
+	b.subclass(object, thing)
+	abstraction := b.declareType("yago:wordnet_abstraction_100002137", "abstraction", "", known)
+	b.subclass(abstraction, thing)
+
+	seq := 0
+	chain := func(semantic, label string, check func(string) bool, parents ...rdf.ID) rdf.ID {
+		seq++
+		id := b.declareType(fmt.Sprintf("yago:wordnet_%s_1%08d", iriSafe(label), seq), label, semantic, check)
+		for _, p := range parents {
+			b.subclass(id, p)
+		}
+		return id
+	}
+	location := chain(world.TLocation, "location", nil, object)
+	region := chain("", "region", anyOf(world.TLocation), location)
+	district := chain("", "administrative district", anyOf(world.TCountry, world.TState, world.TCity), region)
+	country := chain(world.TCountry, "country", nil, district)
+	municipality := chain("", "municipality", anyOf(world.TCity), district)
+	city := chain(world.TCity, "city", nil, municipality)
+	capital := chain(world.TCapital, "capital", nil, city)
+	state := chain(world.TState, "state", nil, district)
+
+	causalAgent := chain("", "causal agent", anyOf(world.TPerson), object)
+	person := chain(world.TPerson, "person", nil, causalAgent)
+	contestant := chain("", "contestant", anyOf(world.TPlayer), person)
+	athlete := chain("", "athlete", anyOf(world.TPlayer), contestant)
+	player := chain(world.TPlayer, "soccer player", nil, athlete)
+
+	group := chain("", "social group", anyOf(world.TClub, world.TUniversity, world.TLeague), abstraction)
+	organization := chain("", "organization", anyOf(world.TClub, world.TUniversity, world.TLeague), group)
+	club := chain(world.TClub, "club", nil, organization)
+	university := chain(world.TUniversity, "university", nil, organization)
+	league := chain(world.TLeague, "league", nil, organization)
+
+	communication := chain("", "communication", anyOf(world.TLanguage), abstraction)
+	language := chain(world.TLanguage, "language", nil, communication)
+	continent := chain(world.TContinent, "continent", nil, location)
+	creation := chain("", "creation", anyOf(world.TFilm, world.TBook), object)
+	film := chain(world.TFilm, "movie", nil, creation)
+	book := chain(world.TBook, "book", nil, creation)
+	_ = []rdf.ID{capital, state, player, club, university, league, language, continent, film, book}
+
+	// Properties, with Yago-style sub-property generalisations.
+	locatedIn := b.declareProp("yago:isLocatedIn", "isLocatedIn", "")
+	hasCapital := b.declareProp("yago:hasCapital", "hasCapital", world.RHasCapital)
+	st.Add(hasCapital, st.SubPropertyOfID, locatedIn)
+	b.declareProp("yago:hasOfficialLanguage", "hasOfficialLanguage", world.RLanguage)
+	onCont := b.declareProp("yago:isOnContinent", "isOnContinent", world.RContinent)
+	st.Add(onCont, st.SubPropertyOfID, locatedIn)
+	b.declareProp("yago:isCitizenOf", "isCitizenOf", world.RNationality)
+	bornIn := b.declareProp("yago:wasBornIn", "wasBornIn", world.RBornIn)
+	_ = bornIn
+	b.declareProp("yago:hasHeight", "hasHeight", world.RHeight)
+	inState := b.declareProp("yago:isCapitalOfState", "isCapitalOfState", world.RCityState)
+	st.Add(inState, st.SubPropertyOfID, locatedIn)
+	uCity := b.declareProp("yago:hasUniversityCity", "hasUniversityCity", world.RUnivCity)
+	st.Add(uCity, st.SubPropertyOfID, locatedIn)
+	uState := b.declareProp("yago:isUniversityInState", "isUniversityInState", world.RUnivState)
+	st.Add(uState, st.SubPropertyOfID, locatedIn)
+	b.declareProp("yago:directed", "directed", world.RDirector)
+	b.declareProp("yago:wrote", "wrote", world.RAuthor)
+	b.declareProp("yago:wasCreatedOnDate", "wasCreatedOnDate", world.RFilmYear)
+	st.Add(b.kb.Store.Res("yago:wasPublishedOnDate"), st.LabelID, st.Literal("wasPublishedOnDate"))
+	b.declareProp("yago:wasPublishedOnDate", "wasPublishedOnDate", world.RBookYear)
+
+	// Wikicat noise classes: many narrow categories under the wordnet
+	// classes, giving columns long ambiguous candidate lists — the property
+	// that makes Yago harder than DBpedia in Table 2 / Figure 6.
+	wikicat := map[string]rdf.ID{}
+	cat := func(label string, parent rdf.ID, check func(string) bool) rdf.ID {
+		if id, ok := wikicat[label]; ok {
+			return id
+		}
+		id := b.declareType("yago:wikicat_"+iriSafe(label), label, "", check)
+		b.subclass(id, parent)
+		wikicat[label] = id
+		return id
+	}
+	extraAll := func(kind, value string) []rdf.ID {
+		switch kind {
+		case "country":
+			c := w.CountryOf(value)
+			cont := c.Continent
+			return []rdf.ID{
+				cat("Countries in "+cont, country, func(v string) bool {
+					cc := w.CountryOf(v)
+					return cc != nil && cc.Continent == cont
+				}),
+				cat("Member states of the United Nations", country, func(v string) bool {
+					return w.CountryOf(v) != nil
+				}),
+			}
+		case "capital":
+			if c := w.CityOf(value); c != nil && c.Country != "" {
+				cont := continentOf(w, c.Country)
+				return []rdf.ID{cat("Capitals in "+cont, capital, func(v string) bool {
+					cc := w.CityOf(v)
+					return cc != nil && cc.Capital && continentOf(w, cc.Country) == cont
+				})}
+			}
+			return []rdf.ID{cat("State capitals in the United States", capital, func(v string) bool {
+				return w.CityOf(v) == nil && w.StateOfCity(v) != ""
+			})}
+		case "city":
+			c := w.CityOf(value)
+			country := c.Country
+			if country == "" { // college towns
+				return []rdf.ID{cat("College towns in the United States", city, func(v string) bool {
+					cc := w.CityOf(v)
+					return cc != nil && cc.Country == "" && w.StateOfCity(v) != ""
+				})}
+			}
+			return []rdf.ID{cat("Cities in "+country, city, func(v string) bool {
+				cc := w.CityOf(v)
+				return cc != nil && cc.Country == country
+			})}
+		case "player":
+			p := w.PlayerOf(value)
+			nat := p.Country
+			return []rdf.ID{
+				cat(nat+" footballers", player, func(v string) bool {
+					pp := w.PlayerOf(v)
+					return pp != nil && pp.Country == nat
+				}),
+				cat("Living people", person, func(v string) bool {
+					return w.PersonOf(v) != nil
+				}),
+			}
+		case "person":
+			p := w.PersonOf(value)
+			nat := p.Country
+			return []rdf.ID{
+				cat("People from "+nat, person, func(v string) bool {
+					pp := w.PersonOf(v)
+					return pp != nil && pp.Country == nat
+				}),
+				cat("Living people", person, func(v string) bool {
+					return w.PersonOf(v) != nil
+				}),
+			}
+		case "club":
+			cl := w.ClubOf(value)
+			cc := cityCountry(w, cl.City)
+			return []rdf.ID{cat("Football clubs in "+cc, club, func(v string) bool {
+				c2 := w.ClubOf(v)
+				return c2 != nil && cityCountry(w, c2.City) == cc
+			})}
+		case "university":
+			u := w.UniversityOf(value)
+			st := u.State
+			return []rdf.ID{cat("Universities in "+st, university, func(v string) bool {
+				u2 := w.UniversityOf(v)
+				return u2 != nil && u2.State == st
+			})}
+		case "film":
+			f := w.FilmOf(value)
+			cc := f.Country
+			return []rdf.ID{cat(cc+" films", film, func(v string) bool {
+				f2 := w.FilmOf(v)
+				return f2 != nil && f2.Country == cc
+			})}
+		case "book":
+			return []rdf.ID{cat("Novels", book, func(v string) bool {
+				return w.BookOf(v) != nil
+			})}
+		case "state":
+			return []rdf.ID{cat("States of the United States", state, func(v string) bool {
+				return w.StateOf(v) != nil
+			})}
+		}
+		return nil
+	}
+	// Assert each category membership for ~80% of entities only.
+	extra := func(kind, value string) []rdf.ID {
+		var out []rdf.ID
+		for _, id := range extraAll(kind, value) {
+			if catMember(value, b.kb.Store.LabelOf(id)) {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+	b.populate(extra)
+	return b.kb
+}
+
+func continentOf(w *world.World, country string) string {
+	if c := w.CountryOf(country); c != nil {
+		return c.Continent
+	}
+	return "the world"
+}
+
+func cityCountry(w *world.World, city string) string {
+	if c := w.CityOf(city); c != nil && c.Country != "" {
+		return c.Country
+	}
+	return "the United States"
+}

@@ -1,0 +1,199 @@
+package world
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Seed vocabularies. Real country/capital/state data keeps the generated
+// tables recognisable (and the crowd prompts sensible); names and titles
+// are synthesised from pools.
+
+var baseCountries = []Country{
+	{"Italy", "Rome", "Italian", "Europe"},
+	{"Spain", "Madrid", "Spanish", "Europe"},
+	{"France", "Paris", "French", "Europe"},
+	{"Germany", "Berlin", "German", "Europe"},
+	{"Portugal", "Lisbon", "Portuguese", "Europe"},
+	{"Austria", "Vienna", "German", "Europe"},
+	{"Greece", "Athens", "Greek", "Europe"},
+	{"Poland", "Warsaw", "Polish", "Europe"},
+	{"Netherlands", "Amsterdam", "Dutch", "Europe"},
+	{"Belgium", "Brussels", "Dutch", "Europe"},
+	{"Sweden", "Stockholm", "Swedish", "Europe"},
+	{"Norway", "Oslo", "Norwegian", "Europe"},
+	{"Denmark", "Copenhagen", "Danish", "Europe"},
+	{"Finland", "Helsinki", "Finnish", "Europe"},
+	{"Ireland", "Dublin", "English", "Europe"},
+	{"Switzerland", "Bern", "German", "Europe"},
+	{"Czechia", "Prague", "Czech", "Europe"},
+	{"Hungary", "Budapest", "Hungarian", "Europe"},
+	{"Romania", "Bucharest", "Romanian", "Europe"},
+	{"Croatia", "Zagreb", "Croatian", "Europe"},
+	{"Japan", "Tokyo", "Japanese", "Asia"},
+	{"China", "Beijing", "Chinese", "Asia"},
+	{"India", "New Delhi", "Hindi", "Asia"},
+	{"South Korea", "Seoul", "Korean", "Asia"},
+	{"Thailand", "Bangkok", "Thai", "Asia"},
+	{"Vietnam", "Hanoi", "Vietnamese", "Asia"},
+	{"Indonesia", "Jakarta", "Indonesian", "Asia"},
+	{"Turkey", "Ankara", "Turkish", "Asia"},
+	{"Israel", "Jerusalem", "Hebrew", "Asia"},
+	{"Iran", "Tehran", "Persian", "Asia"},
+	{"Egypt", "Cairo", "Arabic", "Africa"},
+	{"Nigeria", "Abuja", "English", "Africa"},
+	{"Kenya", "Nairobi", "Swahili", "Africa"},
+	{"South Africa", "Pretoria", "Afrikaans", "Africa"},
+	{"Morocco", "Rabat", "Arabic", "Africa"},
+	{"Ghana", "Accra", "English", "Africa"},
+	{"Ethiopia", "Addis Ababa", "Amharic", "Africa"},
+	{"Senegal", "Dakar", "French", "Africa"},
+	{"Brazil", "Brasilia", "Portuguese", "South America"},
+	{"Argentina", "Buenos Aires", "Spanish", "South America"},
+	{"Chile", "Santiago", "Spanish", "South America"},
+	{"Peru", "Lima", "Spanish", "South America"},
+	{"Colombia", "Bogota", "Spanish", "South America"},
+	{"Uruguay", "Montevideo", "Spanish", "South America"},
+	{"Canada", "Ottawa", "English", "North America"},
+	{"Mexico", "Mexico City", "Spanish", "North America"},
+	{"Cuba", "Havana", "Spanish", "North America"},
+	{"Australia", "Canberra", "English", "Oceania"},
+	{"New Zealand", "Wellington", "English", "Oceania"},
+	{"Fiji", "Suva", "Fijian", "Oceania"},
+}
+
+var baseStates = []State{
+	{"Alabama", "Montgomery"},
+	{"Arizona", "Phoenix"},
+	{"California", "Sacramento"},
+	{"Colorado", "Denver"},
+	{"Florida", "Tallahassee"},
+	{"Georgia", "Atlanta"},
+	{"Illinois", "Springfield"},
+	{"Indiana", "Indianapolis"},
+	{"Iowa", "Des Moines"},
+	{"Kansas", "Topeka"},
+	{"Kentucky", "Frankfort"},
+	{"Louisiana", "Baton Rouge"},
+	{"Massachusetts", "Boston"},
+	{"Michigan", "Lansing"},
+	{"Minnesota", "Saint Paul"},
+	{"Missouri", "Jefferson City"},
+	{"Nebraska", "Lincoln"},
+	{"Nevada", "Carson City"},
+	{"New York", "Albany"},
+	{"North Carolina", "Raleigh"},
+	{"Ohio", "Columbus"},
+	{"Oregon", "Salem"},
+	{"Pennsylvania", "Harrisburg"},
+	{"Tennessee", "Nashville"},
+	{"Texas", "Austin"},
+	{"Utah", "Salt Lake City"},
+	{"Virginia", "Richmond"},
+	{"Washington", "Olympia"},
+	{"Wisconsin", "Madison"},
+	{"Wyoming", "Cheyenne"},
+}
+
+var firstNames = []string{
+	"Andrea", "Marco", "Luca", "Giorgio", "Paolo", "Carlos", "Diego", "Javier",
+	"Miguel", "Rafael", "Pierre", "Michel", "Antoine", "Hans", "Karl", "Stefan",
+	"Jan", "Pieter", "Erik", "Lars", "Henrik", "Aki", "Sean", "Liam", "Tomas",
+	"Milan", "Andrzej", "Ivan", "Takeshi", "Hiro", "Kenji", "Wei", "Jin", "Arjun",
+	"Ravi", "Omar", "Ali", "Kwame", "Sipho", "Thabo", "Juan", "Pedro", "Mateo",
+	"Bruno", "Felipe", "Jack", "Noah", "Ethan", "Oliver", "Mia",
+}
+
+var lastNames = []string{
+	"Rossi", "Bianchi", "Ferrari", "Romano", "Colombo", "Garcia", "Fernandez",
+	"Lopez", "Martinez", "Sanchez", "Dubois", "Moreau", "Laurent", "Muller",
+	"Schmidt", "Weber", "Wagner", "Becker", "Jansen", "Visser", "Andersson",
+	"Johansson", "Nilsson", "Hansen", "Korhonen", "Murphy", "Kelly", "Novak",
+	"Horvat", "Kowalski", "Nowak", "Ivanov", "Tanaka", "Suzuki", "Yamamoto",
+	"Watanabe", "Chen", "Wang", "Singh", "Patel", "Hassan", "Mensah", "Dlamini",
+	"Nkosi", "Silva", "Santos", "Oliveira", "Pereira", "Smith", "Brown", "Wilson",
+	"Taylor", "Walker", "Moyo", "Banda", "Okafor", "Diallo", "Keita", "Traore",
+	"Demir",
+}
+
+var cityPrefixes = []string{"Port", "San", "New", "Old", "East", "West", "North", "South", "Lake", "Mount"}
+var citySuffixes = []string{"ville", "burg", "ton", " Falls", " Harbor", " Springs", " Heights", "field", "dale", "mouth"}
+
+func cityName(country string, i int, rng *rand.Rand) string {
+	p := cityPrefixes[rng.Intn(len(cityPrefixes))]
+	s := citySuffixes[rng.Intn(len(citySuffixes))]
+	stem := country
+	if len(stem) > 6 {
+		stem = stem[:6]
+	}
+	return fmt.Sprintf("%s %s%s", p, stem, s)
+}
+
+var townSuffixes = []string{" Grove", " Creek", " Ridge", " Plains", " Junction", " Park", " Hollow", " Bluff"}
+
+// townName generates a college-town name stemmed on the state.
+func townName(state string, rng *rand.Rand) string {
+	stem := state
+	if i := len(stem); i > 7 {
+		stem = stem[:7]
+	}
+	return stem + townSuffixes[rng.Intn(len(townSuffixes))]
+}
+
+func clubName(city string, i int) string {
+	styles := []string{"FC %s", "%s United", "Real %s", "Sporting %s", "%s Rovers", "Athletic %s"}
+	return fmt.Sprintf(styles[i%len(styles)], city)
+}
+
+func leagueOf(country string) string { return country + " Premier League" }
+
+var universityStyles = []string{
+	"University of %s",
+	"%s State University",
+	"%s Institute of Technology",
+	"%s A&M University",
+	"Central %s College",
+	"%s Polytechnic University",
+	"Northern %s University",
+	"%s Metropolitan College",
+}
+
+func universityName(state, city string, i int) string {
+	style := universityStyles[i%len(universityStyles)]
+	base := state
+	if i%(2*len(universityStyles)) >= len(universityStyles) {
+		base = city
+	}
+	return fmt.Sprintf(style, base)
+}
+
+var filmNouns = []string{"Shadow", "River", "Garden", "Winter", "Summer", "Voyage", "Silence", "Echo", "Mirror", "Storm"}
+var filmPlaces = []string{"Rome", "Tokyo", "Cairo", "Lima", "Oslo", "Prague", "Kyoto", "Havana", "Dakar", "Vienna"}
+
+func filmTitle(rng *rand.Rand, i int) string {
+	return fmt.Sprintf("%s of %s (film %d)", filmNouns[rng.Intn(len(filmNouns))],
+		filmPlaces[rng.Intn(len(filmPlaces))], i)
+}
+
+var bookAdjectives = []string{"Quiet", "Burning", "Hidden", "Distant", "Broken", "Golden", "Endless", "Forgotten", "Silent", "Last"}
+var bookNouns = []string{"Empire", "Journey", "Letter", "Harvest", "Horizon", "Archive", "Covenant", "Garden", "Winter", "Map"}
+
+func bookTitle(rng *rand.Rand, i int) string {
+	return fmt.Sprintf("A %s %s, Volume %d", bookAdjectives[rng.Intn(len(bookAdjectives))],
+		bookNouns[rng.Intn(len(bookNouns))], i)
+}
+
+func romanNumeral(n int) string {
+	vals := []struct {
+		v int
+		s string
+	}{{10, "X"}, {9, "IX"}, {5, "V"}, {4, "IV"}, {1, "I"}}
+	out := ""
+	for _, p := range vals {
+		for n >= p.v {
+			out += p.s
+			n -= p.v
+		}
+	}
+	return out
+}

@@ -1,0 +1,289 @@
+package world
+
+// Semantic vocabulary: the names shared by the world, the KB builders and
+// the dataset specs. The oracle answers membership and fact questions in
+// this vocabulary; KBs map their IRIs back to it.
+
+// Type names.
+const (
+	TPerson     = "person"
+	TPlayer     = "player"
+	TCountry    = "country"
+	TCity       = "city"
+	TCapital    = "capital"
+	TLocation   = "location"
+	TLanguage   = "language"
+	TContinent  = "continent"
+	TClub       = "club"
+	TLeague     = "league"
+	TState      = "state"
+	TUniversity = "university"
+	TFilm       = "film"
+	TBook       = "book"
+)
+
+// Relationship names (directed, subject first).
+const (
+	RHasCapital  = "hasCapital"       // country -> capital
+	RLanguage    = "officialLanguage" // country -> language
+	RContinent   = "onContinent"      // country -> continent
+	RNationality = "nationality"      // person -> country
+	RBornIn      = "bornIn"           // person -> city
+	RHeight      = "height"           // person -> literal
+	RPlaysFor    = "playsFor"         // player -> club
+	RClubCity    = "clubCity"         // club -> city
+	RInLeague    = "inLeague"         // club -> league
+	RUnivCity    = "univCity"         // university -> city
+	RUnivState   = "univState"        // university -> state
+	RCityState   = "cityState"        // city -> state (state capitals)
+	RDirector    = "director"         // film -> person
+	RAuthor      = "author"           // book -> person
+	RFilmYear    = "filmYear"         // film -> literal
+	RBookYear    = "bookYear"         // book -> literal
+)
+
+// TypeHierarchy maps each semantic type to its parent ("" for roots). This
+// is the *real* hierarchy; KB builders materialise (noisy supersets of) it.
+var TypeHierarchy = map[string]string{
+	TPlayer:     TPerson,
+	TCapital:    TCity,
+	TCity:       TLocation,
+	TCountry:    TLocation,
+	TState:      TLocation,
+	TPerson:     "",
+	TLocation:   "",
+	TLanguage:   "",
+	TContinent:  "",
+	TClub:       "",
+	TLeague:     "",
+	TUniversity: "",
+	TFilm:       "",
+	TBook:       "",
+}
+
+// Known reports whether value names any entity in the world.
+func (w *World) Known(value string) bool {
+	return len(w.directTypes(value)) > 0
+}
+
+// TypeHolds reports whether value is truly an instance of typeName,
+// honouring the semantic hierarchy (a capital is a city is a location).
+func (w *World) TypeHolds(value, typeName string) bool {
+	for _, direct := range w.directTypes(value) {
+		t := direct
+		for t != "" {
+			if t == typeName {
+				return true
+			}
+			t = TypeHierarchy[t]
+		}
+	}
+	return false
+}
+
+func (w *World) directTypes(value string) []string {
+	var out []string
+	if w.countryByName[value] != nil {
+		out = append(out, TCountry)
+	}
+	if c := w.cityByName[value]; c != nil {
+		if c.Capital {
+			out = append(out, TCapital)
+		} else {
+			out = append(out, TCity)
+		}
+	}
+	if w.playerByName[value] != nil {
+		out = append(out, TPlayer)
+	} else if w.personByName[value] != nil {
+		out = append(out, TPerson)
+	}
+	if w.clubByName[value] != nil {
+		out = append(out, TClub)
+	}
+	if w.stateByName[value] != nil {
+		out = append(out, TState)
+	}
+	if w.cityByName[value] == nil && w.stateOfCity[value] != "" {
+		out = append(out, TCapital) // US state capitals
+	}
+	if w.univByName[value] != nil {
+		out = append(out, TUniversity)
+	}
+	if w.filmByTitle[value] != nil {
+		out = append(out, TFilm)
+	}
+	if w.bookByTitle[value] != nil {
+		out = append(out, TBook)
+	}
+	for _, c := range w.Countries {
+		if c.Language == value {
+			out = append(out, TLanguage)
+			break
+		}
+	}
+	for _, c := range w.Countries {
+		if c.Continent == value {
+			out = append(out, TContinent)
+			break
+		}
+	}
+	for _, c := range w.Clubs {
+		if c.League == value {
+			out = append(out, TLeague)
+			break
+		}
+	}
+	return out
+}
+
+// Successors returns the objects truly related to subj by relName — the
+// fact graph view of the world used for multi-hop (path) verification.
+func (w *World) Successors(subj, relName string) []string {
+	switch relName {
+	case RHasCapital:
+		if c := w.countryByName[subj]; c != nil {
+			return []string{c.Capital}
+		}
+	case RLanguage:
+		if c := w.countryByName[subj]; c != nil {
+			return []string{c.Language}
+		}
+	case RContinent:
+		if c := w.countryByName[subj]; c != nil {
+			return []string{c.Continent}
+		}
+	case RNationality:
+		if p := w.personByName[subj]; p != nil {
+			return []string{p.Country}
+		}
+	case RBornIn:
+		if p := w.personByName[subj]; p != nil {
+			return []string{p.BirthCity}
+		}
+	case RHeight:
+		if p := w.personByName[subj]; p != nil {
+			return []string{p.Height}
+		}
+	case RPlaysFor:
+		if p := w.playerByName[subj]; p != nil {
+			return []string{p.Club}
+		}
+	case RClubCity:
+		if c := w.clubByName[subj]; c != nil {
+			return []string{c.City}
+		}
+	case RInLeague:
+		if c := w.clubByName[subj]; c != nil {
+			return []string{c.League}
+		}
+	case RUnivCity:
+		if u := w.univByName[subj]; u != nil {
+			return []string{u.City}
+		}
+	case RUnivState:
+		if u := w.univByName[subj]; u != nil {
+			return []string{u.State}
+		}
+	case RCityState:
+		if st := w.stateOfCity[subj]; st != "" {
+			return []string{st}
+		}
+	case RDirector:
+		if f := w.filmByTitle[subj]; f != nil {
+			return []string{f.Director}
+		}
+	case RAuthor:
+		if b := w.bookByTitle[subj]; b != nil {
+			return []string{b.Author}
+		}
+	case RFilmYear:
+		if f := w.filmByTitle[subj]; f != nil {
+			return []string{f.Year}
+		}
+	case RBookYear:
+		if b := w.bookByTitle[subj]; b != nil {
+			return []string{b.Year}
+		}
+	// "cityCountry" is not a first-class relation of any KB, but paths
+	// need it: a city's country.
+	case "cityCountry":
+		if c := w.cityByName[subj]; c != nil && c.Country != "" {
+			return []string{c.Country}
+		}
+	}
+	return nil
+}
+
+// PathHolds reports whether a chain of relations truly links subj to obj.
+func (w *World) PathHolds(subj string, rels []string, obj string) bool {
+	frontier := map[string]bool{subj: true}
+	for _, rel := range rels {
+		next := map[string]bool{}
+		for v := range frontier {
+			for _, o := range w.Successors(v, rel) {
+				next[o] = true
+			}
+		}
+		if len(next) == 0 {
+			return false
+		}
+		frontier = next
+	}
+	return frontier[obj]
+}
+
+// RelHolds reports whether relName truly relates subj to obj.
+func (w *World) RelHolds(subj, relName, obj string) bool {
+	switch relName {
+	case RHasCapital:
+		c := w.countryByName[subj]
+		return c != nil && c.Capital == obj
+	case RLanguage:
+		c := w.countryByName[subj]
+		return c != nil && c.Language == obj
+	case RContinent:
+		c := w.countryByName[subj]
+		return c != nil && c.Continent == obj
+	case RNationality:
+		p := w.personByName[subj]
+		return p != nil && p.Country == obj
+	case RBornIn:
+		p := w.personByName[subj]
+		return p != nil && p.BirthCity == obj
+	case RHeight:
+		p := w.personByName[subj]
+		return p != nil && p.Height == obj
+	case RPlaysFor:
+		p := w.playerByName[subj]
+		return p != nil && p.Club == obj
+	case RClubCity:
+		c := w.clubByName[subj]
+		return c != nil && c.City == obj
+	case RInLeague:
+		c := w.clubByName[subj]
+		return c != nil && c.League == obj
+	case RUnivCity:
+		u := w.univByName[subj]
+		return u != nil && u.City == obj
+	case RUnivState:
+		u := w.univByName[subj]
+		return u != nil && u.State == obj
+	case RCityState:
+		return w.stateOfCity[subj] == obj && obj != ""
+	case RDirector:
+		f := w.filmByTitle[subj]
+		return f != nil && f.Director == obj
+	case RAuthor:
+		b := w.bookByTitle[subj]
+		return b != nil && b.Author == obj
+	case RFilmYear:
+		f := w.filmByTitle[subj]
+		return f != nil && f.Year == obj
+	case RBookYear:
+		b := w.bookByTitle[subj]
+		return b != nil && b.Year == obj
+	default:
+		return false
+	}
+}

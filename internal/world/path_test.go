@@ -1,0 +1,119 @@
+package world
+
+import "testing"
+
+func TestSuccessors(t *testing.T) {
+	w := New(5, Config{})
+	c := w.Countries[0]
+	if got := w.Successors(c.Name, RHasCapital); len(got) != 1 || got[0] != c.Capital {
+		t.Fatalf("Successors(%s, hasCapital) = %v", c.Name, got)
+	}
+	if got := w.Successors(c.Name, RLanguage); len(got) != 1 || got[0] != c.Language {
+		t.Fatalf("Successors language = %v", got)
+	}
+	p := w.Players[0]
+	if got := w.Successors(p.Name, RPlaysFor); len(got) != 1 || got[0] != p.Club {
+		t.Fatalf("Successors playsFor = %v", got)
+	}
+	cl := w.ClubOf(p.Club)
+	if got := w.Successors(cl.Name, RClubCity); len(got) != 1 || got[0] != cl.City {
+		t.Fatalf("Successors clubCity = %v", got)
+	}
+	u := w.Universities[0]
+	if got := w.Successors(u.Name, RUnivState); len(got) != 1 || got[0] != u.State {
+		t.Fatalf("Successors univState = %v", got)
+	}
+	f := w.Films[0]
+	if got := w.Successors(f.Title, RDirector); len(got) != 1 || got[0] != f.Director {
+		t.Fatalf("Successors director = %v", got)
+	}
+	b := w.Books[0]
+	if got := w.Successors(b.Title, RAuthor); len(got) != 1 || got[0] != b.Author {
+		t.Fatalf("Successors author = %v", got)
+	}
+	if got := w.Successors("nobody", RHasCapital); got != nil {
+		t.Fatalf("unknown subject = %v", got)
+	}
+	if got := w.Successors(c.Name, "no-such-rel"); got != nil {
+		t.Fatalf("unknown relation = %v", got)
+	}
+	// cityCountry: a country city's country.
+	for _, city := range w.Cities {
+		if city.Country != "" {
+			if got := w.Successors(city.Name, "cityCountry"); len(got) != 1 || got[0] != city.Country {
+				t.Fatalf("cityCountry(%s) = %v", city.Name, got)
+			}
+			break
+		}
+	}
+}
+
+func TestPathHoldsChains(t *testing.T) {
+	w := New(5, Config{})
+	// player -playsFor-> club -clubCity-> city.
+	p := w.Players[0]
+	cl := w.ClubOf(p.Club)
+	if !w.PathHolds(p.Name, []string{RPlaysFor, RClubCity}, cl.City) {
+		t.Fatal("player→club→city chain should hold")
+	}
+	if w.PathHolds(p.Name, []string{RPlaysFor, RClubCity}, "Atlantis") {
+		t.Fatal("chain to wrong city must fail")
+	}
+	// person -bornIn-> city -cityCountry-> country equals nationality
+	// (the §9 example) — birth cities are in the person's own country.
+	per := w.Persons[0]
+	if !w.PathHolds(per.Name, []string{RBornIn, "cityCountry"}, per.Country) {
+		t.Fatal("bornIn∘cityCountry chain should reach the nationality")
+	}
+	// Single hop degenerates to RelHolds.
+	if !w.PathHolds(per.Name, []string{RNationality}, per.Country) {
+		t.Fatal("single-hop path broken")
+	}
+	// Dead ends fail cleanly.
+	if w.PathHolds("nobody", []string{RNationality, RHasCapital}, "x") {
+		t.Fatal("unknown subject chain must fail")
+	}
+	// university -univCity-> city -cityState-> state equals univState.
+	u := w.Universities[0]
+	if !w.PathHolds(u.Name, []string{RUnivCity, RCityState}, u.State) {
+		t.Fatal("univCity∘cityState chain should reach the state")
+	}
+}
+
+func TestRelHoldsLiteralYears(t *testing.T) {
+	w := New(5, Config{})
+	f := w.Films[0]
+	if !w.RelHolds(f.Title, RFilmYear, f.Year) || w.RelHolds(f.Title, RFilmYear, "1800") {
+		t.Fatal("film year oracle broken")
+	}
+	b := w.Books[0]
+	if !w.RelHolds(b.Title, RBookYear, b.Year) {
+		t.Fatal("book year oracle broken")
+	}
+	if !w.RelHolds(b.Title, RAuthor, b.Author) || w.RelHolds(b.Title, RAuthor, "nobody") {
+		t.Fatal("author oracle broken")
+	}
+}
+
+func TestUniqueNameDisambiguation(t *testing.T) {
+	used := map[string]bool{}
+	a := uniqueName("University of Texas", used)
+	b := uniqueName("University of Texas", used)
+	c := uniqueName("University of Texas", used)
+	if a != "University of Texas" || b == a || c == b || c == a {
+		t.Fatalf("disambiguation broken: %q %q %q", a, b, c)
+	}
+	if b != "University of Texas II" || c != "University of Texas III" {
+		t.Fatalf("roman ordinals expected: %q %q", b, c)
+	}
+}
+
+func TestUniversityNameVariety(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 2*len(universityStyles); i++ {
+		seen[universityName("Ohio", "Columbus", i)] = true
+	}
+	if len(seen) < len(universityStyles) {
+		t.Fatalf("only %d distinct base names", len(seen))
+	}
+}

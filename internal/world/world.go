@@ -1,0 +1,346 @@
+// Package world generates the deterministic synthetic "real world" both the
+// knowledge bases and the datasets are drawn from. It is the single source
+// of ground truth: the KBs (package workload) publish *incomplete* views of
+// it, the tables sample it (plus injected errors), and the simulated crowd
+// answers from it.
+//
+// This replaces the paper's Wikipedia-derived corpora (Yago, DBpedia,
+// WikiTables, WebTables, Person/Soccer/University): what the experiments
+// measure — coverage, redundancy, ambiguity, hierarchy effects — are all
+// explicit knobs here rather than accidents of a dump file.
+package world
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+)
+
+// Country is a nation with its capital, main language and continent.
+type Country struct {
+	Name      string
+	Capital   string
+	Language  string
+	Continent string
+}
+
+// City belongs to a country; capitals are flagged.
+type City struct {
+	Name    string
+	Country string
+	Capital bool
+}
+
+// Person has a nationality, a birth city and a height.
+type Person struct {
+	Name      string
+	Country   string
+	BirthCity string
+	Height    string // e.g. "1.78" — literal-valued in KBs
+}
+
+// Club is a soccer club in a city, playing in a league.
+type Club struct {
+	Name   string
+	City   string
+	League string
+}
+
+// Player is a person playing for a club.
+type Player struct {
+	Person
+	Club string
+}
+
+// State is a US state with its capital city.
+type State struct {
+	Name    string
+	Capital string
+}
+
+// University sits in a city within a state.
+type University struct {
+	Name  string
+	City  string
+	State string
+}
+
+// Film has a director (a person) and a production country.
+type Film struct {
+	Title    string
+	Director string
+	Country  string
+	Year     string
+}
+
+// Book has an author and a publication year.
+type Book struct {
+	Title  string
+	Author string
+	Year   string
+}
+
+// Config scales the generated world.
+type Config struct {
+	Persons      int // non-player persons (default 400)
+	Players      int // soccer players (default 200)
+	Clubs        int // soccer clubs (default 40)
+	Universities int // universities (default 120)
+	Films        int // films (default 80)
+	Books        int // books (default 80)
+	ExtraCities  int // non-capital cities per country (default 2)
+}
+
+func (c Config) withDefaults() Config {
+	def := func(v *int, d int) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	// Defaults size the world to the paper's datasets: 1625 unique soccer
+	// players, 1357 unique universities (§7), plus a bounded pool of
+	// non-player persons.
+	def(&c.Persons, 600)
+	def(&c.Players, 1700)
+	def(&c.Clubs, 120)
+	def(&c.Universities, 1400)
+	def(&c.Films, 80)
+	def(&c.Books, 80)
+	def(&c.ExtraCities, 2)
+	return c
+}
+
+// cityState records a college town's state.
+type cityState struct{ city, state string }
+
+// World is the complete ground truth.
+type World struct {
+	collegeTowns []cityState
+	Countries    []Country
+	Cities       []City
+	Persons      []Person // includes players' Person records
+	Players      []Player
+	Clubs        []Club
+	States       []State
+	Universities []University
+	Films        []Film
+	Books        []Book
+
+	countryByName map[string]*Country
+	cityByName    map[string]*City
+	personByName  map[string]*Person
+	playerByName  map[string]*Player
+	clubByName    map[string]*Club
+	stateByName   map[string]*State
+	univByName    map[string]*University
+	filmByTitle   map[string]*Film
+	bookByTitle   map[string]*Book
+	stateOfCity   map[string]string // university cities
+}
+
+// uniqueName disambiguates repeated generated names with roman ordinals,
+// the way real datasets disambiguate homonyms.
+func uniqueName(base string, used map[string]bool) string {
+	name := base
+	for n := 2; used[name]; n++ {
+		name = base + " " + romanNumeral(n)
+	}
+	used[name] = true
+	return name
+}
+
+// New builds a world from seed. Same seed, same world.
+func New(seed int64, cfg Config) *World {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	w := &World{}
+
+	w.Countries = append([]Country(nil), baseCountries...)
+	for _, c := range w.Countries {
+		w.Cities = append(w.Cities, City{Name: c.Capital, Country: c.Name, Capital: true})
+	}
+	for _, c := range w.Countries {
+		for i := 0; i < cfg.ExtraCities; i++ {
+			w.Cities = append(w.Cities, City{
+				Name:    cityName(c.Name, i, rng),
+				Country: c.Name,
+			})
+		}
+	}
+	w.States = append([]State(nil), baseStates...)
+
+	// Persons: unique full names with nationality, birth city and height.
+	used := map[string]bool{}
+	mkPerson := func() Person {
+		var name string
+		for {
+			name = firstNames[rng.Intn(len(firstNames))] + " " + lastNames[rng.Intn(len(lastNames))]
+			if !used[name] {
+				break
+			}
+			name += " " + romanNumeral(rng.Intn(20)+2)
+			if !used[name] {
+				break
+			}
+		}
+		used[name] = true
+		c := w.Countries[rng.Intn(len(w.Countries))]
+		cities := w.citiesOf(c.Name)
+		return Person{
+			Name:      name,
+			Country:   c.Name,
+			BirthCity: cities[rng.Intn(len(cities))].Name,
+			Height:    fmt.Sprintf("1.%02d", 55+rng.Intn(45)),
+		}
+	}
+	for i := 0; i < cfg.Persons; i++ {
+		w.Persons = append(w.Persons, mkPerson())
+	}
+
+	// Clubs: each in a city, league named after the country. Names are
+	// disambiguated with roman ordinals when a style/city pair repeats.
+	usedClub := map[string]bool{}
+	for i := 0; i < cfg.Clubs; i++ {
+		city := w.Cities[rng.Intn(len(w.Cities))]
+		name := uniqueName(clubName(city.Name, i), usedClub)
+		w.Clubs = append(w.Clubs, Club{
+			Name:   name,
+			City:   city.Name,
+			League: leagueOf(city.Country),
+		})
+	}
+	for i := 0; i < cfg.Players; i++ {
+		p := mkPerson()
+		club := w.Clubs[rng.Intn(len(w.Clubs))]
+		w.Players = append(w.Players, Player{Person: p, Club: club.Name})
+		w.Persons = append(w.Persons, p)
+	}
+
+	// Universities: with unique names, mostly in their own college towns
+	// (so university cities are near-unique, like the paper's 1357 US
+	// universities) and occasionally in the state capital.
+	usedUniv := map[string]bool{}
+	usedTown := map[string]bool{}
+	for _, s := range w.States {
+		usedTown[s.Capital] = true
+	}
+	for i := 0; i < cfg.Universities; i++ {
+		st := w.States[rng.Intn(len(w.States))]
+		city := st.Capital
+		if rng.Float64() < 0.75 {
+			city = uniqueName(townName(st.Name, rng), usedTown)
+			w.Cities = append(w.Cities, City{Name: city})
+			w.collegeTowns = append(w.collegeTowns, cityState{city, st.Name})
+		}
+		name := uniqueName(universityName(st.Name, city, i), usedUniv)
+		w.Universities = append(w.Universities, University{Name: name, City: city, State: st.Name})
+	}
+
+	// Films and books by some of the persons.
+	for i := 0; i < cfg.Films; i++ {
+		d := w.Persons[rng.Intn(len(w.Persons))]
+		w.Films = append(w.Films, Film{
+			Title:    filmTitle(rng, i),
+			Director: d.Name,
+			Country:  d.Country,
+			Year:     strconv.Itoa(1950 + rng.Intn(65)),
+		})
+	}
+	for i := 0; i < cfg.Books; i++ {
+		a := w.Persons[rng.Intn(len(w.Persons))]
+		w.Books = append(w.Books, Book{
+			Title:  bookTitle(rng, i),
+			Author: a.Name,
+			Year:   strconv.Itoa(1900 + rng.Intn(115)),
+		})
+	}
+
+	w.index()
+	return w
+}
+
+func (w *World) index() {
+	w.countryByName = map[string]*Country{}
+	for i := range w.Countries {
+		w.countryByName[w.Countries[i].Name] = &w.Countries[i]
+	}
+	w.cityByName = map[string]*City{}
+	for i := range w.Cities {
+		w.cityByName[w.Cities[i].Name] = &w.Cities[i]
+	}
+	w.personByName = map[string]*Person{}
+	for i := range w.Persons {
+		w.personByName[w.Persons[i].Name] = &w.Persons[i]
+	}
+	w.playerByName = map[string]*Player{}
+	for i := range w.Players {
+		w.playerByName[w.Players[i].Name] = &w.Players[i]
+	}
+	w.clubByName = map[string]*Club{}
+	for i := range w.Clubs {
+		w.clubByName[w.Clubs[i].Name] = &w.Clubs[i]
+	}
+	w.stateByName = map[string]*State{}
+	w.stateOfCity = map[string]string{}
+	for i := range w.States {
+		w.stateByName[w.States[i].Name] = &w.States[i]
+		w.stateOfCity[w.States[i].Capital] = w.States[i].Name
+	}
+	for _, ct := range w.collegeTowns {
+		w.stateOfCity[ct.city] = ct.state
+	}
+	w.univByName = map[string]*University{}
+	for i := range w.Universities {
+		w.univByName[w.Universities[i].Name] = &w.Universities[i]
+	}
+	w.filmByTitle = map[string]*Film{}
+	for i := range w.Films {
+		w.filmByTitle[w.Films[i].Title] = &w.Films[i]
+	}
+	w.bookByTitle = map[string]*Book{}
+	for i := range w.Books {
+		w.bookByTitle[w.Books[i].Title] = &w.Books[i]
+	}
+}
+
+func (w *World) citiesOf(country string) []City {
+	var out []City
+	for _, c := range w.Cities {
+		if c.Country == country {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Lookup helpers used by KB builders and oracles.
+
+// CountryOf returns the country record by name.
+func (w *World) CountryOf(name string) *Country { return w.countryByName[name] }
+
+// CityOf returns the city record by name.
+func (w *World) CityOf(name string) *City { return w.cityByName[name] }
+
+// PersonOf returns the person record by name.
+func (w *World) PersonOf(name string) *Person { return w.personByName[name] }
+
+// PlayerOf returns the player record by name.
+func (w *World) PlayerOf(name string) *Player { return w.playerByName[name] }
+
+// ClubOf returns the club record by name.
+func (w *World) ClubOf(name string) *Club { return w.clubByName[name] }
+
+// StateOf returns the state record by name.
+func (w *World) StateOf(name string) *State { return w.stateByName[name] }
+
+// UniversityOf returns the university record by name.
+func (w *World) UniversityOf(name string) *University { return w.univByName[name] }
+
+// FilmOf returns the film record by title.
+func (w *World) FilmOf(title string) *Film { return w.filmByTitle[title] }
+
+// BookOf returns the book record by title.
+func (w *World) BookOf(title string) *Book { return w.bookByTitle[title] }
+
+// StateOfCity returns the state containing a (university) city.
+func (w *World) StateOfCity(city string) string { return w.stateOfCity[city] }

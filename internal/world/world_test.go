@@ -1,0 +1,185 @@
+package world
+
+import (
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(7, Config{})
+	b := New(7, Config{})
+	if len(a.Persons) != len(b.Persons) || len(a.Clubs) != len(b.Clubs) {
+		t.Fatal("same seed produced different worlds")
+	}
+	for i := range a.Persons {
+		if a.Persons[i] != b.Persons[i] {
+			t.Fatalf("person %d differs: %+v vs %+v", i, a.Persons[i], b.Persons[i])
+		}
+	}
+	c := New(8, Config{})
+	if a.Persons[0] == c.Persons[0] && a.Persons[1] == c.Persons[1] {
+		t.Fatal("different seeds produced identical persons (suspicious)")
+	}
+}
+
+func TestConfigScaling(t *testing.T) {
+	w := New(1, Config{Persons: 10, Players: 5, Clubs: 3, Universities: 4, Films: 2, Books: 2})
+	if len(w.Players) != 5 || len(w.Clubs) != 3 || len(w.Universities) != 4 {
+		t.Fatalf("scaling ignored: %d players %d clubs %d universities",
+			len(w.Players), len(w.Clubs), len(w.Universities))
+	}
+	// Players' person records are included in Persons.
+	if len(w.Persons) != 15 {
+		t.Fatalf("persons = %d, want 10 + 5", len(w.Persons))
+	}
+}
+
+func TestReferentialIntegrity(t *testing.T) {
+	w := New(42, Config{})
+	for _, p := range w.Persons {
+		if w.CountryOf(p.Country) == nil {
+			t.Fatalf("person %s has unknown country %s", p.Name, p.Country)
+		}
+		city := w.CityOf(p.BirthCity)
+		if city == nil {
+			t.Fatalf("person %s has unknown birth city %s", p.Name, p.BirthCity)
+		}
+		if city.Country != p.Country {
+			t.Fatalf("person %s born in %s (%s) but national of %s",
+				p.Name, city.Name, city.Country, p.Country)
+		}
+	}
+	for _, pl := range w.Players {
+		if w.ClubOf(pl.Club) == nil {
+			t.Fatalf("player %s has unknown club %s", pl.Name, pl.Club)
+		}
+	}
+	for _, u := range w.Universities {
+		st := w.StateOf(u.State)
+		if st == nil {
+			t.Fatalf("university %s has unknown state: %+v", u.Name, u)
+		}
+		// The city is either the state capital or a college town of that
+		// state; either way StateOfCity must agree.
+		if w.StateOfCity(u.City) != u.State {
+			t.Fatalf("university %s city/state mismatch: %+v", u.Name, u)
+		}
+	}
+	// College towns are cities with no country and a known state.
+	towns := 0
+	for _, c := range w.Cities {
+		if c.Country == "" {
+			towns++
+			if w.StateOfCity(c.Name) == "" {
+				t.Fatalf("college town %s has no state", c.Name)
+			}
+			if w.TypeHolds(c.Name, TCapital) {
+				t.Fatalf("college town %s must not be a capital", c.Name)
+			}
+			if !w.TypeHolds(c.Name, TCity) {
+				t.Fatalf("college town %s should be a city", c.Name)
+			}
+		}
+	}
+	if towns == 0 {
+		t.Fatal("expected some college towns")
+	}
+	for _, f := range w.Films {
+		if w.PersonOf(f.Director) == nil {
+			t.Fatalf("film %s has unknown director %s", f.Title, f.Director)
+		}
+	}
+}
+
+func TestUniquePersonNames(t *testing.T) {
+	w := New(3, Config{Persons: 2000, Players: 500})
+	seen := map[string]bool{}
+	for _, p := range w.Persons {
+		if seen[p.Name] {
+			t.Fatalf("duplicate person name %s", p.Name)
+		}
+		seen[p.Name] = true
+	}
+}
+
+func TestTypeHoldsHierarchy(t *testing.T) {
+	w := New(5, Config{})
+	if !w.TypeHolds("Italy", TCountry) {
+		t.Fatal("Italy should be a country")
+	}
+	if !w.TypeHolds("Italy", TLocation) {
+		t.Fatal("Italy should be a location via hierarchy")
+	}
+	if !w.TypeHolds("Rome", TCapital) || !w.TypeHolds("Rome", TCity) {
+		t.Fatal("Rome should be capital and city")
+	}
+	if w.TypeHolds("Rome", TCountry) {
+		t.Fatal("Rome is not a country")
+	}
+	if w.TypeHolds("NotAThing", TCity) {
+		t.Fatal("unknown value should not type-check")
+	}
+	pl := w.Players[0]
+	if !w.TypeHolds(pl.Name, TPlayer) || !w.TypeHolds(pl.Name, TPerson) {
+		t.Fatal("players are persons")
+	}
+}
+
+func TestRelHolds(t *testing.T) {
+	w := New(5, Config{})
+	if !w.RelHolds("Italy", RHasCapital, "Rome") {
+		t.Fatal("Italy hasCapital Rome")
+	}
+	if w.RelHolds("Italy", RHasCapital, "Madrid") {
+		t.Fatal("Italy hasCapital Madrid must be false")
+	}
+	if !w.RelHolds("Italy", RLanguage, "Italian") {
+		t.Fatal("Italy officialLanguage Italian")
+	}
+	p := w.Persons[0]
+	if !w.RelHolds(p.Name, RNationality, p.Country) {
+		t.Fatal("nationality fact broken")
+	}
+	if !w.RelHolds(p.Name, RHeight, p.Height) {
+		t.Fatal("height fact broken")
+	}
+	pl := w.Players[0]
+	if !w.RelHolds(pl.Name, RPlaysFor, pl.Club) {
+		t.Fatal("playsFor fact broken")
+	}
+	u := w.Universities[0]
+	if !w.RelHolds(u.Name, RUnivState, u.State) || !w.RelHolds(u.Name, RUnivCity, u.City) {
+		t.Fatal("university facts broken")
+	}
+	if !w.RelHolds(u.City, RCityState, u.State) {
+		t.Fatal("cityState fact broken")
+	}
+	if w.RelHolds("x", "no-such-rel", "y") {
+		t.Fatal("unknown relationship must be false")
+	}
+}
+
+func TestLanguageAndLeagueTypes(t *testing.T) {
+	w := New(5, Config{})
+	if !w.TypeHolds("Italian", TLanguage) {
+		t.Fatal("Italian is a language")
+	}
+	if !w.TypeHolds(w.Clubs[0].League, TLeague) {
+		t.Fatal("league type missing")
+	}
+	if !w.TypeHolds("Europe", TContinent) {
+		t.Fatal("Europe is a continent")
+	}
+}
+
+func TestFilmsAndBooks(t *testing.T) {
+	w := New(5, Config{})
+	f := w.Films[0]
+	if !w.TypeHolds(f.Title, TFilm) || !w.RelHolds(f.Title, RDirector, f.Director) ||
+		!w.RelHolds(f.Title, RFilmYear, f.Year) {
+		t.Fatal("film oracle broken")
+	}
+	b := w.Books[0]
+	if !w.TypeHolds(b.Title, TBook) || !w.RelHolds(b.Title, RAuthor, b.Author) {
+		t.Fatal("book oracle broken")
+	}
+}

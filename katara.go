@@ -1,0 +1,316 @@
+// Package katara is a from-scratch Go implementation of KATARA (Chu et al.,
+// SIGMOD 2015): a data cleaning system powered by knowledge bases and
+// crowdsourcing. Given a (possibly dirty) table, an RDFS knowledge base and
+// a crowd, it
+//
+//  1. discovers table patterns aligning columns to KB types and column
+//     pairs to KB relationships (rank-join over tf-idf + semantic-coherence
+//     scores, §4),
+//  2. validates the best pattern with crowd questions scheduled
+//     most-uncertain-variable-first (§5),
+//  3. annotates every tuple as KB-validated, crowd-validated, or erroneous
+//     (§6.1), enriching the KB with crowd-confirmed facts, and
+//  4. generates top-k possible repairs for erroneous tuples through
+//     inverted lists over KB instance graphs (§6.2).
+//
+// The heavy lifting lives in internal packages; this package is the stable
+// surface: build or load a KB, wrap a crowd, and run the pipeline.
+//
+//	kb := katara.NewKB()
+//	kb.ParseNTriples(f)
+//	cleaner := katara.NewCleaner(kb, katara.TrustingCrowd(), katara.Options{})
+//	report, err := cleaner.Clean(tbl)
+package katara
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"katara/internal/annotation"
+	"katara/internal/crowd"
+	"katara/internal/discovery"
+	"katara/internal/kbstats"
+	"katara/internal/pattern"
+	"katara/internal/rdf"
+	"katara/internal/repair"
+	"katara/internal/similarity"
+	"katara/internal/table"
+	"katara/internal/validation"
+)
+
+// Re-exported building blocks. The aliases keep one set of types across the
+// public API and the internal engine.
+type (
+	// KB is an in-memory RDFS knowledge base (triples, class/property
+	// hierarchies, label index, N-Triples I/O).
+	KB = rdf.Store
+	// Table is a relational table with CSV I/O and error injection.
+	Table = table.Table
+	// Pattern is a table pattern: typed columns plus directed relationships.
+	Pattern = pattern.Pattern
+	// Crowd is a pool of (simulated) workers answering validation questions.
+	Crowd = crowd.Crowd
+	// Question is one crowdsourcing task.
+	Question = crowd.Question
+	// Repair is one candidate repair with its cost and cell changes.
+	Repair = repair.Repair
+	// TupleAnnotation is the per-tuple annotation outcome.
+	TupleAnnotation = annotation.TupleAnnotation
+	// Fact is a crowd-confirmed statement used to enrich the KB.
+	Fact = annotation.Fact
+	// ValidationOracle supplies ground truth for simulated pattern
+	// validation (nil = trust the top-ranked pattern).
+	ValidationOracle = validation.Oracle
+	// FactOracle supplies ground truth for simulated fact verification.
+	FactOracle = annotation.FactOracle
+)
+
+// Tuple annotation labels (§6.1).
+const (
+	ValidatedByKB    = annotation.ValidatedByKB
+	ValidatedByCrowd = annotation.ValidatedByCrowd
+	Erroneous        = annotation.Erroneous
+)
+
+// NewKB returns an empty knowledge base.
+func NewKB() *KB { return rdf.New() }
+
+// NewTable returns an empty table with the given columns.
+func NewTable(name string, columns ...string) *Table { return table.New(name, columns...) }
+
+// NewCrowd returns a simulated crowd of n workers with the given mean
+// accuracy, deterministic under seed.
+func NewCrowd(n int, accuracy float64, seed int64) *Crowd {
+	return crowd.New(n, accuracy, seed)
+}
+
+// TrustingCrowd returns a perfectly accurate crowd. Combined with nil
+// oracles it yields the "trust the KB and assume incompleteness" policy:
+// data missing from the KB is treated as correct and enriches the KB.
+func TrustingCrowd() *Crowd { return crowd.Perfect(3) }
+
+// Options configures a Cleaner.
+type Options struct {
+	// TopK is the number of candidate patterns discovered (default 10).
+	TopK int
+	// RepairK is the number of possible repairs per erroneous tuple
+	// (default 3, the paper's operating point).
+	RepairK int
+	// Threshold is the value↔label similarity threshold (default 0.7).
+	Threshold float64
+	// QuestionsPerVariable (q) and TuplesPerQuestion (k_t) configure
+	// pattern validation (defaults 3 and 5).
+	QuestionsPerVariable int
+	TuplesPerQuestion    int
+	// Enrich adds crowd-confirmed facts to the KB (default true).
+	Enrich *bool
+	// MaxCandidates / MaxRows / MinSupport tune candidate generation; see
+	// the discovery package. Zero values take the engine defaults.
+	MaxCandidates int
+	MaxRows       int
+	MinSupport    float64
+	// DiscoverPaths enables the §9 extension: column pairs with no direct
+	// KB relationship are probed for two-hop property chains through
+	// intermediate resources, attached to the validated pattern.
+	DiscoverPaths bool
+	// Seed drives tuple sampling for crowd questions (default 1).
+	Seed int64
+
+	// ValidationOracle answers "what is the true type/relationship"
+	// questions; nil skips crowd validation and trusts the top pattern.
+	ValidationOracle ValidationOracle
+	// FactOracle answers "does this fact hold" questions; nil treats every
+	// missing fact as KB incompleteness (the trusting policy).
+	FactOracle FactOracle
+}
+
+func (o Options) withDefaults() Options {
+	if o.TopK == 0 {
+		o.TopK = 10
+	}
+	if o.RepairK == 0 {
+		o.RepairK = 3
+	}
+	if o.Threshold == 0 {
+		o.Threshold = similarity.DefaultThreshold
+	}
+	if o.QuestionsPerVariable == 0 {
+		o.QuestionsPerVariable = 3
+	}
+	if o.TuplesPerQuestion == 0 {
+		o.TuplesPerQuestion = 5
+	}
+	if o.Enrich == nil {
+		t := true
+		o.Enrich = &t
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// trustingFacts is the nil-FactOracle policy: every missing fact is assumed
+// to be KB incompleteness, never a data error.
+type trustingFacts struct{}
+
+func (trustingFacts) TypeHolds(string, rdf.ID) bool           { return true }
+func (trustingFacts) RelHolds(string, rdf.ID, string) bool    { return true }
+func (trustingFacts) PathHolds(string, []rdf.ID, string) bool { return true }
+
+// Cleaner runs the KATARA pipeline against one KB and crowd.
+type Cleaner struct {
+	kb    *KB
+	stats *kbstats.Stats
+	crowd *Crowd
+	opts  Options
+}
+
+// NewCleaner builds a Cleaner. The KB statistics (entity counts, coherence
+// tables) are computed once here, mirroring the paper's offline
+// pre-computation.
+func NewCleaner(kb *KB, c *Crowd, opts Options) *Cleaner {
+	return &Cleaner{kb: kb, stats: kbstats.New(kb), crowd: c, opts: opts.withDefaults()}
+}
+
+// KB returns the cleaner's knowledge base.
+func (c *Cleaner) KB() *KB { return c.kb }
+
+// DiscoverPatterns returns the top-k table patterns for t (§4).
+func (c *Cleaner) DiscoverPatterns(t *Table) []*Pattern {
+	cands := c.candidates(t)
+	return discovery.TopK(cands, c.opts.TopK)
+}
+
+func (c *Cleaner) candidates(t *Table) *discovery.Candidates {
+	return discovery.Generate(t, c.stats, discovery.Options{
+		Threshold:     c.opts.Threshold,
+		MaxCandidates: c.opts.MaxCandidates,
+		MaxRows:       c.opts.MaxRows,
+		MinSupport:    c.opts.MinSupport,
+	})
+}
+
+// ValidatePattern selects one pattern from candidates via the crowd (§5).
+// With no ValidationOracle configured it returns the top-scored pattern.
+func (c *Cleaner) ValidatePattern(t *Table, candidates []*Pattern) (*Pattern, int) {
+	if len(candidates) == 0 {
+		return nil, 0
+	}
+	if c.opts.ValidationOracle == nil {
+		return candidates[0], 0
+	}
+	v := &validation.Validator{
+		KB:                   c.kb,
+		Table:                t,
+		Crowd:                c.crowd,
+		Oracle:               c.opts.ValidationOracle,
+		QuestionsPerVariable: c.opts.QuestionsPerVariable,
+		TuplesPerQuestion:    c.opts.TuplesPerQuestion,
+		Rng:                  rand.New(rand.NewSource(c.opts.Seed)),
+	}
+	res := v.MUVF(candidates)
+	return res.Pattern, res.QuestionsAsked
+}
+
+// Annotate labels every tuple of t against pattern p (§6.1).
+func (c *Cleaner) Annotate(t *Table, p *Pattern) *annotation.Result {
+	oracle := c.opts.FactOracle
+	if oracle == nil {
+		oracle = trustingFacts{}
+	}
+	ann := &annotation.Annotator{
+		KB:        c.kb,
+		Pattern:   p,
+		Crowd:     c.crowd,
+		Oracle:    oracle,
+		Threshold: c.opts.Threshold,
+		Enrich:    *c.opts.Enrich,
+	}
+	return ann.Annotate(t)
+}
+
+// Repairs generates top-k possible repairs for the given rows of t (§6.2).
+func (c *Cleaner) Repairs(t *Table, p *Pattern, rows []int) map[int][]Repair {
+	if len(p.Edges) == 0 {
+		return nil // no relationships: repairs are undefined (§7.4)
+	}
+	ix := repair.BuildIndex(c.kb, p, repair.Options{})
+	out := make(map[int][]Repair, len(rows))
+	for _, row := range rows {
+		if row < 0 || row >= t.NumRows() {
+			continue
+		}
+		out[row] = ix.TopK(t.Rows[row], c.opts.RepairK)
+	}
+	return out
+}
+
+// Report is the outcome of an end-to-end Clean run.
+type Report struct {
+	// Pattern is the validated table pattern.
+	Pattern *Pattern
+	// Annotations holds one entry per tuple.
+	Annotations []TupleAnnotation
+	// Repairs maps erroneous rows to their top-k possible repairs.
+	Repairs map[int][]Repair
+	// NewFacts are the crowd-confirmed facts (KB enrichment by-product).
+	NewFacts []Fact
+	// QuestionsAsked counts all crowd questions consumed.
+	QuestionsAsked int
+}
+
+// ErrNoPattern is returned when no table pattern links the table to the KB;
+// per §2, KATARA terminates in that case.
+var ErrNoPattern = errors.New("katara: no table pattern found between the table and the KB")
+
+// Clean runs the full pipeline: discover → validate → annotate → repair.
+func (c *Cleaner) Clean(t *Table) (*Report, error) {
+	if t == nil || t.NumRows() == 0 {
+		return nil, fmt.Errorf("katara: empty table")
+	}
+	cands := c.candidates(t)
+	candidates := discovery.TopK(cands, c.opts.TopK)
+	if len(candidates) == 0 {
+		return nil, ErrNoPattern
+	}
+	c.crowd.ResetStats()
+	p, _ := c.ValidatePattern(t, candidates)
+	if c.opts.DiscoverPaths {
+		p = p.Clone()
+		discovery.AttachPathEdges(p, discovery.DiscoverPathEdges(cands))
+	}
+	res := c.Annotate(t, p)
+	rep := &Report{
+		Pattern:     p,
+		Annotations: res.Tuples,
+		NewFacts:    res.NewFacts,
+	}
+	rep.Repairs = c.Repairs(t, p, res.Errors())
+	rep.QuestionsAsked = c.crowd.Stats().Questions
+	return rep, nil
+}
+
+// BestKB picks, among several KBs, the one whose top discovered pattern
+// scores highest for t — the "select the more relevant KB" behaviour of §2,
+// and the paper's §9 multi-KB direction. It returns the index into kbs and
+// the winning score, or -1 if no KB yields a pattern.
+func BestKB(t *Table, kbs []*KB, opts Options) (int, float64) {
+	opts = opts.withDefaults()
+	bestIdx, bestScore := -1, 0.0
+	for i, kb := range kbs {
+		stats := kbstats.New(kb)
+		cands := discovery.Generate(t, stats, discovery.Options{
+			Threshold:     opts.Threshold,
+			MaxCandidates: opts.MaxCandidates,
+			MaxRows:       opts.MaxRows,
+			MinSupport:    opts.MinSupport,
+		})
+		ps := discovery.TopK(cands, 1)
+		if len(ps) > 0 && (bestIdx == -1 || ps[0].Score > bestScore) {
+			bestIdx, bestScore = i, ps[0].Score
+		}
+	}
+	return bestIdx, bestScore
+}

@@ -1,0 +1,121 @@
+package katara
+
+import (
+	"testing"
+
+	"katara/internal/rdf"
+)
+
+// pathKB builds the §9 scenario at facade level: persons and countries with
+// NO direct nationality property — only bornIn + isLocatedIn chains.
+func pathKB() *KB {
+	kb := NewKB()
+	add := func(s, p, o string) { kb.AddFact(rdf.IRI(s), rdf.IRI(p), rdf.IRI(o)) }
+	lit := func(s, p, o string) { kb.AddFact(rdf.IRI(s), rdf.IRI(p), rdf.Lit(o)) }
+	type ent struct{ iri, typ, label string }
+	ents := []ent{
+		{"y:Pirlo", "person", "Pirlo"},
+		{"y:Xavi", "person", "Xavi"},
+		{"y:Zidane", "person", "Zidane"},
+		{"y:Flero", "city", "Flero"},
+		{"y:Terrassa", "city", "Terrassa"},
+		{"y:Marseille", "city", "Marseille"},
+		{"y:Italy", "country", "Italy"},
+		{"y:Spain", "country", "Spain"},
+		{"y:France", "country", "France"},
+	}
+	for _, e := range ents {
+		add(e.iri, rdf.IRIType, e.typ)
+		lit(e.iri, rdf.IRILabel, e.label)
+	}
+	for _, c := range []string{"person", "city", "country"} {
+		lit(c, rdf.IRILabel, c)
+	}
+	for _, p := range []string{"wasBornIn", "isLocatedIn"} {
+		lit(p, rdf.IRILabel, p)
+	}
+	add("y:Pirlo", "wasBornIn", "y:Flero")
+	add("y:Xavi", "wasBornIn", "y:Terrassa")
+	add("y:Zidane", "wasBornIn", "y:Marseille")
+	add("y:Flero", "isLocatedIn", "y:Italy")
+	add("y:Terrassa", "isLocatedIn", "y:Spain")
+	add("y:Marseille", "isLocatedIn", "y:France")
+	return kb
+}
+
+func TestDiscoverPathsEndToEnd(t *testing.T) {
+	kb := pathKB()
+	tbl := NewTable("players", "A", "B")
+	tbl.Append("Pirlo", "Italy")
+	tbl.Append("Xavi", "Spain")
+	tbl.Append("Zidane", "France")
+
+	// Without path discovery the pattern has types but no relationship.
+	plain := NewCleaner(kb, TrustingCrowd(), Options{})
+	rep1, err := plain.Clean(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep1.Pattern.Edges) != 0 || len(rep1.Pattern.Paths) != 0 {
+		t.Fatalf("unexpected relationships without path discovery: %s",
+			rep1.Pattern.Render(kb, tbl.Columns))
+	}
+
+	// With the §9 extension the bornIn∘locatedIn chain is attached.
+	cleaner := NewCleaner(kb, TrustingCrowd(), Options{DiscoverPaths: true})
+	rep2, err := cleaner.Clean(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Pattern.Paths) != 1 {
+		t.Fatalf("path edge not attached: %s", rep2.Pattern.Render(kb, tbl.Columns))
+	}
+	pe := rep2.Pattern.Paths[0]
+	if pe.From != 0 || pe.To != 1 || len(pe.Props) != 2 {
+		t.Fatalf("path edge = %+v", pe)
+	}
+	if kb.LabelOf(pe.Props[0]) != "wasBornIn" || kb.LabelOf(pe.Props[1]) != "isLocatedIn" {
+		t.Fatalf("chain = %s∘%s", kb.LabelOf(pe.Props[0]), kb.LabelOf(pe.Props[1]))
+	}
+	// All tuples satisfy the chain, so everything is KB-validated.
+	for _, a := range rep2.Annotations {
+		if a.Label != ValidatedByKB {
+			t.Fatalf("row %d = %v, want validated-by-kb", a.Row, a.Label)
+		}
+	}
+}
+
+// pathFacts verifies chains against the tiny world of pathKB.
+type pathFacts struct{ kb *KB }
+
+func (o pathFacts) TypeHolds(string, rdf.ID) bool        { return true }
+func (o pathFacts) RelHolds(string, rdf.ID, string) bool { return true }
+func (o pathFacts) PathHolds(subj string, props []rdf.ID, obj string) bool {
+	born := map[string]string{"Pirlo": "Italy", "Xavi": "Spain", "Zidane": "France"}
+	return born[subj] == obj
+}
+
+func TestPathEdgeDetectsErrors(t *testing.T) {
+	kb := pathKB()
+	tbl := NewTable("players", "A", "B")
+	tbl.Append("Pirlo", "Italy")
+	tbl.Append("Zidane", "France")
+	tbl.Append("Xavi", "France") // wrong: Xavi's chain reaches Spain
+	cleaner := NewCleaner(kb, TrustingCrowd(), Options{
+		DiscoverPaths: true,
+		FactOracle:    pathFacts{kb},
+	})
+	rep, err := cleaner.Clean(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Pattern.Paths) != 1 {
+		t.Fatalf("path edge not attached: %s", rep.Pattern.Render(kb, tbl.Columns))
+	}
+	if rep.Annotations[0].Label != ValidatedByKB || rep.Annotations[1].Label != ValidatedByKB {
+		t.Fatalf("clean rows = %v, %v", rep.Annotations[0].Label, rep.Annotations[1].Label)
+	}
+	if rep.Annotations[2].Label != Erroneous {
+		t.Fatalf("row 2 = %v, want erroneous (chain refuted)", rep.Annotations[2].Label)
+	}
+}
