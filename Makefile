@@ -1,0 +1,25 @@
+# Developer checks. `make check` is the gate every change must pass:
+# build + vet + full test suite under the race detector.
+
+GO ?= go
+
+.PHONY: all build vet test race bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+check: build vet test race

@@ -24,6 +24,7 @@ import (
 	"katara/internal/pattern"
 	"katara/internal/repair"
 	"katara/internal/table"
+	"katara/internal/telemetry"
 	"katara/internal/validation"
 	"katara/internal/workload"
 	"katara/internal/world"
@@ -362,6 +363,82 @@ func BenchmarkParallelGeneration(b *testing.B) {
 			discovery.GenerateParallel(spec.Table, e.Stats[kb.Name], opts, 0)
 		}
 	})
+}
+
+// BenchmarkParallelAnnotation compares serial per-tuple KB-coverage
+// evaluation with the Annotator's worker pool. Enrichment is off so the KB
+// stays immutable and every row's coverage comes from the precompute pass —
+// the regime where the fan-out pays (an enriching run falls back to serial
+// re-evaluation after the first KB mutation). As with GenerateParallel, the
+// speedup only materialises on multicore hosts; on one core the pool is pure
+// scheduling overhead.
+func BenchmarkParallelAnnotation(b *testing.B) {
+	e := env(b)
+	spec := e.Dataset("RelationalTables").Specs[0] // Person
+	kb := e.KBs[1]                                 // DBpedia
+	p := spec.TruthPattern(kb)
+	bench := func(workers int) func(*testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ann := &annotation.Annotator{
+					KB:      kb.Store,
+					Pattern: p,
+					Crowd:   crowd.Perfect(3),
+					Oracle:  workload.WorldOracle{W: e.World, KB: kb},
+					Workers: workers,
+				}
+				ann.Annotate(spec.Table)
+			}
+		}
+	}
+	b.Run("Serial", bench(1))
+	b.Run(fmt.Sprintf("Workers%d", runtime.GOMAXPROCS(0)), bench(runtime.GOMAXPROCS(0)))
+}
+
+// BenchmarkParallelRepairIndex compares serial instance-graph enumeration
+// with the root-sharded worker pool in BuildIndex (multicore hosts only;
+// see BenchmarkParallelAnnotation).
+func BenchmarkParallelRepairIndex(b *testing.B) {
+	e := env(b)
+	spec := e.Dataset("RelationalTables").Specs[0] // Person
+	kb := e.KBs[1]                                 // DBpedia
+	p := spec.TruthPattern(kb)
+	kb.Store.WarmClosures()
+	bench := func(workers int) func(*testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				repair.BuildIndex(kb.Store, p, repair.Options{Workers: workers})
+			}
+		}
+	}
+	b.Run("Serial", bench(1))
+	b.Run(fmt.Sprintf("Workers%d", runtime.GOMAXPROCS(0)), bench(runtime.GOMAXPROCS(0)))
+}
+
+// BenchmarkTelemetryOverhead pins the nil-pipeline contract: annotating with
+// instrumentation disabled must cost the same as before the telemetry layer
+// existed, and enabling it must stay cheap (atomic adds only).
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	e := env(b)
+	spec := e.Dataset("RelationalTables").Specs[0]
+	kb := e.KBs[1]
+	p := spec.TruthPattern(kb)
+	bench := func(tel *telemetry.Pipeline) func(*testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ann := &annotation.Annotator{
+					KB:        kb.Store,
+					Pattern:   p,
+					Crowd:     crowd.Perfect(3),
+					Oracle:    workload.WorldOracle{W: e.World, KB: kb},
+					Telemetry: tel,
+				}
+				ann.Annotate(spec.Table)
+			}
+		}
+	}
+	b.Run("Disabled", bench(nil))
+	b.Run("Enabled", bench(telemetry.New()))
 }
 
 // BenchmarkEndToEndClean measures the full public-API pipeline.

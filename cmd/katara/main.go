@@ -7,6 +7,7 @@
 //
 //	katara -kb yago.nt -in dirty.csv [-out cleaned.csv] [-k 3]
 //	       [-assume trust|skeptic] [-facts new-facts.nt] [-v]
+//	       [-workers N] [-stats]
 //
 // Without a crowd to consult, the -assume policy decides how to treat data
 // the KB does not cover: "trust" (default) treats it as KB incompleteness
@@ -75,6 +76,8 @@ func main() {
 		paths    = flag.Bool("paths", false, "discover two-hop path relationships for unrelated column pairs")
 		dotPath  = flag.String("dot", "", "write the validated pattern as a Graphviz digraph to this file")
 		verbose  = flag.Bool("v", false, "print per-tuple annotations")
+		stats    = flag.Bool("stats", false, "print pipeline stage timings and counters")
+		workers  = flag.Int("workers", 0, "worker pool size for the parallel stages (0 or 1 = serial, -1 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if *kbPath == "" || *inPath == "" {
@@ -96,7 +99,7 @@ func main() {
 		fatal(err)
 	}
 
-	opts := katara.Options{RepairK: *k, DiscoverPaths: *paths}
+	opts := katara.Options{RepairK: *k, DiscoverPaths: *paths, Workers: *workers, Telemetry: *stats}
 	switch *assume {
 	case "trust":
 		// nil FactOracle = trusting policy
@@ -173,6 +176,9 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("new facts written to %s\n", *factPath)
+	}
+	if *stats {
+		fmt.Print(report.Timings)
 	}
 }
 

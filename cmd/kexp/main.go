@@ -9,31 +9,40 @@
 //	kexp -scale 1.0 -seed 42          # bigger relational tables, new seed
 //
 // Experiment names: table1 table2 table3 table4 table5 table6 table7
-// fig6 fig7 fig8 fig11 fig12 patterns ablation
+// fig6 fig7 fig8 fig11 fig12 patterns ablation stats
+//
+// -stats (or -exp stats) times the end-to-end pipeline per stage with the
+// telemetry layer; -workers sizes the worker pool of the parallel stages.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"strings"
 	"time"
 
+	"katara"
 	"katara/internal/discovery"
 	"katara/internal/experiments"
 	"katara/internal/kbstats"
+	"katara/internal/table"
+	"katara/internal/workload"
 	"katara/internal/world"
 )
 
 func main() {
 	var (
-		expList = flag.String("exp", "all", "comma-separated experiments to run (all|table1..table7|fig6|fig7|fig8|fig11|fig12|patterns)")
+		expList = flag.String("exp", "all", "comma-separated experiments to run (all|table1..table7|fig6|fig7|fig8|fig11|fig12|patterns|stats)")
 		seed    = flag.Int64("seed", 2015, "master random seed")
 		scale   = flag.Float64("scale", 0.2, "RelationalTables scale factor (1.0 = Person 5000 rows)")
 		size    = flag.String("size", "default", "world size: small|default|large")
 		maxK    = flag.Int("maxk", 10, "maximum k for top-k curves")
 		maxQ    = flag.Int("maxq", 7, "maximum questions-per-variable for validation curves")
 		format  = flag.String("format", "table", "figure output: table|chart|csv")
+		stats   = flag.Bool("stats", false, "run the pipeline-telemetry experiment (same as -exp stats)")
+		workers = flag.Int("workers", 0, "worker pool size for the parallel stages (0 or 1 = serial, -1 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -53,6 +62,9 @@ func main() {
 	want := map[string]bool{}
 	for _, e := range strings.Split(*expList, ",") {
 		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	if *stats {
+		want["stats"] = true
 	}
 	all := want["all"]
 	sel := func(name string) bool { return all || want[name] }
@@ -130,6 +142,44 @@ func main() {
 	run("table7", func() string { return experiments.RenderTable7(experiments.Table7(env)) })
 	run("patterns", func() string { return renderValidatedPatterns(env) })
 	run("ablation", func() string { return experiments.RenderAblation(experiments.AblationCoherence(env)) })
+	run("stats", func() string { return renderStats(env, *workers) })
+}
+
+// renderStats runs the instrumented end-to-end pipeline over the
+// RelationalTables specs and both KBs and prints each run's telemetry
+// snapshot — the observability counterpart of Table 6's runtimes.
+func renderStats(env *experiments.Env, workers int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Pipeline telemetry (RelationalTables, end-to-end, workers=%d)\n", workers)
+	ds := env.Dataset("RelationalTables")
+	for _, kb := range env.KBs {
+		for _, spec := range ds.Specs {
+			dirty := spec.Table.Clone()
+			var cols []int
+			for c := 1; c < dirty.NumCols(); c++ {
+				cols = append(cols, c)
+			}
+			if len(cols) == 0 {
+				continue
+			}
+			rng := rand.New(rand.NewSource(env.Cfg.Seed))
+			table.InjectErrors(dirty, cols, 0.10, rng)
+			// Clone the KB: the run enriches it, and later experiments
+			// must see the environment untouched.
+			cleaner := katara.NewCleaner(kb.Store.Clone(), katara.TrustingCrowd(), katara.Options{
+				FactOracle: workload.WorldOracle{W: env.World, KB: kb},
+				Telemetry:  true,
+				Workers:    workers,
+			})
+			report, err := cleaner.Clean(dirty)
+			if err != nil {
+				fmt.Fprintf(&b, "\n%s x %s: %v\n", kb.Name, spec.Table.Name, err)
+				continue
+			}
+			fmt.Fprintf(&b, "\n%s x %s (%d rows):\n%s", kb.Name, spec.Table.Name, dirty.NumRows(), report.Timings)
+		}
+	}
+	return b.String()
 }
 
 // renderValidatedPatterns prints the top discovered pattern per relational

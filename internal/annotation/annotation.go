@@ -7,12 +7,15 @@ package annotation
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"katara/internal/crowd"
 	"katara/internal/pattern"
 	"katara/internal/rdf"
 	"katara/internal/similarity"
 	"katara/internal/table"
+	"katara/internal/telemetry"
 )
 
 // Label classifies a tuple per §6.1.
@@ -134,6 +137,16 @@ type Annotator struct {
 	// occurrences of the same value validate without the crowd — the effect
 	// that makes RelationalTables' KB share high in Table 5.
 	Enrich bool
+	// Workers fans the per-tuple KB-coverage evaluation (step 1 of §6.1)
+	// out over a worker pool; <= 1 evaluates serially. Crowd questions are
+	// always issued serially in row order, so question budgets, majority
+	// votes and enrichment stay deterministic: results are identical for
+	// every worker count. Once enrichment mutates the KB, precomputed
+	// coverage is stale and later rows are re-evaluated serially.
+	Workers int
+	// Telemetry receives the TuplesAnnotated / KBLookups / CrowdQuestions
+	// counters; nil disables instrumentation.
+	Telemetry *telemetry.Pipeline
 }
 
 // Annotate labels every tuple of tbl.
@@ -142,10 +155,22 @@ func (a *Annotator) Annotate(tbl *table.Table) *Result {
 	if threshold == 0 {
 		threshold = similarity.DefaultThreshold
 	}
+	matches := a.precomputeMatches(tbl, threshold)
 	res := &Result{}
 	seenFacts := map[string]bool{}
+	enriched := false // KB mutated: precomputed coverage is stale
 	for row := range tbl.Rows {
-		ta := a.annotateTuple(tbl, row, threshold)
+		var m *pattern.Match
+		if matches != nil && !enriched {
+			m = matches[row]
+		}
+		if m == nil {
+			a.Telemetry.Inc(telemetry.KBLookups)
+			m = pattern.Evaluate(a.Pattern, a.KB, tbl.Rows[row], threshold)
+		}
+		ta, applied := a.annotateTuple(tbl, row, m)
+		enriched = enriched || applied
+		a.Telemetry.Inc(telemetry.TuplesAnnotated)
 		res.Tuples = append(res.Tuples, ta)
 		for _, f := range ta.NewFacts {
 			k := factKey(f)
@@ -202,14 +227,46 @@ func factKey(f Fact) string {
 	return fmt.Sprintf("r|%s|%d|%s", similarity.Normalize(f.Subject), f.Prop, similarity.Normalize(f.Object))
 }
 
-// annotateTuple runs §6.1's two steps for one tuple.
-func (a *Annotator) annotateTuple(tbl *table.Table, row int, threshold float64) TupleAnnotation {
+// precomputeMatches evaluates every tuple's KB coverage (step 1 of §6.1)
+// concurrently — the stage the paper distributes, since coverage queries are
+// independent per tuple. Returns nil when the pool would not pay off; the
+// caller then evaluates serially. The workers only read the KB, so the
+// lazily-memoised hierarchy closures are forced up front (the annotation
+// analogue of kbstats.Stats.Prewarm).
+func (a *Annotator) precomputeMatches(tbl *table.Table, threshold float64) []*pattern.Match {
+	n := tbl.NumRows()
+	if a.Workers <= 1 || n < 2*a.Workers {
+		return nil
+	}
+	a.KB.WarmClosures()
+	matches := make([]*pattern.Match, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < a.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				a.Telemetry.Inc(telemetry.KBLookups)
+				matches[i] = pattern.Evaluate(a.Pattern, a.KB, tbl.Rows[i], threshold)
+			}
+		}()
+	}
+	wg.Wait()
+	return matches
+}
+
+// annotateTuple runs §6.1's two steps for one tuple, with the step-1 KB
+// coverage m already evaluated (possibly by the worker pool). The second
+// return reports whether enrichment actually mutated the KB.
+func (a *Annotator) annotateTuple(tbl *table.Table, row int, m *pattern.Match) (TupleAnnotation, bool) {
 	ta := TupleAnnotation{Row: row, NodeByKB: map[int]bool{}}
 	tuple := tbl.Rows[row]
 
-	// Step 1: validation by the KB (conceptually the per-tuple SPARQL
-	// coverage query; evaluated through the pattern matcher).
-	m := pattern.Evaluate(a.Pattern, a.KB, tuple, threshold)
 	for col, ok := range m.NodeOK {
 		ta.NodeByKB[col] = ok
 	}
@@ -217,7 +274,7 @@ func (a *Annotator) annotateTuple(tbl *table.Table, row int, threshold float64) 
 	ta.PathByKB = append([]bool(nil), m.PathOK...)
 	if m.Full {
 		ta.Label = ValidatedByKB
-		return ta
+		return ta, false
 	}
 
 	// Step 2: validation by KB + crowd for each missing node and edge.
@@ -289,18 +346,21 @@ func (a *Annotator) annotateTuple(tbl *table.Table, row int, threshold float64) 
 		}
 	}
 
+	applied := false
 	if allConfirmed {
 		ta.Label = ValidatedByCrowd
 		if a.Enrich {
 			for _, f := range ta.NewFacts {
-				a.apply(f)
+				if a.apply(f) {
+					applied = true
+				}
 			}
 		}
 	} else {
 		ta.Label = Erroneous
 		ta.NewFacts = nil // facts from an erroneous tuple are not trusted
 	}
-	return ta
+	return ta, applied
 }
 
 func pathLabel(kb *rdf.Store, props []rdf.ID) string {
@@ -311,35 +371,37 @@ func pathLabel(kb *rdf.Store, props []rdf.ID) string {
 	return strings.Join(parts, " then ")
 }
 
-// apply adds a confirmed fact to the KB, minting resources as needed.
-// Multi-hop path facts are not applied: asserting the chain would require
-// inventing the intermediate resource, which is §9's open "extending the
-// structure of the KBs" problem.
-func (a *Annotator) apply(f Fact) {
+// apply adds a confirmed fact to the KB, minting resources as needed, and
+// reports whether the KB actually changed (a duplicate fact leaves it
+// untouched). Multi-hop path facts are not applied: asserting the chain
+// would require inventing the intermediate resource, which is §9's open
+// "extending the structure of the KBs" problem.
+func (a *Annotator) apply(f Fact) bool {
 	if len(f.Path) > 0 {
-		return
+		return false
 	}
 	kb := a.KB
-	subj := a.resourceFor(f.Subject)
+	subj, minted := a.resourceFor(f.Subject)
 	if f.IsType {
-		kb.Add(subj, kb.TypeID, f.Type)
-		return
+		return kb.Add(subj, kb.TypeID, f.Type) || minted
 	}
-	obj := a.resourceFor(f.Object)
-	kb.Add(subj, f.Prop, obj)
+	obj, mintedObj := a.resourceFor(f.Object)
+	return kb.Add(subj, f.Prop, obj) || minted || mintedObj
 }
 
 // resourceFor finds the best existing resource labelled like value, or mints
-// a new one carrying the value as its label.
-func (a *Annotator) resourceFor(value string) rdf.ID {
+// a new one carrying the value as its label. The second return reports
+// whether a resource was minted — a KB mutation in its own right, since the
+// new exact-match label changes later MatchLabel results.
+func (a *Annotator) resourceFor(value string) (rdf.ID, bool) {
 	threshold := a.Threshold
 	if threshold == 0 {
 		threshold = similarity.DefaultThreshold
 	}
 	if hits := a.KB.MatchLabel(value, threshold); len(hits) > 0 {
-		return hits[0].Resource
+		return hits[0].Resource, false
 	}
 	r := a.KB.Res("enriched:" + similarity.Normalize(value))
 	a.KB.AddFact(a.KB.Term(r), rdf.IRI(rdf.IRILabel), rdf.Lit(value))
-	return r
+	return r, true
 }

@@ -1,12 +1,14 @@
 package annotation
 
 import (
+	"reflect"
 	"testing"
 
 	"katara/internal/crowd"
 	"katara/internal/pattern"
 	"katara/internal/rdf"
 	"katara/internal/table"
+	"katara/internal/telemetry"
 )
 
 // The Fig. 1 / Fig. 2 scenario: t1 fully covered, t2 missing the
@@ -244,5 +246,67 @@ func TestNoisyCrowdCanMislabel(t *testing.T) {
 		if ta.Label == Erroneous && ta.NewFacts != nil {
 			t.Fatal("erroneous tuple carries facts")
 		}
+	}
+}
+
+// bigFixture widens the Fig. 1 table so the worker pool actually engages
+// (precomputeMatches requires NumRows >= 2*Workers). Row order interleaves
+// KB-covered, crowd-confirmable and erroneous tuples, including duplicates
+// whose outcome depends on enrichment from earlier rows.
+func bigFixture() *fixture {
+	f := newFixture()
+	f.tbl.Append("Klate", "S. Africa", "Pretoria") // KB-covered after enrichment
+	f.tbl.Append("Rossi", "Italy", "Rome")
+	f.tbl.Append("Pirlo", "Italy", "Madrid") // erroneous again
+	f.tbl.Append("Klate", "S. Africa", "Pretoria")
+	f.tbl.Append("Rossi", "Italy", "Rome")
+	f.tbl.Append("Pirlo", "Italy", "Rome")
+	f.tbl.Append("Klate", "S. Africa", "Pretoria")
+	return f
+}
+
+func TestParallelAnnotationMatchesSerial(t *testing.T) {
+	for _, enrich := range []bool{false, true} {
+		// Fresh fixtures per run: with Enrich on, the annotator mutates
+		// its KB, so serial and parallel must each start pristine.
+		sf := bigFixture()
+		serial := newAnnotator(sf, enrich)
+		serialRes := serial.Annotate(sf.tbl)
+		serialQ := serial.Crowd.Stats().Questions
+
+		for _, workers := range []int{2, 4, 8} {
+			pf := bigFixture()
+			par := newAnnotator(pf, enrich)
+			par.Workers = workers
+			par.Telemetry = telemetry.New()
+			parRes := par.Annotate(pf.tbl)
+			if !reflect.DeepEqual(serialRes, parRes) {
+				t.Fatalf("enrich=%v workers=%d: parallel result differs from serial\nserial: %+v\nparallel: %+v",
+					enrich, workers, serialRes.Tuples, parRes.Tuples)
+			}
+			if q := par.Crowd.Stats().Questions; q != serialQ {
+				t.Fatalf("enrich=%v workers=%d: %d crowd questions, serial asked %d",
+					enrich, workers, q, serialQ)
+			}
+			if got := par.Telemetry.Get(telemetry.TuplesAnnotated); got != int64(pf.tbl.NumRows()) {
+				t.Fatalf("TuplesAnnotated = %d, want %d", got, pf.tbl.NumRows())
+			}
+			if par.Telemetry.Get(telemetry.KBLookups) == 0 {
+				t.Fatal("parallel run recorded no KB lookups")
+			}
+		}
+	}
+}
+
+func TestSmallTableSkipsWorkerPool(t *testing.T) {
+	f := newFixture() // 3 rows < 2*Workers, so precompute must bail out
+	ann := newAnnotator(f, false)
+	ann.Workers = 4
+	if m := ann.precomputeMatches(f.tbl, 0.7); m != nil {
+		t.Fatalf("precomputeMatches on a tiny table = %v, want nil", m)
+	}
+	res := ann.Annotate(f.tbl)
+	if len(res.Tuples) != 3 {
+		t.Fatalf("annotated %d tuples, want 3", len(res.Tuples))
 	}
 }

@@ -10,6 +10,8 @@ package crowd
 import (
 	"fmt"
 	"math/rand"
+
+	"katara/internal/telemetry"
 )
 
 // Kind classifies questions per the paper's three task types.
@@ -128,6 +130,9 @@ type Crowd struct {
 	// the weighted-voting switch.
 	estimates Reliability
 	weighted  bool
+
+	// tel mirrors every question into a telemetry pipeline; nil disables.
+	tel *telemetry.Pipeline
 }
 
 // Option configures a Crowd.
@@ -190,6 +195,12 @@ func (c *Crowd) Stats() Stats {
 // ResetStats clears the accounting.
 func (c *Crowd) ResetStats() { c.stats = Stats{} }
 
+// SetTelemetry attaches a telemetry pipeline whose CrowdQuestions counter
+// tracks every question asked from now on; nil detaches it. The crowd is
+// consulted serially (questions are crowd I/O, never issued from worker
+// pools), so no synchronisation is needed.
+func (c *Crowd) SetTelemetry(p *telemetry.Pipeline) { c.tel = p }
+
 // Ask routes q to `assignments` distinct randomly chosen workers and returns
 // the majority answer (ties broken toward the lowest option index). With
 // reliability estimates installed (Calibrate / EstimateReliability), votes
@@ -200,6 +211,7 @@ func (c *Crowd) Ask(q Question) int {
 		n = len(c.workers)
 	}
 	c.stats.record(q.Kind, n)
+	c.tel.Inc(telemetry.CrowdQuestions)
 	if c.weighted {
 		return c.askWeighted(q, n)
 	}

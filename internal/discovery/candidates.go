@@ -12,6 +12,7 @@ import (
 	"katara/internal/rdf"
 	"katara/internal/similarity"
 	"katara/internal/table"
+	"katara/internal/telemetry"
 )
 
 // Options tunes candidate generation.
@@ -42,6 +43,10 @@ type Options struct {
 	// generation (0 = all rows). The paper distributes Person's 316K rows
 	// over 30 machines; sampling is our single-machine equivalent.
 	MaxRows int
+	// Telemetry receives the KBLookups counter (one per uncached label
+	// resolution); nil disables instrumentation. Counters are atomic, so
+	// GenerateParallel's shards may share one pipeline.
+	Telemetry *telemetry.Pipeline
 }
 
 func (o Options) withDefaults() Options {
@@ -159,6 +164,7 @@ func Generate(tbl *table.Table, stats *kbstats.Stats, opts Options) *Candidates 
 		if r, ok := resCache[val]; ok {
 			return r
 		}
+		opts.Telemetry.Inc(telemetry.KBLookups)
 		hits := kb.MatchLabel(val, opts.Threshold)
 		var out []weightedMatch
 		if len(hits) > 0 {

@@ -8,10 +8,13 @@ package repair
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"katara/internal/pattern"
 	"katara/internal/rdf"
 	"katara/internal/similarity"
+	"katara/internal/telemetry"
 )
 
 // InstanceGraph is an instantiation of a table pattern in the KB (§6.2): one
@@ -47,6 +50,14 @@ type Options struct {
 	// also be weighted with confidences on data values"). Missing columns
 	// cost 1.
 	Weights map[int]float64
+	// Workers shards instance-graph enumeration across a worker pool by
+	// root resource; <= 1 enumerates serially. Shards merge in root order
+	// and truncate at MaxGraphs, so the index is identical for every
+	// worker count.
+	Workers int
+	// Telemetry receives the GraphsEnumerated / RepairsGenerated counters;
+	// nil disables instrumentation.
+	Telemetry *telemetry.Pipeline
 }
 
 // Index holds the instance graphs of one pattern and their inverted lists.
@@ -74,8 +85,9 @@ func BuildIndex(kb *rdf.Store, p *pattern.Pattern, opts Options) *Index {
 		opts:    opts,
 		cols:    p.Columns(),
 	}
-	for _, g := range enumerate(kb, p, opts.MaxGraphs) {
+	for _, g := range enumerate(kb, p, opts.MaxGraphs, opts.Workers) {
 		g.ID = len(ix.Graphs)
+		opts.Telemetry.Inc(telemetry.GraphsEnumerated)
 		g.Value = make(map[int]string, len(g.Resource))
 		for col, r := range g.Resource {
 			if kb.IsLiteral(r) {
@@ -142,8 +154,10 @@ func (ix *Index) TopK(tuple []string, k int) []Repair {
 	}
 	repairs := make([]Repair, 0, len(cands))
 	for _, s := range cands {
-		repairs = append(repairs, ix.align(tuple, &ix.Graphs[s.id]))
+		rep, _ := ix.align(tuple, &ix.Graphs[s.id])
+		repairs = append(repairs, rep)
 	}
+	ix.opts.Telemetry.Add(telemetry.RepairsGenerated, int64(len(repairs)))
 	return repairs
 }
 
@@ -175,13 +189,20 @@ func (ix *Index) coveredWeight(g *InstanceGraph, tuple []string) float64 {
 // TopKNaive computes repairs against every instance graph without the
 // inverted lists — the baseline Algorithm 4 improves on ("too slow in
 // practice"), kept for the ablation benchmark and for correctness checks.
+// Graphs sharing no value with the tuple are skipped, matching TopK: an
+// alignment that rewrites every cell is a wholesale row replacement, not a
+// repair, and the inverted lists never retrieve such graphs.
 func (ix *Index) TopKNaive(tuple []string, k int) []Repair {
 	if k <= 0 {
 		return nil
 	}
 	repairs := make([]Repair, 0, len(ix.Graphs))
 	for i := range ix.Graphs {
-		repairs = append(repairs, ix.align(tuple, &ix.Graphs[i]))
+		rep, matched := ix.align(tuple, &ix.Graphs[i])
+		if matched == 0 {
+			continue
+		}
+		repairs = append(repairs, rep)
 	}
 	sort.Slice(repairs, func(i, j int) bool {
 		if repairs[i].Cost != repairs[j].Cost {
@@ -195,31 +216,29 @@ func (ix *Index) TopKNaive(tuple []string, k int) []Repair {
 	return repairs
 }
 
-// align computes the repair aligning tuple to g (§6.2's cost(t, φ, G)).
-func (ix *Index) align(tuple []string, g *InstanceGraph) Repair {
+// align computes the repair aligning tuple to g (§6.2's cost(t, φ, G)) and
+// the number of comparable columns on which tuple and g already agree.
+func (ix *Index) align(tuple []string, g *InstanceGraph) (Repair, int) {
 	r := Repair{Graph: g}
+	matched := 0
 	for _, col := range ix.cols {
 		gv, ok := g.Value[col]
 		if !ok || col >= len(tuple) {
 			continue
 		}
 		if similarity.Normalize(tuple[col]) == similarity.Normalize(gv) {
+			matched++
 			continue
 		}
-		w := 1.0
-		if ix.opts.Weights != nil {
-			if cw, ok := ix.opts.Weights[col]; ok {
-				w = cw
-			}
-		}
-		r.Cost += w
+		r.Cost += ix.weight(col)
 		r.Changes = append(r.Changes, Change{Col: col, From: tuple[col], To: gv})
 	}
-	return r
+	return r, matched
 }
 
-// enumerate materialises the instance graphs of p.
-func enumerate(kb *rdf.Store, p *pattern.Pattern, maxGraphs int) []InstanceGraph {
+// enumerate materialises the instance graphs of p, fanning the root
+// resources out over workers goroutines when workers > 1.
+func enumerate(kb *rdf.Store, p *pattern.Pattern, maxGraphs, workers int) []InstanceGraph {
 	cols := p.Columns()
 	if len(cols) == 0 {
 		return nil
@@ -228,47 +247,123 @@ func enumerate(kb *rdf.Store, p *pattern.Pattern, maxGraphs int) []InstanceGraph
 	// instances, then repeatedly expand across edges; disconnected typed
 	// columns fall back to full instance scans.
 	order, via := traversalPlan(kb, p, cols)
+	roots := candidatesFor(kb, p, order[0], nil, nil)
 
+	if workers > 1 && len(roots) >= 2*workers {
+		return enumerateParallel(kb, p, order, via, roots, maxGraphs, workers)
+	}
 	var out []InstanceGraph
-	assign := map[int]rdf.ID{}
-	var rec func(step int) bool
-	rec = func(step int) bool {
+	for _, root := range roots {
+		e := &enumerator{kb: kb, p: p, order: order, via: via, max: maxGraphs - len(out)}
+		if maxGraphs == 0 {
+			e.max = 0
+		}
+		out = append(out, e.fromRoot(root)...)
 		if maxGraphs > 0 && len(out) >= maxGraphs {
+			break
+		}
+	}
+	return out
+}
+
+// enumerateParallel shards enumeration by root resource: each worker claims
+// roots through an atomic cursor and runs the same depth-first expansion as
+// the serial path, capped per root at maxGraphs. Per-root results merge in
+// root order and truncate at maxGraphs — since a per-root cap of maxGraphs
+// can only over-produce relative to the serial cursor, the merged prefix is
+// exactly the serial output for any worker count. The workers only read the
+// KB, so its lazily-memoised hierarchy closures are forced up front.
+func enumerateParallel(kb *rdf.Store, p *pattern.Pattern, order []int, via map[int]*edgeRef, roots []rdf.ID, maxGraphs, workers int) []InstanceGraph {
+	kb.WarmClosures()
+	perRoot := make([][]InstanceGraph, len(roots))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(roots) {
+					return
+				}
+				e := &enumerator{kb: kb, p: p, order: order, via: via, max: maxGraphs}
+				perRoot[i] = e.fromRoot(roots[i])
+			}
+		}()
+	}
+	wg.Wait()
+	var out []InstanceGraph
+	for _, gs := range perRoot {
+		out = append(out, gs...)
+		if maxGraphs > 0 && len(out) >= maxGraphs {
+			out = out[:maxGraphs]
+			break
+		}
+	}
+	return out
+}
+
+// enumerator is one depth-first expansion of the traversal plan. max caps
+// the number of graphs produced (0 = unlimited).
+type enumerator struct {
+	kb     *rdf.Store
+	p      *pattern.Pattern
+	order  []int
+	via    map[int]*edgeRef
+	max    int
+	out    []InstanceGraph
+	assign map[int]rdf.ID
+}
+
+// fromRoot enumerates every instance graph whose root column takes resource
+// root, in deterministic depth-first order.
+func (e *enumerator) fromRoot(root rdf.ID) []InstanceGraph {
+	e.out = nil
+	e.assign = map[int]rdf.ID{e.order[0]: root}
+	if e.edgesHold() {
+		e.rec(1)
+	}
+	return e.out
+}
+
+// edgesHold verifies every pattern edge whose endpoints are both assigned.
+func (e *enumerator) edgesHold() bool {
+	for i := range e.p.Edges {
+		ed := &e.p.Edges[i]
+		s, sOK := e.assign[ed.From]
+		o, oOK := e.assign[ed.To]
+		if sOK && oOK && !e.kb.HasPredicate(s, ed.Prop, o) {
 			return false
 		}
-		if step == len(order) {
-			cp := make(map[int]rdf.ID, len(assign))
-			for k, v := range assign {
-				cp[k] = v
-			}
-			out = append(out, InstanceGraph{Resource: cp})
-			return true
+	}
+	return true
+}
+
+func (e *enumerator) rec(step int) bool {
+	if e.max > 0 && len(e.out) >= e.max {
+		return false
+	}
+	if step == len(e.order) {
+		cp := make(map[int]rdf.ID, len(e.assign))
+		for k, v := range e.assign {
+			cp[k] = v
 		}
-		col := order[step]
-		for _, cand := range candidatesFor(kb, p, col, via[col], assign) {
-			// Verify every edge whose endpoints are both assigned.
-			assign[col] = cand
-			ok := true
-			for _, e := range p.Edges {
-				s, sOK := assign[e.From]
-				o, oOK := assign[e.To]
-				if sOK && oOK && !kb.HasPredicate(s, e.Prop, o) {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				if !rec(step + 1) {
-					delete(assign, col)
-					return false
-				}
-			}
-			delete(assign, col)
-		}
+		e.out = append(e.out, InstanceGraph{Resource: cp})
 		return true
 	}
-	rec(0)
-	return out
+	col := e.order[step]
+	for _, cand := range candidatesFor(e.kb, e.p, col, e.via[col], e.assign) {
+		e.assign[col] = cand
+		if e.edgesHold() {
+			if !e.rec(step + 1) {
+				delete(e.assign, col)
+				return false
+			}
+		}
+		delete(e.assign, col)
+	}
+	return true
 }
 
 // edgeRef points at the pattern edge used to reach a column during

@@ -278,7 +278,7 @@ func TestCountingCostMatchesAlignment(t *testing.T) {
 		}
 		for _, tup := range tuples {
 			for _, rep := range ix.TopK(tup, 5) {
-				recomputed := ix.align(tup, rep.Graph)
+				recomputed, _ := ix.align(tup, rep.Graph)
 				if rep.Cost != recomputed.Cost {
 					t.Fatalf("opts %+v tuple %v: counting cost %g != alignment cost %g",
 						opts, tup, rep.Cost, recomputed.Cost)

@@ -1,0 +1,269 @@
+// Package telemetry instruments the KATARA pipeline: wall-clock timers for
+// the pipeline stages (discover → validate → annotate → repair), monotonic
+// counters for the quantities the paper's cost model cares about (crowd
+// questions, KB lookups, instance graphs enumerated), and a pluggable
+// Tracer hook for live observation.
+//
+// The instrument is a *Pipeline. A nil *Pipeline is the disabled instrument:
+// every method is safe to call on it and does nothing, without allocating,
+// so hot paths can be unconditionally instrumented —
+//
+//	start := tel.StartStage(telemetry.StageAnnotate) // zero Time when nil
+//	...
+//	tel.EndStage(telemetry.StageAnnotate, start)
+//	tel.Inc(telemetry.CrowdQuestions)
+//
+// Counters use atomics, so one Pipeline may be shared by the worker pools of
+// the parallel stages (discovery sharding, annotation coverage fan-out,
+// repair index construction).
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Counter identifies one monotonic pipeline counter.
+type Counter int
+
+const (
+	// CrowdQuestions counts crowd questions issued (validation §5 and
+	// annotation §6.1 combined) — the paper's monetary-cost driver.
+	CrowdQuestions Counter = iota
+	// KBLookups counts knowledge-base probes: per-cell label resolutions
+	// during candidate generation (Q_types/Q_rels) and per-tuple coverage
+	// evaluations during annotation. Parallel runs may probe more than
+	// serial ones (per-shard caches, speculative coverage precompute).
+	KBLookups
+	// GraphsEnumerated counts instance graphs materialised into repair
+	// indexes (§6.2) — zero when cleaning an error-free table.
+	GraphsEnumerated
+	// TuplesAnnotated counts tuples labelled by the annotator.
+	TuplesAnnotated
+	// RepairsGenerated counts candidate repairs returned by top-k retrieval.
+	RepairsGenerated
+
+	numCounters
+)
+
+// String returns the counter's stable snapshot name.
+func (c Counter) String() string {
+	switch c {
+	case CrowdQuestions:
+		return "crowd-questions"
+	case KBLookups:
+		return "kb-lookups"
+	case GraphsEnumerated:
+		return "graphs-enumerated"
+	case TuplesAnnotated:
+		return "tuples-annotated"
+	case RepairsGenerated:
+		return "repairs-generated"
+	default:
+		return fmt.Sprintf("counter-%d", int(c))
+	}
+}
+
+// Stage identifies one timed pipeline stage.
+type Stage int
+
+const (
+	// StageDiscover is candidate generation plus the rank join (§4).
+	StageDiscover Stage = iota
+	// StageValidate is crowd pattern validation (§5).
+	StageValidate
+	// StageAnnotate is per-tuple annotation (§6.1).
+	StageAnnotate
+	// StageBuildIndex is instance-graph enumeration and inverted-list
+	// construction (§6.2) — a sub-stage of repair, reported separately
+	// because it dominates on large KBs.
+	StageBuildIndex
+	// StageRepair is the whole repair stage: index construction plus
+	// per-row top-k retrieval.
+	StageRepair
+
+	numStages
+)
+
+// String returns the stage's stable snapshot name.
+func (s Stage) String() string {
+	switch s {
+	case StageDiscover:
+		return "discover"
+	case StageValidate:
+		return "validate"
+	case StageAnnotate:
+		return "annotate"
+	case StageBuildIndex:
+		return "build-index"
+	case StageRepair:
+		return "repair"
+	default:
+		return fmt.Sprintf("stage-%d", int(s))
+	}
+}
+
+// Tracer observes stage boundaries as they happen. Implementations must be
+// fast and safe for use from the goroutine running the pipeline (stages are
+// entered and left by the orchestrating goroutine only, never by pool
+// workers).
+type Tracer interface {
+	// StageStart is called when the pipeline enters s.
+	StageStart(s Stage)
+	// StageEnd is called when the pipeline leaves s after d.
+	StageEnd(s Stage, d time.Duration)
+}
+
+// Pipeline accumulates one run's instrumentation. The zero value is ready to
+// use; nil means disabled.
+type Pipeline struct {
+	counters [numCounters]atomic.Int64
+	stageNS  [numStages]atomic.Int64
+	stageN   [numStages]atomic.Int64
+	tracer   Tracer // optional; no-op when nil
+}
+
+// New returns an enabled Pipeline with the no-op tracer.
+func New() *Pipeline { return &Pipeline{} }
+
+// NewTraced returns an enabled Pipeline reporting stage boundaries to t
+// (nil t behaves like New).
+func NewTraced(t Tracer) *Pipeline { return &Pipeline{tracer: t} }
+
+// Inc adds 1 to counter c.
+func (p *Pipeline) Inc(c Counter) { p.Add(c, 1) }
+
+// Add adds n to counter c.
+func (p *Pipeline) Add(c Counter, n int64) {
+	if p == nil {
+		return
+	}
+	p.counters[c].Add(n)
+}
+
+// Get returns the current value of counter c (0 when disabled).
+func (p *Pipeline) Get(c Counter) int64 {
+	if p == nil {
+		return 0
+	}
+	return p.counters[c].Load()
+}
+
+// StartStage marks entry into s and returns the start time to hand back to
+// EndStage. Disabled pipelines return the zero Time.
+func (p *Pipeline) StartStage(s Stage) time.Time {
+	if p == nil {
+		return time.Time{}
+	}
+	if p.tracer != nil {
+		p.tracer.StageStart(s)
+	}
+	return time.Now()
+}
+
+// EndStage accumulates the time spent in s since start.
+func (p *Pipeline) EndStage(s Stage, start time.Time) {
+	if p == nil {
+		return
+	}
+	d := time.Since(start)
+	p.stageNS[s].Add(int64(d))
+	p.stageN[s].Add(1)
+	if p.tracer != nil {
+		p.tracer.StageEnd(s, d)
+	}
+}
+
+// StageTiming is the accumulated wall-clock of one stage.
+type StageTiming struct {
+	Stage    string
+	Calls    int64
+	Duration time.Duration
+}
+
+// CounterValue is one counter's final value.
+type CounterValue struct {
+	Name  string
+	Value int64
+}
+
+// Snapshot is a point-in-time copy of a Pipeline, attached to
+// katara.Report.Timings and rendered by the -stats CLI flags.
+type Snapshot struct {
+	// Stages lists the entered stages in pipeline order.
+	Stages []StageTiming
+	// Counters lists every counter (including zeros) in declaration order.
+	Counters []CounterValue
+}
+
+// Snapshot copies the current state; nil (disabled) pipelines return nil.
+func (p *Pipeline) Snapshot() *Snapshot {
+	if p == nil {
+		return nil
+	}
+	snap := &Snapshot{}
+	for s := Stage(0); s < numStages; s++ {
+		n := p.stageN[s].Load()
+		if n == 0 {
+			continue
+		}
+		snap.Stages = append(snap.Stages, StageTiming{
+			Stage:    s.String(),
+			Calls:    n,
+			Duration: time.Duration(p.stageNS[s].Load()),
+		})
+	}
+	for c := Counter(0); c < numCounters; c++ {
+		snap.Counters = append(snap.Counters, CounterValue{Name: c.String(), Value: p.counters[c].Load()})
+	}
+	return snap
+}
+
+// Counter returns the value of the named counter, or 0 if absent.
+func (s *Snapshot) Counter(name string) int64 {
+	if s == nil {
+		return 0
+	}
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// Total returns the summed duration of every recorded stage.
+func (s *Snapshot) Total() time.Duration {
+	if s == nil {
+		return 0
+	}
+	var t time.Duration
+	for _, st := range s.Stages {
+		t += st.Duration
+	}
+	return t
+}
+
+// String renders the snapshot as the aligned text block printed by -stats.
+func (s *Snapshot) String() string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("pipeline stages:\n")
+	for _, st := range s.Stages {
+		fmt.Fprintf(&b, "  %-12s %12s", st.Stage, st.Duration.Round(time.Microsecond))
+		if st.Calls > 1 {
+			fmt.Fprintf(&b, "  (%d calls)", st.Calls)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "  %-12s %12s\n", "total", s.Total().Round(time.Microsecond))
+	b.WriteString("pipeline counters:\n")
+	for _, c := range s.Counters {
+		fmt.Fprintf(&b, "  %-18s %10d\n", c.Name, c.Value)
+	}
+	return b.String()
+}

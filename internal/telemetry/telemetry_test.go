@@ -1,0 +1,150 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilPipelineIsInert(t *testing.T) {
+	var p *Pipeline
+	p.Inc(CrowdQuestions)
+	p.Add(KBLookups, 7)
+	start := p.StartStage(StageAnnotate)
+	if !start.IsZero() {
+		t.Fatal("disabled StartStage returned a real time")
+	}
+	p.EndStage(StageAnnotate, start)
+	if p.Get(KBLookups) != 0 {
+		t.Fatal("disabled Get != 0")
+	}
+	if snap := p.Snapshot(); snap != nil {
+		t.Fatalf("disabled Snapshot = %v, want nil", snap)
+	}
+	if (*Snapshot)(nil).Counter("kb-lookups") != 0 {
+		t.Fatal("nil Snapshot.Counter != 0")
+	}
+}
+
+func TestNilPipelineDoesNotAllocate(t *testing.T) {
+	var p *Pipeline
+	allocs := testing.AllocsPerRun(100, func() {
+		p.Inc(CrowdQuestions)
+		start := p.StartStage(StageRepair)
+		p.EndStage(StageRepair, start)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled pipeline allocates %.1f per op", allocs)
+	}
+}
+
+func TestCountersAndStages(t *testing.T) {
+	p := New()
+	p.Inc(CrowdQuestions)
+	p.Add(GraphsEnumerated, 41)
+	p.Inc(GraphsEnumerated)
+	start := p.StartStage(StageDiscover)
+	p.EndStage(StageDiscover, start)
+	if got := p.Get(GraphsEnumerated); got != 42 {
+		t.Fatalf("GraphsEnumerated = %d, want 42", got)
+	}
+	snap := p.Snapshot()
+	if snap.Counter("graphs-enumerated") != 42 || snap.Counter("crowd-questions") != 1 {
+		t.Fatalf("snapshot counters = %+v", snap.Counters)
+	}
+	if snap.Counter("kb-lookups") != 0 {
+		t.Fatal("untouched counter must still appear as 0")
+	}
+	if len(snap.Stages) != 1 || snap.Stages[0].Stage != "discover" || snap.Stages[0].Calls != 1 {
+		t.Fatalf("snapshot stages = %+v", snap.Stages)
+	}
+	if snap.Stages[0].Duration < 0 {
+		t.Fatalf("negative duration %v", snap.Stages[0].Duration)
+	}
+}
+
+func TestConcurrentCounters(t *testing.T) {
+	p := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				p.Inc(KBLookups)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := p.Get(KBLookups); got != 8000 {
+		t.Fatalf("KBLookups = %d, want 8000", got)
+	}
+}
+
+type recordingTracer struct {
+	starts, ends []Stage
+}
+
+func (r *recordingTracer) StageStart(s Stage)                 { r.starts = append(r.starts, s) }
+func (r *recordingTracer) StageEnd(s Stage, d time.Duration) { r.ends = append(r.ends, s) }
+
+func TestTracerSeesStageBoundaries(t *testing.T) {
+	tr := &recordingTracer{}
+	p := NewTraced(tr)
+	for _, s := range []Stage{StageDiscover, StageValidate, StageAnnotate, StageRepair} {
+		p.EndStage(s, p.StartStage(s))
+	}
+	want := []Stage{StageDiscover, StageValidate, StageAnnotate, StageRepair}
+	if len(tr.starts) != len(want) || len(tr.ends) != len(want) {
+		t.Fatalf("tracer saw %d starts / %d ends, want %d", len(tr.starts), len(tr.ends), len(want))
+	}
+	for i, s := range want {
+		if tr.starts[i] != s || tr.ends[i] != s {
+			t.Fatalf("boundary %d = start %v / end %v, want %v", i, tr.starts[i], tr.ends[i], s)
+		}
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	p := New()
+	p.Add(CrowdQuestions, 12)
+	p.EndStage(StageAnnotate, p.StartStage(StageAnnotate))
+	out := p.Snapshot().String()
+	for _, want := range []string{"annotate", "total", "crowd-questions", "12", "graphs-enumerated"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("snapshot rendering missing %q:\n%s", want, out)
+		}
+	}
+	if (*Snapshot)(nil).String() != "" {
+		t.Fatal("nil snapshot should render empty")
+	}
+}
+
+func TestStableNames(t *testing.T) {
+	// Snapshot names are a CLI contract; keep them stable.
+	wantCounters := map[Counter]string{
+		CrowdQuestions:   "crowd-questions",
+		KBLookups:        "kb-lookups",
+		GraphsEnumerated: "graphs-enumerated",
+		TuplesAnnotated:  "tuples-annotated",
+		RepairsGenerated: "repairs-generated",
+	}
+	for c, want := range wantCounters {
+		if c.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", int(c), c.String(), want)
+		}
+	}
+	wantStages := map[Stage]string{
+		StageDiscover:   "discover",
+		StageValidate:   "validate",
+		StageAnnotate:   "annotate",
+		StageBuildIndex: "build-index",
+		StageRepair:     "repair",
+	}
+	for s, want := range wantStages {
+		if s.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", int(s), s.String(), want)
+		}
+	}
+}

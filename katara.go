@@ -26,6 +26,9 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"katara/internal/annotation"
 	"katara/internal/crowd"
@@ -36,6 +39,7 @@ import (
 	"katara/internal/repair"
 	"katara/internal/similarity"
 	"katara/internal/table"
+	"katara/internal/telemetry"
 	"katara/internal/validation"
 )
 
@@ -64,6 +68,12 @@ type (
 	ValidationOracle = validation.Oracle
 	// FactOracle supplies ground truth for simulated fact verification.
 	FactOracle = annotation.FactOracle
+	// Tracer observes pipeline stage boundaries live (Options.Tracer).
+	Tracer = telemetry.Tracer
+	// Timings is the per-run instrumentation snapshot (Report.Timings):
+	// stage wall-clocks plus the crowd-question / KB-lookup /
+	// graphs-enumerated counters.
+	Timings = telemetry.Snapshot
 )
 
 // Tuple annotation labels (§6.1).
@@ -116,6 +126,28 @@ type Options struct {
 	DiscoverPaths bool
 	// Seed drives tuple sampling for crowd questions (default 1).
 	Seed int64
+	// RepairMaxGraphs caps instance-graph enumeration during repair-index
+	// construction (default 0 = unlimited). On large KBs an uncapped
+	// enumeration can dwarf the rest of the pipeline; when the cap trips
+	// the index is partial and repair recall degrades gracefully.
+	RepairMaxGraphs int
+	// RepairWeights holds optional per-column repair change costs (§6.2:
+	// "the cost can also be weighted with confidences on data values").
+	// Missing columns cost 1; default nil = unit costs everywhere.
+	RepairWeights map[int]float64
+	// Workers fans the embarrassingly parallel stages (candidate
+	// generation, per-tuple KB coverage, instance-graph enumeration,
+	// per-row top-k retrieval) out over this many goroutines. 0 or 1 runs
+	// serially; negative uses GOMAXPROCS. Results are identical for every
+	// value — crowd interaction always stays serial in row order.
+	Workers int
+	// Telemetry enables per-run instrumentation: Report.Timings carries
+	// stage wall-clocks and pipeline counters (default off; disabled
+	// instrumentation adds no overhead).
+	Telemetry bool
+	// Tracer streams stage boundaries as they happen; setting it implies
+	// Telemetry.
+	Tracer Tracer
 
 	// ValidationOracle answers "what is the true type/relationship"
 	// questions; nil skips crowd validation and trusts the top pattern.
@@ -147,6 +179,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.Workers < 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	return o
 }
@@ -184,12 +219,21 @@ func (c *Cleaner) DiscoverPatterns(t *Table) []*Pattern {
 }
 
 func (c *Cleaner) candidates(t *Table) *discovery.Candidates {
-	return discovery.Generate(t, c.stats, discovery.Options{
+	return c.generate(t, nil)
+}
+
+func (c *Cleaner) generate(t *Table, tel *telemetry.Pipeline) *discovery.Candidates {
+	dopts := discovery.Options{
 		Threshold:     c.opts.Threshold,
 		MaxCandidates: c.opts.MaxCandidates,
 		MaxRows:       c.opts.MaxRows,
 		MinSupport:    c.opts.MinSupport,
-	})
+		Telemetry:     tel,
+	}
+	if c.opts.Workers > 1 {
+		return discovery.GenerateParallel(t, c.stats, dopts, c.opts.Workers)
+	}
+	return discovery.Generate(t, c.stats, dopts)
 }
 
 // ValidatePattern selects one pattern from candidates via the crowd (§5).
@@ -216,6 +260,10 @@ func (c *Cleaner) ValidatePattern(t *Table, candidates []*Pattern) (*Pattern, in
 
 // Annotate labels every tuple of t against pattern p (§6.1).
 func (c *Cleaner) Annotate(t *Table, p *Pattern) *annotation.Result {
+	return c.annotate(t, p, nil)
+}
+
+func (c *Cleaner) annotate(t *Table, p *Pattern, tel *telemetry.Pipeline) *annotation.Result {
 	oracle := c.opts.FactOracle
 	if oracle == nil {
 		oracle = trustingFacts{}
@@ -227,17 +275,65 @@ func (c *Cleaner) Annotate(t *Table, p *Pattern) *annotation.Result {
 		Oracle:    oracle,
 		Threshold: c.opts.Threshold,
 		Enrich:    *c.opts.Enrich,
+		Workers:   c.opts.Workers,
+		Telemetry: tel,
 	}
 	return ann.Annotate(t)
 }
 
 // Repairs generates top-k possible repairs for the given rows of t (§6.2).
 func (c *Cleaner) Repairs(t *Table, p *Pattern, rows []int) map[int][]Repair {
+	return c.repairs(t, p, rows, nil)
+}
+
+func (c *Cleaner) repairs(t *Table, p *Pattern, rows []int, tel *telemetry.Pipeline) map[int][]Repair {
 	if len(p.Edges) == 0 {
 		return nil // no relationships: repairs are undefined (§7.4)
 	}
-	ix := repair.BuildIndex(c.kb, p, repair.Options{})
 	out := make(map[int][]Repair, len(rows))
+	if len(rows) == 0 {
+		// An error-free table needs no repairs: skip instance-graph
+		// enumeration entirely — on large KBs building the index dwarfs
+		// the rest of the pipeline.
+		return out
+	}
+	start := tel.StartStage(telemetry.StageBuildIndex)
+	ix := repair.BuildIndex(c.kb, p, repair.Options{
+		MaxGraphs: c.opts.RepairMaxGraphs,
+		Weights:   c.opts.RepairWeights,
+		Workers:   c.opts.Workers,
+		Telemetry: tel,
+	})
+	tel.EndStage(telemetry.StageBuildIndex, start)
+	if c.opts.Workers > 1 && len(rows) >= 2*c.opts.Workers {
+		// Per-row retrieval is independent and the index is read-only:
+		// fan out, keyed by row, so the result map is order-insensitive.
+		perRow := make([][]Repair, len(rows))
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < c.opts.Workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(rows) {
+						return
+					}
+					if row := rows[i]; row >= 0 && row < t.NumRows() {
+						perRow[i] = ix.TopK(t.Rows[row], c.opts.RepairK)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		for i, row := range rows {
+			if row >= 0 && row < t.NumRows() {
+				out[row] = perRow[i]
+			}
+		}
+		return out
+	}
 	for _, row := range rows {
 		if row < 0 || row >= t.NumRows() {
 			continue
@@ -259,6 +355,9 @@ type Report struct {
 	NewFacts []Fact
 	// QuestionsAsked counts all crowd questions consumed.
 	QuestionsAsked int
+	// Timings holds the run's stage wall-clocks and pipeline counters; nil
+	// unless Options.Telemetry (or Options.Tracer) is set.
+	Timings *Timings
 }
 
 // ErrNoPattern is returned when no table pattern links the table to the KB;
@@ -270,25 +369,43 @@ func (c *Cleaner) Clean(t *Table) (*Report, error) {
 	if t == nil || t.NumRows() == 0 {
 		return nil, fmt.Errorf("katara: empty table")
 	}
-	cands := c.candidates(t)
+	var tel *telemetry.Pipeline
+	if c.opts.Tracer != nil {
+		tel = telemetry.NewTraced(c.opts.Tracer)
+	} else if c.opts.Telemetry {
+		tel = telemetry.New()
+	}
+	c.crowd.SetTelemetry(tel)
+	defer c.crowd.SetTelemetry(nil)
+
+	start := tel.StartStage(telemetry.StageDiscover)
+	cands := c.generate(t, tel)
 	candidates := discovery.TopK(cands, c.opts.TopK)
+	tel.EndStage(telemetry.StageDiscover, start)
 	if len(candidates) == 0 {
 		return nil, ErrNoPattern
 	}
 	c.crowd.ResetStats()
+	start = tel.StartStage(telemetry.StageValidate)
 	p, _ := c.ValidatePattern(t, candidates)
 	if c.opts.DiscoverPaths {
 		p = p.Clone()
 		discovery.AttachPathEdges(p, discovery.DiscoverPathEdges(cands))
 	}
-	res := c.Annotate(t, p)
+	tel.EndStage(telemetry.StageValidate, start)
+	start = tel.StartStage(telemetry.StageAnnotate)
+	res := c.annotate(t, p, tel)
+	tel.EndStage(telemetry.StageAnnotate, start)
 	rep := &Report{
 		Pattern:     p,
 		Annotations: res.Tuples,
 		NewFacts:    res.NewFacts,
 	}
-	rep.Repairs = c.Repairs(t, p, res.Errors())
+	start = tel.StartStage(telemetry.StageRepair)
+	rep.Repairs = c.repairs(t, p, res.Errors(), tel)
+	tel.EndStage(telemetry.StageRepair, start)
 	rep.QuestionsAsked = c.crowd.Stats().Questions
+	rep.Timings = tel.Snapshot()
 	return rep, nil
 }
 
