@@ -8,11 +8,18 @@
 //	katara -kb yago.nt -in dirty.csv [-out cleaned.csv] [-k 3]
 //	       [-assume trust|skeptic] [-facts new-facts.nt] [-v]
 //	       [-workers N] [-stats]
+//	       [-fault-rate 0.3] [-budget 100] [-deadline 30s] [-degrade trust|unknown]
 //
 // Without a crowd to consult, the -assume policy decides how to treat data
 // the KB does not cover: "trust" (default) treats it as KB incompleteness
 // and enriches the KB; "skeptic" treats it as erroneous and proposes
 // repairs.
+//
+// The resilience flags exercise the unreliable-crowd layer: -fault-rate
+// injects seeded worker faults (abandonment, transient errors, spam),
+// -budget caps the crowd questions one run may consume, -deadline bounds
+// the run's wall-clock, and -degrade picks what happens to tuples whose
+// questions went unanswered when either ran out.
 package main
 
 import (
@@ -78,6 +85,11 @@ func main() {
 		verbose  = flag.Bool("v", false, "print per-tuple annotations")
 		stats    = flag.Bool("stats", false, "print pipeline stage timings and counters")
 		workers  = flag.Int("workers", 0, "worker pool size for the parallel stages (0 or 1 = serial, -1 = GOMAXPROCS)")
+
+		faultRate = flag.Float64("fault-rate", 0, "per-assignment crowd fault probability in [0,1), split across abandonment/transient/spam")
+		budget    = flag.Int("budget", 0, "cap on crowd questions per run (0 = unlimited)")
+		deadline  = flag.Duration("deadline", 0, "wall-clock bound for the run, e.g. 30s (0 = none)")
+		degrade   = flag.String("degrade", "trust", "policy for tuples unanswered after budget/deadline exhaustion: trust|unknown")
 	)
 	flag.Parse()
 	if *kbPath == "" || *inPath == "" {
@@ -99,7 +111,28 @@ func main() {
 		fatal(err)
 	}
 
-	opts := katara.Options{RepairK: *k, DiscoverPaths: *paths, Workers: *workers, Telemetry: *stats}
+	opts := katara.Options{
+		RepairK: *k, DiscoverPaths: *paths, Workers: *workers, Telemetry: *stats,
+		Budget: *budget, Deadline: *deadline,
+	}
+	if *faultRate > 0 {
+		// Split the requested fault mass: half abandonment, a quarter each
+		// transient and spam — a plausibly shaped unreliable crowd.
+		opts.Transport = katara.NewFaultInjector(katara.FaultConfig{
+			Seed:          1,
+			AbandonRate:   *faultRate * 0.5,
+			TransientRate: *faultRate * 0.25,
+			SpamRate:      *faultRate * 0.25,
+		})
+	}
+	switch *degrade {
+	case "trust":
+		opts.Degrade = katara.DegradeTrustKB
+	case "unknown":
+		opts.Degrade = katara.DegradeMarkUnknown
+	default:
+		fatal(fmt.Errorf("unknown -degrade %q", *degrade))
+	}
 	switch *assume {
 	case "trust":
 		// nil FactOracle = trusting policy
@@ -125,23 +158,37 @@ func main() {
 		}
 		fmt.Printf("pattern graph written to %s\n", *dotPath)
 	}
-	nKB, nCrowd, nErr := 0, 0, 0
+	nKB, nCrowd, nErr, nUnknown := 0, 0, 0, 0
 	for _, a := range report.Annotations {
 		switch a.Label {
 		case katara.ValidatedByKB:
 			nKB++
 		case katara.ValidatedByCrowd:
 			nCrowd++
+		case katara.Unknown:
+			nUnknown++
 		default:
 			nErr++
 		}
 		if *verbose {
-			fmt.Printf("  row %-5d %s\n", a.Row, a.Label)
+			suffix := ""
+			if a.Degraded {
+				suffix = "  (degraded)"
+			}
+			fmt.Printf("  row %-5d %s%s\n", a.Row, a.Label, suffix)
 		}
 	}
-	fmt.Printf("annotations: %d validated by KB, %d assumed correct, %d erroneous\n",
+	fmt.Printf("annotations: %d validated by KB, %d assumed correct, %d erroneous",
 		nKB, nCrowd, nErr)
+	if nUnknown > 0 {
+		fmt.Printf(", %d unknown", nUnknown)
+	}
+	fmt.Println()
 	fmt.Printf("new facts inferred: %d\n", len(report.NewFacts))
+	if d := report.Degraded; d.Any() {
+		fmt.Printf("degraded run: pattern-fallback=%v unanswered-tuples=%d repairs-skipped=%v\n",
+			d.PatternFallback, d.Tuples, d.RepairsSkipped)
+	}
 
 	repaired := tbl.Clone()
 	for row, reps := range report.Repairs {

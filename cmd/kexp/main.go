@@ -34,15 +34,16 @@ import (
 
 func main() {
 	var (
-		expList = flag.String("exp", "all", "comma-separated experiments to run (all|table1..table7|fig6|fig7|fig8|fig11|fig12|patterns|stats)")
-		seed    = flag.Int64("seed", 2015, "master random seed")
-		scale   = flag.Float64("scale", 0.2, "RelationalTables scale factor (1.0 = Person 5000 rows)")
-		size    = flag.String("size", "default", "world size: small|default|large")
-		maxK    = flag.Int("maxk", 10, "maximum k for top-k curves")
-		maxQ    = flag.Int("maxq", 7, "maximum questions-per-variable for validation curves")
-		format  = flag.String("format", "table", "figure output: table|chart|csv")
-		stats   = flag.Bool("stats", false, "run the pipeline-telemetry experiment (same as -exp stats)")
-		workers = flag.Int("workers", 0, "worker pool size for the parallel stages (0 or 1 = serial, -1 = GOMAXPROCS)")
+		expList   = flag.String("exp", "all", "comma-separated experiments to run (all|table1..table7|fig6|fig7|fig8|fig11|fig12|patterns|stats)")
+		seed      = flag.Int64("seed", 2015, "master random seed")
+		scale     = flag.Float64("scale", 0.2, "RelationalTables scale factor (1.0 = Person 5000 rows)")
+		size      = flag.String("size", "default", "world size: small|default|large")
+		maxK      = flag.Int("maxk", 10, "maximum k for top-k curves")
+		maxQ      = flag.Int("maxq", 7, "maximum questions-per-variable for validation curves")
+		format    = flag.String("format", "table", "figure output: table|chart|csv")
+		stats     = flag.Bool("stats", false, "run the pipeline-telemetry experiment (same as -exp stats)")
+		workers   = flag.Int("workers", 0, "worker pool size for the parallel stages (0 or 1 = serial, -1 = GOMAXPROCS)")
+		faultRate = flag.Float64("fault-rate", 0, "per-assignment crowd fault probability for the stats experiment, split across abandonment/transient/spam")
 	)
 	flag.Parse()
 
@@ -142,15 +143,18 @@ func main() {
 	run("table7", func() string { return experiments.RenderTable7(experiments.Table7(env)) })
 	run("patterns", func() string { return renderValidatedPatterns(env) })
 	run("ablation", func() string { return experiments.RenderAblation(experiments.AblationCoherence(env)) })
-	run("stats", func() string { return renderStats(env, *workers) })
+	run("stats", func() string { return renderStats(env, *workers, *faultRate) })
 }
 
 // renderStats runs the instrumented end-to-end pipeline over the
 // RelationalTables specs and both KBs and prints each run's telemetry
-// snapshot — the observability counterpart of Table 6's runtimes.
-func renderStats(env *experiments.Env, workers int) string {
+// snapshot plus the crowd's resilience counters — the observability
+// counterpart of Table 6's runtimes. A non-zero faultRate routes every
+// crowd assignment through the seeded fault injector.
+func renderStats(env *experiments.Env, workers int, faultRate float64) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Pipeline telemetry (RelationalTables, end-to-end, workers=%d)\n", workers)
+	fmt.Fprintf(&b, "Pipeline telemetry (RelationalTables, end-to-end, workers=%d, fault-rate=%.2f)\n",
+		workers, faultRate)
 	ds := env.Dataset("RelationalTables")
 	for _, kb := range env.KBs {
 		for _, spec := range ds.Specs {
@@ -164,19 +168,40 @@ func renderStats(env *experiments.Env, workers int) string {
 			}
 			rng := rand.New(rand.NewSource(env.Cfg.Seed))
 			table.InjectErrors(dirty, cols, 0.10, rng)
-			// Clone the KB: the run enriches it, and later experiments
-			// must see the environment untouched.
-			cleaner := katara.NewCleaner(kb.Store.Clone(), katara.TrustingCrowd(), katara.Options{
+			opts := katara.Options{
 				FactOracle: workload.WorldOracle{W: env.World, KB: kb},
 				Telemetry:  true,
 				Workers:    workers,
-			})
+			}
+			if faultRate > 0 {
+				opts.Transport = katara.NewFaultInjector(katara.FaultConfig{
+					Seed:          env.Cfg.Seed,
+					AbandonRate:   faultRate * 0.5,
+					TransientRate: faultRate * 0.25,
+					SpamRate:      faultRate * 0.25,
+				})
+			}
+			// Clone the KB: the run enriches it, and later experiments
+			// must see the environment untouched.
+			cleaner := katara.NewCleaner(kb.Store.Clone(), katara.TrustingCrowd(), opts)
 			report, err := cleaner.Clean(dirty)
 			if err != nil {
 				fmt.Fprintf(&b, "\n%s x %s: %v\n", kb.Name, spec.Table.Name, err)
 				continue
 			}
 			fmt.Fprintf(&b, "\n%s x %s (%d rows):\n%s", kb.Name, spec.Table.Name, dirty.NumRows(), report.Timings)
+			cs := report.Crowd
+			fmt.Fprintf(&b, "crowd resilience:\n")
+			fmt.Fprintf(&b, "  %-18s %10d\n", "questions", cs.Questions)
+			fmt.Fprintf(&b, "  %-18s %10d\n", "assignments", cs.Assignments)
+			fmt.Fprintf(&b, "  %-18s %10d\n", "retries", cs.Retries)
+			fmt.Fprintf(&b, "  %-18s %10d\n", "abandonments", cs.Abandonments)
+			fmt.Fprintf(&b, "  %-18s %10d\n", "timeouts", cs.Timeouts)
+			fmt.Fprintf(&b, "  %-18s %10d\n", "escalations", cs.Escalations)
+			if d := report.Degraded; d.Any() {
+				fmt.Fprintf(&b, "  degraded: pattern-fallback=%v tuples=%d repairs-skipped=%v\n",
+					d.PatternFallback, d.Tuples, d.RepairsSkipped)
+			}
 		}
 	}
 	return b.String()

@@ -5,6 +5,7 @@
 package annotation
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -29,6 +30,10 @@ const (
 	ValidatedByCrowd
 	// Erroneous: the crowd rejected at least one missing piece (case iii).
 	Erroneous
+	// Unknown: the crowd could not be consulted (budget or deadline
+	// exhausted) and the DegradeMarkUnknown policy is active. Unknown tuples
+	// are neither trusted nor repaired.
+	Unknown
 )
 
 // String implements fmt.Stringer.
@@ -40,6 +45,8 @@ func (l Label) String() string {
 		return "validated-by-kb-and-crowd"
 	case Erroneous:
 		return "erroneous"
+	case Unknown:
+		return "unknown"
 	default:
 		return fmt.Sprintf("Label(%d)", int(l))
 	}
@@ -67,6 +74,9 @@ type TupleAnnotation struct {
 	PathByKB []bool
 	// NewFacts are the crowd-confirmed facts for this tuple.
 	NewFacts []Fact
+	// Degraded marks a label decided under a graceful-degradation policy
+	// (the crowd was unreachable: budget or deadline exhausted).
+	Degraded bool
 }
 
 // Breakdown aggregates Table 5's fractions over values and relationships.
@@ -98,6 +108,9 @@ type Result struct {
 	Tuples    []TupleAnnotation
 	Breakdown Breakdown
 	NewFacts  []Fact // deduplicated KB-enrichment facts
+	// DegradedTuples counts tuples whose label was decided under a
+	// graceful-degradation policy.
+	DegradedTuples int
 }
 
 // Errors returns the rows labelled Erroneous.
@@ -125,12 +138,44 @@ type PathOracle interface {
 	PathHolds(subj string, props []rdf.ID, obj string) bool
 }
 
+// DegradePolicy selects what happens to a tuple when the crowd can no
+// longer be consulted (question budget or run deadline exhausted).
+type DegradePolicy int
+
+const (
+	// DegradeTrustKB treats unanswered checks as KB incompleteness: the
+	// tuple is accepted (ValidatedByCrowd, flagged Degraded), but no new
+	// facts are minted from the unverified claims.
+	DegradeTrustKB DegradePolicy = iota
+	// DegradeMarkUnknown labels unanswered tuples Unknown: they are neither
+	// trusted, enriched from, nor repaired.
+	DegradeMarkUnknown
+)
+
+// String implements fmt.Stringer.
+func (d DegradePolicy) String() string {
+	switch d {
+	case DegradeTrustKB:
+		return "trust-kb"
+	case DegradeMarkUnknown:
+		return "mark-unknown"
+	default:
+		return fmt.Sprintf("DegradePolicy(%d)", int(d))
+	}
+}
+
 // Annotator annotates tables against one validated pattern.
 type Annotator struct {
 	KB      *rdf.Store
 	Pattern *pattern.Pattern
 	Crowd   *crowd.Crowd
 	Oracle  FactOracle
+	// Ctx bounds the crowd interaction (nil = context.Background()); an
+	// expired deadline triggers the Degrade policy for remaining tuples.
+	Ctx context.Context
+	// Degrade picks the policy for tuples whose crowd questions went
+	// unanswered (budget or deadline exhausted).
+	Degrade DegradePolicy
 	// Threshold is the label-similarity threshold (default 0.7).
 	Threshold float64
 	// Enrich adds crowd-confirmed facts to the KB immediately, so later
@@ -171,6 +216,10 @@ func (a *Annotator) Annotate(tbl *table.Table) *Result {
 		ta, applied := a.annotateTuple(tbl, row, m)
 		enriched = enriched || applied
 		a.Telemetry.Inc(telemetry.TuplesAnnotated)
+		if ta.Degraded {
+			res.DegradedTuples++
+			a.Telemetry.Inc(telemetry.DegradedDecisions)
+		}
 		res.Tuples = append(res.Tuples, ta)
 		for _, f := range ta.NewFacts {
 			k := factKey(f)
@@ -179,7 +228,11 @@ func (a *Annotator) Annotate(tbl *table.Table) *Result {
 				res.NewFacts = append(res.NewFacts, f)
 			}
 		}
-		// Table 5 accounting.
+		// Table 5 accounting. Unknown tuples are excluded: nothing about
+		// them was established by either the KB or the crowd.
+		if ta.Label == Unknown {
+			continue
+		}
 		for _, n := range a.Pattern.Nodes {
 			if n.Type == rdf.NoID {
 				continue
@@ -215,6 +268,26 @@ func (a *Annotator) Annotate(tbl *table.Table) *Result {
 		}
 	}
 	return res
+}
+
+// ctx resolves the annotator's context.
+func (a *Annotator) ctx() context.Context {
+	if a.Ctx != nil {
+		return a.Ctx
+	}
+	return context.Background()
+}
+
+// ask consults the crowd for one boolean check. degraded reports that the
+// crowd was unreachable (budget or deadline exhausted): under
+// DegradeTrustKB the check counts as confirmed (but unverified), under
+// DegradeMarkUnknown the caller must mark the tuple Unknown.
+func (a *Annotator) ask(prompt string, holds bool) (confirmed, degraded bool) {
+	yes, err := a.Crowd.AskBooleanContext(a.ctx(), prompt, holds)
+	if err != nil {
+		return a.Degrade == DegradeTrustKB, true
+	}
+	return yes, false
 }
 
 func factKey(f Fact) string {
@@ -277,36 +350,68 @@ func (a *Annotator) annotateTuple(tbl *table.Table, row int, m *pattern.Match) (
 		return ta, false
 	}
 
-	// Step 2: validation by KB + crowd for each missing node and edge.
+	// Step 2: validation by KB + crowd for each missing node and edge. The
+	// crowd can become unreachable mid-tuple (budget/deadline exhausted);
+	// confirm then applies the degradation policy: trust-KB answers "yes"
+	// without minting a fact, mark-unknown aborts the tuple.
+	unknown := false
+	confirm := func(prompt string, holds bool) (confirmed, verified bool) {
+		if unknown {
+			return false, false
+		}
+		yes, degraded := a.ask(prompt, holds)
+		if degraded {
+			ta.Degraded = true
+			if a.Degrade == DegradeMarkUnknown {
+				unknown = true
+				return false, false
+			}
+			return true, false
+		}
+		return yes, yes
+	}
 	allConfirmed := true
 	for _, n := range a.Pattern.Nodes {
+		if unknown {
+			break
+		}
 		if n.Type == rdf.NoID || m.NodeOK[n.Column] || n.Column >= len(tuple) {
 			continue
 		}
 		val := tuple[n.Column]
 		holds := a.Oracle != nil && a.Oracle.TypeHolds(val, n.Type)
 		prompt := fmt.Sprintf("Is %q a %s?", val, a.KB.LabelOf(n.Type))
-		if a.Crowd.AskBoolean(prompt, holds) {
+		confirmed, verified := confirm(prompt, holds)
+		if verified {
 			ta.NewFacts = append(ta.NewFacts, Fact{IsType: true, Subject: val, Type: n.Type})
-		} else {
+		}
+		if !confirmed && !unknown {
 			allConfirmed = false
 		}
 	}
 	for i, e := range a.Pattern.Edges {
+		if unknown {
+			break
+		}
 		if m.EdgeOK[i] || e.From >= len(tuple) || e.To >= len(tuple) {
 			continue
 		}
 		sv, ov := tuple[e.From], tuple[e.To]
 		holds := a.Oracle != nil && a.Oracle.RelHolds(sv, e.Prop, ov)
 		prompt := fmt.Sprintf("Does %q %s %q?", sv, a.KB.LabelOf(e.Prop), ov)
-		if a.Crowd.AskBoolean(prompt, holds) {
+		confirmed, verified := confirm(prompt, holds)
+		if verified {
 			ta.NewFacts = append(ta.NewFacts, Fact{Subject: sv, Prop: e.Prop, Object: ov})
-		} else {
+		}
+		if !confirmed && !unknown {
 			allConfirmed = false
 		}
 	}
 
 	for i, pe := range a.Pattern.Paths {
+		if unknown {
+			break
+		}
 		if m.PathOK[i] || pe.From >= len(tuple) || pe.To >= len(tuple) {
 			continue
 		}
@@ -317,9 +422,11 @@ func (a *Annotator) annotateTuple(tbl *table.Table, row int, m *pattern.Match) (
 		}
 		prompt := fmt.Sprintf("Is %q related to %q through %s?",
 			sv, ov, pathLabel(a.KB, pe.Props))
-		if a.Crowd.AskBoolean(prompt, holds) {
+		confirmed, verified := confirm(prompt, holds)
+		if verified {
 			ta.NewFacts = append(ta.NewFacts, Fact{Subject: sv, Path: pe.Props, Object: ov})
-		} else {
+		}
+		if !confirmed && !unknown {
 			allConfirmed = false
 		}
 	}
@@ -330,8 +437,11 @@ func (a *Annotator) annotateTuple(tbl *table.Table, row int, m *pattern.Match) (
 	// rest of the tuple (e.g. a fuzzy-matched homonym club grounded in the
 	// claimed city). Every such edge is verified by the crowd before the
 	// tuple is accepted.
-	if allConfirmed {
+	if allConfirmed && !unknown {
 		for i, e := range a.Pattern.Edges {
+			if unknown {
+				break
+			}
 			if !m.EdgeOK[i] || e.From >= len(tuple) || e.To >= len(tuple) {
 				continue // missing edges were already asked above
 			}
@@ -339,11 +449,17 @@ func (a *Annotator) annotateTuple(tbl *table.Table, row int, m *pattern.Match) (
 			holds := a.Oracle != nil && a.Oracle.RelHolds(sv, e.Prop, ov)
 			prompt := fmt.Sprintf("Does %q %s %q?", sv, a.KB.LabelOf(e.Prop), ov)
 
-			if !a.Crowd.AskBoolean(prompt, holds) {
+			if confirmed, _ := confirm(prompt, holds); !confirmed && !unknown {
 				allConfirmed = false
 				ta.EdgeByKB[i] = false
 			}
 		}
+	}
+
+	if unknown {
+		ta.Label = Unknown
+		ta.NewFacts = nil // nothing about the tuple was established
+		return ta, false
 	}
 
 	applied := false

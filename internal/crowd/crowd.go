@@ -5,11 +5,20 @@
 // question is assigned to three workers and decided by majority vote, as in
 // the paper (§5.1: "each question is asked three times, and the majority
 // answer is taken").
+//
+// A resilience layer (transport.go, resilience.go) sits between Ask and the
+// pool: assignments route through a pluggable Transport (fault injection for
+// chaos testing), failures are retried with capped exponential backoff and
+// reassigned to fresh workers, low-margin votes escalate with extra
+// assignments, and question/assignment budgets plus context deadlines bound
+// total consumption.
 package crowd
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"katara/internal/telemetry"
 )
@@ -95,11 +104,20 @@ func (w Worker) answer(q Question, rng *rand.Rand) int {
 	return wrong
 }
 
-// Stats accumulates crowdsourcing cost accounting.
+// Stats accumulates crowdsourcing cost accounting plus the resilience
+// layer's fault counters.
 type Stats struct {
 	Questions   int
 	Assignments int
 	ByKind      map[Kind]int
+
+	// Resilience accounting: retries issued (backoff waits), assignments
+	// abandoned by workers, assignments timed out, and escalation
+	// assignments posted beyond the base redundancy.
+	Retries      int
+	Abandonments int
+	Timeouts     int
+	Escalations  int
 }
 
 // Cost converts the accounting into money at a per-assignment rate — the
@@ -119,12 +137,22 @@ func (s *Stats) record(k Kind, assignments int) {
 	s.ByKind[k]++
 }
 
-// Crowd is the worker pool.
+// Crowd is the worker pool. All exported methods are safe for concurrent
+// use: the shared rng, stats and reliability estimates are guarded by mu
+// (the pipeline's parallel stages may reach the crowd from worker
+// goroutines).
 type Crowd struct {
+	mu          sync.Mutex
 	workers     []Worker
 	rng         *rand.Rand
 	assignments int
 	stats       Stats
+
+	// Resilience layer (transport.go, resilience.go).
+	transport Transport // nil = direct in-process delivery
+	retry     RetryPolicy
+	escalate  EscalationPolicy
+	budget    *Budget // nil = unlimited
 
 	// Quality control (quality.go): per-worker reliability estimates and
 	// the weighted-voting switch.
@@ -147,12 +175,45 @@ func WithAssignments(n int) Option {
 	}
 }
 
+// WithTransport routes every assignment through t (nil = direct delivery).
+func WithTransport(t Transport) Option {
+	return func(c *Crowd) { c.transport = t }
+}
+
+// WithRetry overrides the per-assignment retry policy.
+func WithRetry(r RetryPolicy) Option {
+	return func(c *Crowd) { c.retry = r }
+}
+
+// WithEscalation enables adaptive redundancy under e.
+func WithEscalation(e EscalationPolicy) Option {
+	return func(c *Crowd) { c.escalate = e }
+}
+
+// WithBudget caps the crowd's total consumption (nil = unlimited).
+func WithBudget(b *Budget) Option {
+	return func(c *Crowd) { c.budget = b }
+}
+
+// newCrowd is the shared construction path: defaults applied here, workers
+// and options by the callers.
+func newCrowd(rng *rand.Rand) *Crowd {
+	return &Crowd{rng: rng, assignments: 3}
+}
+
+func (c *Crowd) apply(opts []Option) *Crowd {
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
 // New builds a crowd of n workers with the given mean accuracy. Individual
 // worker accuracies are jittered ±0.05 around the mean, clamped to [0.5, 1].
 // All randomness flows from seed, keeping experiments reproducible.
 func New(n int, meanAccuracy float64, seed int64, opts ...Option) *Crowd {
 	rng := rand.New(rand.NewSource(seed))
-	c := &Crowd{rng: rng, assignments: 3}
+	c := newCrowd(rng)
 	for i := 0; i < n; i++ {
 		acc := meanAccuracy + (rng.Float64()-0.5)*0.1
 		if acc > 1 {
@@ -163,20 +224,19 @@ func New(n int, meanAccuracy float64, seed int64, opts ...Option) *Crowd {
 		}
 		c.workers = append(c.workers, Worker{ID: i, Accuracy: acc})
 	}
-	for _, o := range opts {
-		o(c)
-	}
-	return c
+	return c.apply(opts)
 }
 
 // Perfect returns a crowd of always-correct workers, for tests and for the
-// paper's "experts in the KB" assumption at its limit.
-func Perfect(n int) *Crowd {
-	c := &Crowd{rng: rand.New(rand.NewSource(0)), assignments: 3}
+// paper's "experts in the KB" assumption at its limit. It accepts the same
+// Options as New (accuracies are pinned to 1 rather than jittered, so the
+// rng stream starts identically to the historical Perfect).
+func Perfect(n int, opts ...Option) *Crowd {
+	c := newCrowd(rand.New(rand.NewSource(0)))
 	for i := 0; i < n; i++ {
 		c.workers = append(c.workers, Worker{ID: i, Accuracy: 1})
 	}
-	return c
+	return c.apply(opts)
 }
 
 // NumWorkers returns the pool size.
@@ -184,6 +244,8 @@ func (c *Crowd) NumWorkers() int { return len(c.workers) }
 
 // Stats returns a copy of the accumulated accounting.
 func (c *Crowd) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	s := c.stats
 	s.ByKind = make(map[Kind]int, len(c.stats.ByKind))
 	for k, v := range c.stats.ByKind {
@@ -193,56 +255,60 @@ func (c *Crowd) Stats() Stats {
 }
 
 // ResetStats clears the accounting.
-func (c *Crowd) ResetStats() { c.stats = Stats{} }
+func (c *Crowd) ResetStats() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats = Stats{}
+}
 
 // SetTelemetry attaches a telemetry pipeline whose CrowdQuestions counter
-// tracks every question asked from now on; nil detaches it. The crowd is
-// consulted serially (questions are crowd I/O, never issued from worker
-// pools), so no synchronisation is needed.
-func (c *Crowd) SetTelemetry(p *telemetry.Pipeline) { c.tel = p }
+// tracks every question asked from now on; nil detaches it.
+func (c *Crowd) SetTelemetry(p *telemetry.Pipeline) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tel = p
+}
+
+// SetTransport installs t as the assignment transport (nil = direct).
+func (c *Crowd) SetTransport(t Transport) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.transport = t
+}
+
+// SetRetry installs the retry policy.
+func (c *Crowd) SetRetry(r RetryPolicy) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.retry = r
+}
+
+// SetEscalation installs the adaptive-redundancy policy.
+func (c *Crowd) SetEscalation(e EscalationPolicy) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.escalate = e
+}
+
+// SetBudget installs (or, with nil, removes) the consumption budget.
+func (c *Crowd) SetBudget(b *Budget) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.budget = b
+}
 
 // Ask routes q to `assignments` distinct randomly chosen workers and returns
 // the majority answer (ties broken toward the lowest option index). With
 // reliability estimates installed (Calibrate / EstimateReliability), votes
-// are weighted by each worker's log-odds accuracy instead.
+// are weighted by each worker's log-odds accuracy instead. Ask is
+// AskContext without a deadline; resilience errors (exhausted budget, a
+// fully failed question) degrade to option 0.
 func (c *Crowd) Ask(q Question) int {
-	n := c.assignments
-	if n > len(c.workers) {
-		n = len(c.workers)
-	}
-	c.stats.record(q.Kind, n)
-	c.tel.Inc(telemetry.CrowdQuestions)
-	if c.weighted {
-		return c.askWeighted(q, n)
-	}
-	perm := c.rng.Perm(len(c.workers))[:n]
-	votes := make(map[int]int)
-	for _, wi := range perm {
-		votes[c.workers[wi].answer(q, c.rng)]++
-	}
-	best, bestVotes := 0, -1
-	for opt := 0; opt < maxOption(q, votes); opt++ {
-		if v := votes[opt]; v > bestVotes {
-			best, bestVotes = opt, v
-		}
-	}
-	return best
+	a, _ := c.AskContext(context.Background(), q)
+	return a
 }
 
 // AskBoolean asks a yes/no question and returns true for "Yes".
 func (c *Crowd) AskBoolean(prompt string, holds bool) bool {
 	return c.Ask(Boolean(prompt, holds)) == 0
-}
-
-func maxOption(q Question, votes map[int]int) int {
-	m := len(q.Options)
-	for opt := range votes {
-		if opt >= m {
-			m = opt + 1
-		}
-	}
-	if m == 0 {
-		m = 1
-	}
-	return m
 }

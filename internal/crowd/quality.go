@@ -25,6 +25,8 @@ type Reliability []float64
 // installed for weighted voting and also returned. Gold questions are
 // accounted like normal questions.
 func (c *Crowd) Calibrate(gold []Question) Reliability {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	correct := make([]int, len(c.workers))
 	for _, q := range gold {
 		c.stats.record(q.Kind, len(c.workers))
@@ -55,6 +57,8 @@ type workerAnswers struct {
 // weighting workers by their current accuracy estimate until the estimates
 // stabilise. It installs and returns the estimates.
 func (c *Crowd) EstimateReliability(batch []Question, iterations int) Reliability {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if iterations <= 0 {
 		iterations = 10
 	}
@@ -118,12 +122,16 @@ func (c *Crowd) EstimateReliability(batch []Question, iterations int) Reliabilit
 // Estimates returns the installed reliability estimates (nil before any
 // calibration).
 func (c *Crowd) Estimates() Reliability {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return append(Reliability(nil), c.estimates...)
 }
 
 // SetWeightedVoting toggles log-odds weighted majority voting. It requires
 // estimates (from Calibrate or EstimateReliability).
 func (c *Crowd) SetWeightedVoting(on bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.weighted = on && c.estimates != nil
 }
 
@@ -137,30 +145,4 @@ func logOdds(acc float64) float64 {
 		acc = 0.95
 	}
 	return math.Log(acc / (1 - acc))
-}
-
-// askWeighted is Ask's weighted-voting variant: the assignment set is
-// chosen as usual, but votes carry log-odds weights.
-func (c *Crowd) askWeighted(q Question, n int) int {
-	perm := c.rng.Perm(len(c.workers))[:n]
-	votes := map[int]float64{}
-	for _, wi := range perm {
-		a := c.workers[wi].answer(q, c.rng)
-		votes[a] += logOdds(c.estimates[wi])
-	}
-	best, bestV := 0, math.Inf(-1)
-	for opt := 0; opt < maxOption(q, intKeys(votes)); opt++ {
-		if v, ok := votes[opt]; ok && v > bestV {
-			best, bestV = opt, v
-		}
-	}
-	return best
-}
-
-func intKeys(m map[int]float64) map[int]int {
-	out := make(map[int]int, len(m))
-	for k := range m {
-		out[k] = 1
-	}
-	return out
 }

@@ -133,6 +133,54 @@ func TestLogOddsClamped(t *testing.T) {
 	}
 }
 
+func TestCalibrateDeterministicUnderFixedSeed(t *testing.T) {
+	run := func() Reliability {
+		return mixedCrowd(11).Calibrate(goldBatch(40))
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("estimate %d differs across same-seed runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEstimateReliabilityDeterministicUnderFixedSeed(t *testing.T) {
+	run := func() Reliability {
+		return mixedCrowd(12).EstimateReliability(goldBatch(40), 10)
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("estimate %d differs across same-seed runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestWeightedVoteOutweighsNoisyMajority(t *testing.T) {
+	// One highly reliable worker (log-odds ≈ 2.94) must outvote four
+	// barely-better-than-chance workers (log-odds ≈ 0.20 each) who agree on
+	// the wrong option — the point of weighted voting.
+	expert := logOdds(0.95)
+	noisy := logOdds(0.55)
+	votes := []vote{
+		{opt: 1, weight: expert},
+		{opt: 0, weight: noisy}, {opt: 0, weight: noisy},
+		{opt: 0, weight: noisy}, {opt: 0, weight: noisy},
+	}
+	q := Question{Options: []string{"a", "b"}}
+	if got := decide(q, votes); got != 1 {
+		t.Fatalf("decide = %d, want the expert's option 1", got)
+	}
+	// Under plain (unit-weight) voting the noisy majority wins instead.
+	for i := range votes {
+		votes[i].weight = 1
+	}
+	if got := decide(q, votes); got != 0 {
+		t.Fatalf("plain decide = %d, want the majority's option 0", got)
+	}
+}
+
 func TestStatsCost(t *testing.T) {
 	c := Perfect(5)
 	c.AskBoolean("x?", true)

@@ -44,6 +44,22 @@ const (
 	TuplesAnnotated
 	// RepairsGenerated counts candidate repairs returned by top-k retrieval.
 	RepairsGenerated
+	// CrowdRetries counts assignment delivery retries (backoff waits) issued
+	// by the crowd resilience layer.
+	CrowdRetries
+	// CrowdTimeouts counts assignments that exceeded their timeout (or the
+	// run deadline) while outstanding.
+	CrowdTimeouts
+	// CrowdAbandonments counts assignments abandoned by workers and
+	// reassigned to fresh ones.
+	CrowdAbandonments
+	// CrowdEscalations counts adaptive-redundancy assignments posted beyond
+	// the base per-question redundancy because the vote margin was low.
+	CrowdEscalations
+	// DegradedDecisions counts pipeline decisions taken under a
+	// graceful-degradation policy (pattern fallback, unanswered tuples)
+	// after the budget or deadline ran out.
+	DegradedDecisions
 
 	numCounters
 )
@@ -61,6 +77,16 @@ func (c Counter) String() string {
 		return "tuples-annotated"
 	case RepairsGenerated:
 		return "repairs-generated"
+	case CrowdRetries:
+		return "crowd-retries"
+	case CrowdTimeouts:
+		return "crowd-timeouts"
+	case CrowdAbandonments:
+		return "crowd-abandonments"
+	case CrowdEscalations:
+		return "crowd-escalations"
+	case DegradedDecisions:
+		return "degraded-decisions"
 	default:
 		return fmt.Sprintf("counter-%d", int(c))
 	}

@@ -86,7 +86,7 @@ type recordingTracer struct {
 	starts, ends []Stage
 }
 
-func (r *recordingTracer) StageStart(s Stage)                 { r.starts = append(r.starts, s) }
+func (r *recordingTracer) StageStart(s Stage)                { r.starts = append(r.starts, s) }
 func (r *recordingTracer) StageEnd(s Stage, d time.Duration) { r.ends = append(r.ends, s) }
 
 func TestTracerSeesStageBoundaries(t *testing.T) {
@@ -124,11 +124,16 @@ func TestSnapshotString(t *testing.T) {
 func TestStableNames(t *testing.T) {
 	// Snapshot names are a CLI contract; keep them stable.
 	wantCounters := map[Counter]string{
-		CrowdQuestions:   "crowd-questions",
-		KBLookups:        "kb-lookups",
-		GraphsEnumerated: "graphs-enumerated",
-		TuplesAnnotated:  "tuples-annotated",
-		RepairsGenerated: "repairs-generated",
+		CrowdQuestions:    "crowd-questions",
+		KBLookups:         "kb-lookups",
+		GraphsEnumerated:  "graphs-enumerated",
+		TuplesAnnotated:   "tuples-annotated",
+		RepairsGenerated:  "repairs-generated",
+		CrowdRetries:      "crowd-retries",
+		CrowdTimeouts:     "crowd-timeouts",
+		CrowdAbandonments: "crowd-abandonments",
+		CrowdEscalations:  "crowd-escalations",
+		DegradedDecisions: "degraded-decisions",
 	}
 	for c, want := range wantCounters {
 		if c.String() != want {

@@ -8,6 +8,7 @@
 package validation
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -56,8 +57,20 @@ type Validator struct {
 	TuplesPerQuestion int
 	// Rng drives tuple sampling (required for determinism).
 	Rng *rand.Rand
+	// Ctx bounds the crowd interaction (nil = context.Background()). When
+	// the deadline or the crowd's budget is exhausted mid-validation, the
+	// run degrades: the best pattern among the still-viable candidates is
+	// returned and Result.Degraded is set.
+	Ctx context.Context
 
 	ambCache map[[2]rdf.ID]float64
+}
+
+func (v *Validator) ctx() context.Context {
+	if v.Ctx != nil {
+		return v.Ctx
+	}
+	return context.Background()
 }
 
 func (v *Validator) defaults() {
@@ -80,6 +93,9 @@ type Result struct {
 	Pattern            *pattern.Pattern
 	VariablesValidated int
 	QuestionsAsked     int
+	// Degraded reports that validation was cut short by the deadline or
+	// crowd budget and fell back to the best-scored viable pattern.
+	Degraded bool
 }
 
 // Probabilities converts pattern scores into the rank-stable distribution
@@ -237,10 +253,17 @@ func (val *Validator) MUVF(ps []*pattern.Pattern) *Result {
 			// assignments): they are equivalent; return the top one.
 			break
 		}
-		answer := val.validate(best, remaining)
+		answer, asked, err := val.validate(best, remaining)
+		res.QuestionsAsked += asked
+		if err != nil {
+			// Deadline or budget exhausted mid-validation: degrade to the
+			// best-scored pattern among the candidates still standing.
+			res.Degraded = true
+			res.Pattern = bestOf(remaining)
+			return res
+		}
 		validated[best] = true
 		res.VariablesValidated++
-		res.QuestionsAsked += val.QuestionsPerVariable
 		remaining = filter(remaining, best, answer)
 		if len(remaining) == 0 {
 			// The crowd contradicted every candidate; fall back to the
@@ -264,9 +287,14 @@ func (val *Validator) MUVF(ps []*pattern.Pattern) *Result {
 				continue
 			}
 			validated[v] = true
-			answer := val.validate(v, []*pattern.Pattern{res.Pattern})
+			answer, asked, err := val.validate(v, []*pattern.Pattern{res.Pattern})
+			res.QuestionsAsked += asked
+			if err != nil {
+				// Degrade: keep the pattern's remaining edges unverified.
+				res.Degraded = true
+				return res
+			}
 			res.VariablesValidated++
-			res.QuestionsAsked += val.QuestionsPerVariable
 			if answer != e.Prop {
 				strip(res.Pattern, v)
 				if answer != rdf.NoID {
@@ -295,9 +323,13 @@ func (val *Validator) AVI(ps []*pattern.Pattern) *Result {
 	remaining := clonePatterns(ps)
 	res := &Result{}
 	for _, v := range Variables(remaining) {
-		answer := val.validate(v, remaining)
+		answer, asked, err := val.validate(v, remaining)
+		res.QuestionsAsked += asked
+		if err != nil {
+			res.Degraded = true
+			break
+		}
 		res.VariablesValidated++
-		res.QuestionsAsked += val.QuestionsPerVariable
 		if next := filter(remaining, v, answer); len(next) > 0 {
 			remaining = next
 		}
@@ -370,14 +402,17 @@ func bestOf(ps []*pattern.Pattern) *pattern.Pattern {
 }
 
 // validate asks the crowd q questions about variable v and returns the
-// plurality answer (rdf.NoID for "none of the above").
-func (val *Validator) validate(v Variable, ps []*pattern.Pattern) rdf.ID {
+// plurality answer (rdf.NoID for "none of the above") plus the number of
+// questions actually asked. A deadline or budget error aborts the variable;
+// answers already collected for it are discarded (the caller degrades).
+func (val *Validator) validate(v Variable, ps []*pattern.Pattern) (rdf.ID, int, error) {
 	domain := domainOf(ps, v)
 	truth := val.truthFor(v)
 	options, truthIdx := val.renderOptions(domain, truth)
 	difficulty := val.difficulty(domain, v)
 
 	votes := map[int]int{}
+	asked := 0
 	for q := 0; q < val.QuestionsPerVariable; q++ {
 		prompt := val.prompt(v, options)
 		question := crowd.Question{
@@ -390,7 +425,12 @@ func (val *Validator) validate(v Variable, ps []*pattern.Pattern) rdf.ID {
 		if v.IsPair {
 			question.Kind = crowd.RelationshipValidation
 		}
-		votes[val.Crowd.Ask(question)]++
+		a, err := val.Crowd.AskContext(val.ctx(), question)
+		if err != nil {
+			return rdf.NoID, asked, err
+		}
+		asked++
+		votes[a]++
 	}
 	best, bestVotes := 0, -1
 	for opt := 0; opt < len(options); opt++ {
@@ -399,9 +439,9 @@ func (val *Validator) validate(v Variable, ps []*pattern.Pattern) rdf.ID {
 		}
 	}
 	if best == len(options)-1 { // "none of the above"
-		return rdf.NoID
+		return rdf.NoID, asked, nil
 	}
-	return domain[best]
+	return domain[best], asked, nil
 }
 
 func domainOf(ps []*pattern.Pattern, v Variable) []rdf.ID {

@@ -23,12 +23,14 @@
 package katara
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"katara/internal/annotation"
 	"katara/internal/crowd"
@@ -74,13 +76,55 @@ type (
 	// stage wall-clocks plus the crowd-question / KB-lookup /
 	// graphs-enumerated counters.
 	Timings = telemetry.Snapshot
+	// Transport routes crowd assignments; plug a fault injector in for
+	// chaos testing (Options.Transport, NewFaultInjector).
+	Transport = crowd.Transport
+	// FaultConfig parameterises the deterministic fault injector.
+	FaultConfig = crowd.FaultConfig
+	// RetryPolicy bounds per-assignment retries with capped exponential
+	// backoff (Options.Retry).
+	RetryPolicy = crowd.RetryPolicy
+	// EscalationPolicy is adaptive redundancy: extra assignments while the
+	// vote margin is low (Options.Escalate).
+	EscalationPolicy = crowd.EscalationPolicy
+	// DegradePolicy picks what happens to tuples whose crowd questions went
+	// unanswered after the budget or deadline ran out (Options.Degrade).
+	DegradePolicy = annotation.DegradePolicy
+	// CrowdStats is the crowd's cost and resilience accounting
+	// (Report.Crowd).
+	CrowdStats = crowd.Stats
 )
 
-// Tuple annotation labels (§6.1).
+// Degradation policies for unanswered tuples (Options.Degrade).
+const (
+	// DegradeTrustKB accepts unanswered tuples as KB incompleteness (the
+	// paper's trusting default) without minting unverified facts.
+	DegradeTrustKB = annotation.DegradeTrustKB
+	// DegradeMarkUnknown labels unanswered tuples Unknown: neither trusted
+	// nor repaired.
+	DegradeMarkUnknown = annotation.DegradeMarkUnknown
+)
+
+// NewFaultInjector returns a deterministic, seeded chaos transport
+// simulating an unreliable crowd: abandonment, transient errors, spam
+// answers and latency per cfg.
+func NewFaultInjector(cfg FaultConfig) *crowd.FaultInjector {
+	return crowd.NewFaultInjector(cfg)
+}
+
+// NewBudget caps a run's crowd consumption: questions and/or assignments
+// (0 = unlimited). Pass via Options or crowd.WithBudget.
+func NewBudget(questions, assignments int) *crowd.Budget {
+	return crowd.NewBudget(questions, assignments)
+}
+
+// Tuple annotation labels (§6.1). Unknown is the degraded outcome: the
+// crowd became unreachable and the DegradeMarkUnknown policy applied.
 const (
 	ValidatedByKB    = annotation.ValidatedByKB
 	ValidatedByCrowd = annotation.ValidatedByCrowd
 	Erroneous        = annotation.Erroneous
+	Unknown          = annotation.Unknown
 )
 
 // NewKB returns an empty knowledge base.
@@ -149,6 +193,34 @@ type Options struct {
 	// Telemetry.
 	Tracer Tracer
 
+	// Transport routes every crowd assignment; nil is the direct,
+	// always-reliable in-process transport. Plug in NewFaultInjector to
+	// exercise the resilience layer.
+	Transport Transport
+	// Retry bounds per-assignment delivery retries (zero value = engine
+	// defaults: 3 attempts, 1ms base backoff capped at 16ms).
+	Retry RetryPolicy
+	// Escalate enables adaptive redundancy: extra assignments are posted
+	// while the vote margin stays below Escalate.MinMargin (zero value =
+	// the paper's fixed 3-way redundancy).
+	Escalate EscalationPolicy
+	// Budget caps the crowd questions one Clean run may consume
+	// (0 = unlimited); BudgetAssignments caps paid assignments likewise.
+	// When the budget runs out mid-run the Degrade policy takes over and
+	// the Report flags the degraded decisions.
+	Budget            int
+	BudgetAssignments int
+	// Deadline bounds one Clean run's wall-clock (0 = none). CleanContext's
+	// context composes with it: whichever expires first wins. It is
+	// enforced wherever the run can block — every crowd interaction
+	// (assignment latency, backoff waits) and the stage boundaries —
+	// not inside CPU-bound scans, so an expired deadline stops all further
+	// crowd work and skips the repair stage rather than killing the run.
+	Deadline time.Duration
+	// Degrade picks the policy for tuples left unanswered by budget or
+	// deadline exhaustion: DegradeTrustKB (default) or DegradeMarkUnknown.
+	Degrade DegradePolicy
+
 	// ValidationOracle answers "what is the true type/relationship"
 	// questions; nil skips crowd validation and trusts the top pattern.
 	ValidationOracle ValidationOracle
@@ -204,9 +276,21 @@ type Cleaner struct {
 
 // NewCleaner builds a Cleaner. The KB statistics (entity counts, coherence
 // tables) are computed once here, mirroring the paper's offline
-// pre-computation.
+// pre-computation. Resilience options (Transport, Retry, Escalate) are
+// installed on the crowd here; leave them zero to keep a crowd configured
+// directly via crowd.Options untouched.
 func NewCleaner(kb *KB, c *Crowd, opts Options) *Cleaner {
-	return &Cleaner{kb: kb, stats: kbstats.New(kb), crowd: c, opts: opts.withDefaults()}
+	opts = opts.withDefaults()
+	if opts.Transport != nil {
+		c.SetTransport(opts.Transport)
+	}
+	if opts.Retry != (RetryPolicy{}) {
+		c.SetRetry(opts.Retry)
+	}
+	if opts.Escalate != (EscalationPolicy{}) {
+		c.SetEscalation(opts.Escalate)
+	}
+	return &Cleaner{kb: kb, stats: kbstats.New(kb), crowd: c, opts: opts}
 }
 
 // KB returns the cleaner's knowledge base.
@@ -239,11 +323,19 @@ func (c *Cleaner) generate(t *Table, tel *telemetry.Pipeline) *discovery.Candida
 // ValidatePattern selects one pattern from candidates via the crowd (§5).
 // With no ValidationOracle configured it returns the top-scored pattern.
 func (c *Cleaner) ValidatePattern(t *Table, candidates []*Pattern) (*Pattern, int) {
+	p, questions, _ := c.validatePattern(context.Background(), t, candidates)
+	return p, questions
+}
+
+// validatePattern is ValidatePattern under a context; the third return
+// reports whether validation degraded (deadline or budget exhausted, best
+// viable pattern used).
+func (c *Cleaner) validatePattern(ctx context.Context, t *Table, candidates []*Pattern) (*Pattern, int, bool) {
 	if len(candidates) == 0 {
-		return nil, 0
+		return nil, 0, false
 	}
 	if c.opts.ValidationOracle == nil {
-		return candidates[0], 0
+		return candidates[0], 0, false
 	}
 	v := &validation.Validator{
 		KB:                   c.kb,
@@ -253,17 +345,18 @@ func (c *Cleaner) ValidatePattern(t *Table, candidates []*Pattern) (*Pattern, in
 		QuestionsPerVariable: c.opts.QuestionsPerVariable,
 		TuplesPerQuestion:    c.opts.TuplesPerQuestion,
 		Rng:                  rand.New(rand.NewSource(c.opts.Seed)),
+		Ctx:                  ctx,
 	}
 	res := v.MUVF(candidates)
-	return res.Pattern, res.QuestionsAsked
+	return res.Pattern, res.QuestionsAsked, res.Degraded
 }
 
 // Annotate labels every tuple of t against pattern p (§6.1).
 func (c *Cleaner) Annotate(t *Table, p *Pattern) *annotation.Result {
-	return c.annotate(t, p, nil)
+	return c.annotate(context.Background(), t, p, nil)
 }
 
-func (c *Cleaner) annotate(t *Table, p *Pattern, tel *telemetry.Pipeline) *annotation.Result {
+func (c *Cleaner) annotate(ctx context.Context, t *Table, p *Pattern, tel *telemetry.Pipeline) *annotation.Result {
 	oracle := c.opts.FactOracle
 	if oracle == nil {
 		oracle = trustingFacts{}
@@ -273,6 +366,8 @@ func (c *Cleaner) annotate(t *Table, p *Pattern, tel *telemetry.Pipeline) *annot
 		Pattern:   p,
 		Crowd:     c.crowd,
 		Oracle:    oracle,
+		Ctx:       ctx,
+		Degrade:   c.opts.Degrade,
 		Threshold: c.opts.Threshold,
 		Enrich:    *c.opts.Enrich,
 		Workers:   c.opts.Workers,
@@ -355,9 +450,34 @@ type Report struct {
 	NewFacts []Fact
 	// QuestionsAsked counts all crowd questions consumed.
 	QuestionsAsked int
+	// Crowd is the run's crowd accounting: questions, paid assignments, and
+	// the resilience counters (retries, abandonments, timeouts,
+	// escalations).
+	Crowd CrowdStats
+	// Degraded flags which decisions were taken under a graceful-degradation
+	// policy; its zero value means the run completed normally.
+	Degraded DegradeReport
 	// Timings holds the run's stage wall-clocks and pipeline counters; nil
 	// unless Options.Telemetry (or Options.Tracer) is set.
 	Timings *Timings
+}
+
+// DegradeReport flags the decisions of a run that were taken under a
+// graceful-degradation policy after the budget or deadline ran out.
+type DegradeReport struct {
+	// PatternFallback: validation was cut short and the best-scored viable
+	// pattern was used without full crowd confirmation.
+	PatternFallback bool
+	// Tuples counts annotations decided by the Degrade policy rather than
+	// the crowd.
+	Tuples int
+	// RepairsSkipped: the deadline expired before the repair stage ran.
+	RepairsSkipped bool
+}
+
+// Any reports whether any part of the run degraded.
+func (d DegradeReport) Any() bool {
+	return d.PatternFallback || d.RepairsSkipped || d.Tuples > 0
 }
 
 // ErrNoPattern is returned when no table pattern links the table to the KB;
@@ -366,6 +486,15 @@ var ErrNoPattern = errors.New("katara: no table pattern found between the table 
 
 // Clean runs the full pipeline: discover → validate → annotate → repair.
 func (c *Cleaner) Clean(t *Table) (*Report, error) {
+	return c.CleanContext(context.Background(), t)
+}
+
+// CleanContext is Clean bounded by ctx and the Options' budget/deadline.
+// Exhausting either never aborts the run: the configured
+// graceful-degradation policies take over (top-scored pattern, trust-KB or
+// mark-unknown annotation, skipped repairs) and Report.Degraded records
+// exactly which decisions degraded.
+func (c *Cleaner) CleanContext(ctx context.Context, t *Table) (*Report, error) {
 	if t == nil || t.NumRows() == 0 {
 		return nil, fmt.Errorf("katara: empty table")
 	}
@@ -377,6 +506,15 @@ func (c *Cleaner) Clean(t *Table) (*Report, error) {
 	}
 	c.crowd.SetTelemetry(tel)
 	defer c.crowd.SetTelemetry(nil)
+	if c.opts.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.opts.Deadline)
+		defer cancel()
+	}
+	if c.opts.Budget > 0 || c.opts.BudgetAssignments > 0 {
+		c.crowd.SetBudget(crowd.NewBudget(c.opts.Budget, c.opts.BudgetAssignments))
+		defer c.crowd.SetBudget(nil)
+	}
 
 	start := tel.StartStage(telemetry.StageDiscover)
 	cands := c.generate(t, tel)
@@ -386,25 +524,36 @@ func (c *Cleaner) Clean(t *Table) (*Report, error) {
 		return nil, ErrNoPattern
 	}
 	c.crowd.ResetStats()
+	rep := &Report{}
 	start = tel.StartStage(telemetry.StageValidate)
-	p, _ := c.ValidatePattern(t, candidates)
+	p, _, degraded := c.validatePattern(ctx, t, candidates)
+	if degraded {
+		rep.Degraded.PatternFallback = true
+		tel.Inc(telemetry.DegradedDecisions)
+	}
 	if c.opts.DiscoverPaths {
 		p = p.Clone()
 		discovery.AttachPathEdges(p, discovery.DiscoverPathEdges(cands))
 	}
 	tel.EndStage(telemetry.StageValidate, start)
 	start = tel.StartStage(telemetry.StageAnnotate)
-	res := c.annotate(t, p, tel)
+	res := c.annotate(ctx, t, p, tel)
 	tel.EndStage(telemetry.StageAnnotate, start)
-	rep := &Report{
-		Pattern:     p,
-		Annotations: res.Tuples,
-		NewFacts:    res.NewFacts,
+	rep.Pattern = p
+	rep.Annotations = res.Tuples
+	rep.NewFacts = res.NewFacts
+	rep.Degraded.Tuples = res.DegradedTuples
+	if ctx.Err() != nil {
+		// Deadline spent before repair: degrade rather than blow through it.
+		rep.Degraded.RepairsSkipped = true
+		tel.Inc(telemetry.DegradedDecisions)
+	} else {
+		start = tel.StartStage(telemetry.StageRepair)
+		rep.Repairs = c.repairs(t, p, res.Errors(), tel)
+		tel.EndStage(telemetry.StageRepair, start)
 	}
-	start = tel.StartStage(telemetry.StageRepair)
-	rep.Repairs = c.repairs(t, p, res.Errors(), tel)
-	tel.EndStage(telemetry.StageRepair, start)
-	rep.QuestionsAsked = c.crowd.Stats().Questions
+	rep.Crowd = c.crowd.Stats()
+	rep.QuestionsAsked = rep.Crowd.Questions
 	rep.Timings = tel.Snapshot()
 	return rep, nil
 }

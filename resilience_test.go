@@ -1,0 +1,255 @@
+package katara
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// diffReports compares the observable outcome of two runs (everything but
+// Timings, whose wall-clocks always differ).
+func diffReports(t *testing.T, a, b *Report) {
+	t.Helper()
+	if !reflect.DeepEqual(a.Annotations, b.Annotations) {
+		t.Fatalf("annotations differ:\n%+v\nvs\n%+v", a.Annotations, b.Annotations)
+	}
+	if !reflect.DeepEqual(a.Repairs, b.Repairs) {
+		t.Fatalf("repairs differ:\n%v\nvs\n%v", a.Repairs, b.Repairs)
+	}
+	if !reflect.DeepEqual(a.NewFacts, b.NewFacts) {
+		t.Fatalf("new facts differ:\n%v\nvs\n%v", a.NewFacts, b.NewFacts)
+	}
+	if !reflect.DeepEqual(a.Crowd, b.Crowd) {
+		t.Fatalf("crowd stats differ: %+v vs %+v", a.Crowd, b.Crowd)
+	}
+	if a.QuestionsAsked != b.QuestionsAsked || a.Degraded != b.Degraded {
+		t.Fatalf("report headers differ: %+v vs %+v", a, b)
+	}
+}
+
+// The differential test at the heart of the fault model: a zero-rate fault
+// injector (plus explicit retry/escalation policies at their defaults) must
+// reproduce today's behaviour byte-for-byte, for any worker count.
+func TestFaultFreeTransportByteIdentical(t *testing.T) {
+	for _, workers := range []int{1, 3, 10} {
+		run := func(opts Options) *Report {
+			kb, tbl := figure1()
+			c := NewCleaner(kb, NewCrowd(workers, 0.9, 42), opts)
+			rep, err := c.Clean(tbl)
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			return rep
+		}
+		base := Options{FactOracle: nil}
+		baseline := run(base)
+		withInjector := base
+		withInjector.Transport = NewFaultInjector(FaultConfig{Seed: 7})
+		withInjector.Retry = RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: 16 * time.Millisecond}
+		diffReports(t, baseline, run(withInjector))
+
+		// CleanContext with a background context is Clean.
+		kb, tbl := figure1()
+		c := NewCleaner(kb, NewCrowd(workers, 0.9, 42), base)
+		viaCtx, err := c.CleanContext(context.Background(), tbl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diffReports(t, baseline, viaCtx)
+	}
+}
+
+// Oracle-driven differential run: fault verification answers flow through
+// the injector too, so the erroneous tuple of Fig. 1 must still be found.
+func TestFaultFreeTransportPreservesOracleRun(t *testing.T) {
+	run := func(opts Options) *Report {
+		kb, tbl := figure1()
+		opts.FactOracle = fig1Oracle{kb}
+		c := NewCleaner(kb, NewCrowd(10, 0.95, 5), opts)
+		rep, err := c.Clean(tbl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	baseline := run(Options{})
+	injected := run(Options{Transport: NewFaultInjector(FaultConfig{Seed: 11})})
+	diffReports(t, baseline, injected)
+	if baseline.Annotations[2].Label != Erroneous {
+		t.Fatalf("t3 = %v, want Erroneous", baseline.Annotations[2].Label)
+	}
+	if baseline.Degraded.Any() {
+		t.Fatalf("fault-free run flagged degradation: %+v", baseline.Degraded)
+	}
+}
+
+// Chaos: heavy abandonment plus latency under a finite budget and deadline
+// must always terminate within the deadline, never panic, and flag every
+// degraded decision in the report.
+func TestChaosCleanTerminatesAndFlagsDegradation(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		kb, tbl := figure1()
+		opts := Options{
+			FactOracle: fig1Oracle{kb},
+			Transport: NewFaultInjector(FaultConfig{
+				Seed:          seed,
+				AbandonRate:   0.35,
+				TransientRate: 0.1,
+				SpamRate:      0.1,
+				MinLatency:    100 * time.Microsecond,
+				MaxLatency:    2 * time.Millisecond,
+			}),
+			Retry:    RetryPolicy{BaseBackoff: 100 * time.Microsecond, MaxBackoff: 500 * time.Microsecond},
+			Escalate: EscalationPolicy{MinMargin: 0.4, MaxAssignments: 7},
+			Budget:   4,
+			Deadline: 2 * time.Second,
+		}
+		c := NewCleaner(kb, NewCrowd(8, 0.9, seed), opts)
+		start := time.Now()
+		rep, err := c.Clean(tbl)
+		el := time.Since(start)
+		if err != nil {
+			t.Fatalf("seed %d: Clean failed: %v", seed, err)
+		}
+		if el > opts.Deadline+time.Second {
+			t.Fatalf("seed %d: Clean overran the deadline: %v", seed, el)
+		}
+		if rep.Crowd.Questions > opts.Budget {
+			t.Fatalf("seed %d: %d questions asked under a budget of %d",
+				seed, rep.Crowd.Questions, opts.Budget)
+		}
+		// Degraded tuple accounting must match the annotations.
+		degraded := 0
+		for _, a := range rep.Annotations {
+			if a.Degraded {
+				degraded++
+			}
+		}
+		if degraded != rep.Degraded.Tuples {
+			t.Fatalf("seed %d: Degraded.Tuples = %d but %d annotations flagged",
+				seed, rep.Degraded.Tuples, degraded)
+		}
+	}
+}
+
+// DegradeTrustKB (the default): tuples the crowd never answered are treated
+// as KB incompleteness — never marked Erroneous, never minting new facts.
+func TestDegradeTrustKBNeverInventsErrors(t *testing.T) {
+	kb, tbl := figure1()
+	c := NewCleaner(kb, TrustingCrowd(), Options{
+		FactOracle: fig1Oracle{kb},
+		Budget:     1, // one question, then the policy takes over
+		Degrade:    DegradeTrustKB,
+	})
+	rep, err := c.Clean(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Degraded.Tuples == 0 {
+		t.Fatal("a 1-question budget should have degraded some tuples")
+	}
+	for _, a := range rep.Annotations {
+		if a.Degraded && a.Label == Erroneous {
+			t.Fatalf("row %d: degraded tuple marked Erroneous under trust-KB", a.Row)
+		}
+	}
+	if rep.Crowd.Questions > 1 {
+		t.Fatalf("budget breached: %d questions", rep.Crowd.Questions)
+	}
+
+	// With the crowd entirely unreachable (context already expired), trust-KB
+	// accepts every tuple but must not mint a single unverified fact.
+	kb2, tbl2 := figure1()
+	c2 := NewCleaner(kb2, TrustingCrowd(), Options{
+		FactOracle: fig1Oracle{kb2},
+		Degrade:    DegradeTrustKB,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep2, err := c2.CleanContext(ctx, tbl2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.NewFacts) != 0 {
+		t.Fatalf("unreachable crowd minted facts: %v", rep2.NewFacts)
+	}
+	for _, a := range rep2.Annotations {
+		if a.Label == Erroneous {
+			t.Fatalf("row %d: Erroneous without any crowd answer", a.Row)
+		}
+		if len(a.NewFacts) != 0 {
+			t.Fatalf("row %d: unverified fact minted: %v", a.Row, a.NewFacts)
+		}
+	}
+	if !rep2.Degraded.RepairsSkipped {
+		t.Fatal("expired context did not skip repairs")
+	}
+}
+
+// DegradeMarkUnknown: unanswered tuples get the Unknown label — neither
+// trusted, enriched, nor repaired.
+func TestDegradeMarkUnknownWithholdsJudgement(t *testing.T) {
+	kb, tbl := figure1()
+	c := NewCleaner(kb, TrustingCrowd(), Options{
+		FactOracle: fig1Oracle{kb},
+		Budget:     1,
+		Degrade:    DegradeMarkUnknown,
+	})
+	rep, err := c.Clean(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unknown := 0
+	for _, a := range rep.Annotations {
+		if a.Label != Unknown {
+			continue
+		}
+		unknown++
+		if !a.Degraded {
+			t.Fatalf("row %d: Unknown label without the Degraded flag", a.Row)
+		}
+		if len(a.NewFacts) > 0 {
+			t.Fatalf("row %d: Unknown tuple enriched the KB", a.Row)
+		}
+		if _, ok := rep.Repairs[a.Row]; ok {
+			t.Fatalf("row %d: Unknown tuple was repaired", a.Row)
+		}
+	}
+	if unknown == 0 {
+		t.Fatal("a 1-question budget should have produced Unknown tuples")
+	}
+	if unknown != rep.Degraded.Tuples {
+		t.Fatalf("Degraded.Tuples = %d, want %d", rep.Degraded.Tuples, unknown)
+	}
+}
+
+// A deadline that expires mid-annotation must skip the repair stage and say
+// so, instead of blowing through the time box.
+func TestDeadlineSkipsRepairStage(t *testing.T) {
+	kb, tbl := figure1()
+	c := NewCleaner(kb, TrustingCrowd(), Options{
+		FactOracle: fig1Oracle{kb},
+		Transport: NewFaultInjector(FaultConfig{
+			Seed: 2, MinLatency: 30 * time.Millisecond, MaxLatency: 40 * time.Millisecond,
+		}),
+		Deadline: 50 * time.Millisecond,
+	})
+	start := time.Now()
+	rep, err := c.Clean(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("Clean overran a 50ms deadline by %v", el)
+	}
+	if !rep.Degraded.RepairsSkipped {
+		t.Fatal("expired deadline did not flag RepairsSkipped")
+	}
+	if len(rep.Repairs) != 0 {
+		t.Fatalf("repairs produced after the deadline: %v", rep.Repairs)
+	}
+	if !rep.Degraded.Any() {
+		t.Fatal("Degraded.Any() must report the skipped repairs")
+	}
+}
