@@ -3,7 +3,12 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench check
+# Snapshot knobs for bench-save: where the snapshot lands and how long each
+# benchmark runs. Longer BENCH_TIME gives steadier numbers.
+BENCH_OUT ?= BENCH_3.json
+BENCH_TIME ?= 200ms
+
+.PHONY: all build vet test race bench bench-smoke bench-save check
 
 all: check
 
@@ -20,6 +25,16 @@ race:
 	$(GO) test -race ./...
 
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run '^$$' -bench=. -benchmem ./...
+
+# One iteration per benchmark: proves they still compile and run (CI gate).
+bench-smoke:
+	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
+
+# Record the benchmark trajectory point: parse `go test -json` output into
+# $(BENCH_OUT) (see DESIGN.md §10 for how to read it).
+bench-save:
+	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=$(BENCH_TIME) -json ./... \
+		| $(GO) run ./cmd/benchsave -out $(BENCH_OUT)
 
 check: build vet test race

@@ -1,0 +1,154 @@
+// Command benchsave converts a `go test -json -bench` stream on stdin into a
+// benchmark snapshot file — the BENCH_*.json trajectory points referenced in
+// DESIGN.md. Typical use is via the Makefile:
+//
+//	make bench-save            # writes BENCH_3.json
+//
+// which runs
+//
+//	go test -run '^$' -bench=. -benchmem -benchtime=200ms -json ./... \
+//	    | go run ./cmd/benchsave -out BENCH_3.json
+//
+// test2json splits test output into per-event fragments that can break a
+// benchmark result line mid-number, so the tool re-joins output per package
+// before extracting result lines.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// event is the subset of test2json's event schema benchsave needs.
+type event struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// Benchmark is one benchmark result line, parsed.
+type Benchmark struct {
+	Package     string  `json:"package"`
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Snapshot is the file format: run metadata plus every benchmark result.
+type Snapshot struct {
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	Timestamp  string      `json:"timestamp"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// benchLine matches a complete benchmark result line. The name keeps any
+// sub-benchmark path; a trailing -N GOMAXPROCS suffix is split off after.
+var benchLine = regexp.MustCompile(
+	`(?m)^(Benchmark\S+)[ \t]+(\d+)[ \t]+([0-9.]+) ns/op(?:[ \t]+([0-9.]+) B/op)?(?:[ \t]+([0-9.]+) allocs/op)?`)
+
+func main() {
+	out := flag.String("out", "", "snapshot file to write (default stdout)")
+	flag.Parse()
+
+	// Join each package's output fragments; benchmark lines may span events.
+	perPkg := map[string]*strings.Builder{}
+	var pkgs []string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			continue // tolerate non-JSON noise (e.g. build warnings)
+		}
+		if ev.Action != "output" || ev.Output == "" {
+			continue
+		}
+		b := perPkg[ev.Package]
+		if b == nil {
+			b = &strings.Builder{}
+			perPkg[ev.Package] = b
+			pkgs = append(pkgs, ev.Package)
+		}
+		b.WriteString(ev.Output)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsave: reading stdin:", err)
+		os.Exit(1)
+	}
+
+	snap := Snapshot{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+	sort.Strings(pkgs)
+	for _, pkg := range pkgs {
+		for _, m := range benchLine.FindAllStringSubmatch(perPkg[pkg].String(), -1) {
+			b := Benchmark{Package: pkg, Name: m[1]}
+			b.Name, b.Procs = splitProcs(m[1])
+			b.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+			b.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+			if m[4] != "" {
+				b.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
+			}
+			if m[5] != "" {
+				b.AllocsPerOp, _ = strconv.ParseFloat(m[5], 64)
+			}
+			snap.Benchmarks = append(snap.Benchmarks, b)
+		}
+	}
+	if len(snap.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchsave: no benchmark results found in input")
+		os.Exit(1)
+	}
+
+	enc, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsave:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsave:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchsave: wrote %d benchmark results to %s\n", len(snap.Benchmarks), *out)
+}
+
+// splitProcs splits the conventional -N GOMAXPROCS suffix off a benchmark
+// name ("BenchmarkFoo-8" → "BenchmarkFoo", 8). Names may legitimately
+// contain dashes, so only a trailing all-digits segment is treated as procs.
+func splitProcs(name string) (string, int) {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name, 0
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil || n <= 0 {
+		return name, 0
+	}
+	return name[:i], n
+}

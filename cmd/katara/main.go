@@ -27,6 +27,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"katara"
@@ -90,11 +92,42 @@ func main() {
 		budget    = flag.Int("budget", 0, "cap on crowd questions per run (0 = unlimited)")
 		deadline  = flag.Duration("deadline", 0, "wall-clock bound for the run, e.g. 30s (0 = none)")
 		degrade   = flag.String("degrade", "trust", "policy for tuples unanswered after budget/deadline exhaustion: trust|unknown")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *kbPath == "" || *inPath == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "katara: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialise live-heap stats before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "katara: -memprofile:", err)
+			}
+		}()
 	}
 
 	kb := katara.NewKB()

@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -34,18 +36,50 @@ import (
 
 func main() {
 	var (
-		expList   = flag.String("exp", "all", "comma-separated experiments to run (all|table1..table7|fig6|fig7|fig8|fig11|fig12|patterns|stats)")
-		seed      = flag.Int64("seed", 2015, "master random seed")
-		scale     = flag.Float64("scale", 0.2, "RelationalTables scale factor (1.0 = Person 5000 rows)")
-		size      = flag.String("size", "default", "world size: small|default|large")
-		maxK      = flag.Int("maxk", 10, "maximum k for top-k curves")
-		maxQ      = flag.Int("maxq", 7, "maximum questions-per-variable for validation curves")
-		format    = flag.String("format", "table", "figure output: table|chart|csv")
-		stats     = flag.Bool("stats", false, "run the pipeline-telemetry experiment (same as -exp stats)")
-		workers   = flag.Int("workers", 0, "worker pool size for the parallel stages (0 or 1 = serial, -1 = GOMAXPROCS)")
-		faultRate = flag.Float64("fault-rate", 0, "per-assignment crowd fault probability for the stats experiment, split across abandonment/transient/spam")
+		expList    = flag.String("exp", "all", "comma-separated experiments to run (all|table1..table7|fig6|fig7|fig8|fig11|fig12|patterns|stats)")
+		seed       = flag.Int64("seed", 2015, "master random seed")
+		scale      = flag.Float64("scale", 0.2, "RelationalTables scale factor (1.0 = Person 5000 rows)")
+		size       = flag.String("size", "default", "world size: small|default|large")
+		maxK       = flag.Int("maxk", 10, "maximum k for top-k curves")
+		maxQ       = flag.Int("maxq", 7, "maximum questions-per-variable for validation curves")
+		format     = flag.String("format", "table", "figure output: table|chart|csv")
+		stats      = flag.Bool("stats", false, "run the pipeline-telemetry experiment (same as -exp stats)")
+		workers    = flag.Int("workers", 0, "worker pool size for the parallel stages (0 or 1 = serial, -1 = GOMAXPROCS)")
+		faultRate  = flag.Float64("fault-rate", 0, "per-assignment crowd fault probability for the stats experiment, split across abandonment/transient/spam")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kexp: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "kexp: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "kexp: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialise live-heap stats before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "kexp: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	cfg := experiments.Config{Seed: *seed, Scale: *scale}
 	switch *size {

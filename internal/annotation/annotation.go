@@ -192,6 +192,21 @@ type Annotator struct {
 	// Telemetry receives the TuplesAnnotated / KBLookups / CrowdQuestions
 	// counters; nil disables instrumentation.
 	Telemetry *telemetry.Pipeline
+	// Resolver, when non-nil, handles label resolution instead of direct
+	// KB.MatchLabel calls — typically the resolve.Cache shared with discovery
+	// and repair. It must resolve against the same KB; enrichment mutations
+	// are picked up through the store's label generation, so cached coverage
+	// stays consistent with direct evaluation.
+	Resolver pattern.LabelSource
+}
+
+// labels returns the label-resolution source: the shared resolver when
+// configured, the KB itself otherwise.
+func (a *Annotator) labels() pattern.LabelSource {
+	if a.Resolver != nil {
+		return a.Resolver
+	}
+	return a.KB
 }
 
 // Annotate labels every tuple of tbl.
@@ -211,7 +226,7 @@ func (a *Annotator) Annotate(tbl *table.Table) *Result {
 		}
 		if m == nil {
 			a.Telemetry.Inc(telemetry.KBLookups)
-			m = pattern.Evaluate(a.Pattern, a.KB, tbl.Rows[row], threshold)
+			m = pattern.EvaluateWith(a.Pattern, a.KB, a.labels(), tbl.Rows[row], threshold)
 		}
 		ta, applied := a.annotateTuple(tbl, row, m)
 		enriched = enriched || applied
@@ -312,6 +327,7 @@ func (a *Annotator) precomputeMatches(tbl *table.Table, threshold float64) []*pa
 		return nil
 	}
 	a.KB.WarmClosures()
+	labels := a.labels()
 	matches := make([]*pattern.Match, n)
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -325,7 +341,7 @@ func (a *Annotator) precomputeMatches(tbl *table.Table, threshold float64) []*pa
 					return
 				}
 				a.Telemetry.Inc(telemetry.KBLookups)
-				matches[i] = pattern.Evaluate(a.Pattern, a.KB, tbl.Rows[i], threshold)
+				matches[i] = pattern.EvaluateWith(a.Pattern, a.KB, labels, tbl.Rows[i], threshold)
 			}
 		}()
 	}
@@ -514,7 +530,7 @@ func (a *Annotator) resourceFor(value string) (rdf.ID, bool) {
 	if threshold == 0 {
 		threshold = similarity.DefaultThreshold
 	}
-	if hits := a.KB.MatchLabel(value, threshold); len(hits) > 0 {
+	if hits := a.labels().MatchLabel(value, threshold); len(hits) > 0 {
 		return hits[0].Resource, false
 	}
 	r := a.KB.Res("enriched:" + similarity.Normalize(value))

@@ -10,6 +10,7 @@ import (
 
 	"katara/internal/kbstats"
 	"katara/internal/rdf"
+	"katara/internal/resolve"
 	"katara/internal/similarity"
 	"katara/internal/table"
 	"katara/internal/telemetry"
@@ -47,6 +48,11 @@ type Options struct {
 	// resolution); nil disables instrumentation. Counters are atomic, so
 	// GenerateParallel's shards may share one pipeline.
 	Telemetry *telemetry.Pipeline
+	// Resolver, when non-nil, handles label resolution instead of direct
+	// kb.MatchLabel calls — typically a *resolve.Cache shared across pipeline
+	// stages (and across GenerateParallel shards) so each distinct cell value
+	// hits the KB once. It must resolve against the same KB as the stats.
+	Resolver resolve.Source
 }
 
 func (o Options) withDefaults() Options {
@@ -157,15 +163,22 @@ func Generate(tbl *table.Table, stats *kbstats.Stats, opts Options) *Candidates 
 
 	c := &Candidates{Table: tbl, Rows: rows, Stats: stats, Options: opts}
 
-	// Per-value caches: tables are redundant, the KB is not small.
+	src := resolve.Source(kb)
+	if opts.Resolver != nil {
+		src = opts.Resolver
+	}
+
+	// Per-value caches: tables are redundant, the KB is not small. The
+	// weighting below is per-Options, so the weighted matches stay local even
+	// when raw resolution goes through a shared opts.Resolver.
 	resCache := map[string][]weightedMatch{}
 	typeCache := map[string]map[rdf.ID]float64{}
-	resolve := func(val string) []weightedMatch {
+	resolveVal := func(val string) []weightedMatch {
 		if r, ok := resCache[val]; ok {
 			return r
 		}
 		opts.Telemetry.Inc(telemetry.KBLookups)
-		hits := kb.MatchLabel(val, opts.Threshold)
+		hits := src.MatchLabel(val, opts.Threshold)
 		var out []weightedMatch
 		if len(hits) > 0 {
 			best := hits[0].Score
@@ -188,7 +201,7 @@ func Generate(tbl *table.Table, stats *kbstats.Stats, opts Options) *Candidates 
 			return t
 		}
 		set := map[rdf.ID]float64{}
-		for _, m := range resolve(val) {
+		for _, m := range resolveVal(val) {
 			for _, t := range kb.AllTypes(m.res) {
 				if m.weight > set[t] {
 					set[t] = m.weight
@@ -248,8 +261,8 @@ func Generate(tbl *table.Table, stats *kbstats.Stats, opts Options) *Candidates 
 			return r
 		}
 		set := map[rdf.ID]float64{}
-		for _, xi := range resolve(a) {
-			for _, xj := range resolve(b) {
+		for _, xi := range resolveVal(a) {
+			for _, xj := range resolveVal(b) {
 				w := xi.weight * xj.weight
 				for _, p := range kb.PredicatesBetweenSub(xi.res, xj.res) {
 					if w > set[p] {
@@ -269,7 +282,7 @@ func Generate(tbl *table.Table, stats *kbstats.Stats, opts Options) *Candidates 
 		set := map[rdf.ID]float64{}
 		lit := kb.LookupTerm(rdf.Lit(b))
 		if lit != rdf.NoID {
-			for _, xi := range resolve(a) {
+			for _, xi := range resolveVal(a) {
 				for _, p := range kb.PredicatesBetweenSub(xi.res, lit) {
 					if xi.weight > set[p] {
 						set[p] = xi.weight

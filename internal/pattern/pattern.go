@@ -327,9 +327,23 @@ func (m *Match) Partial() bool {
 // fuzzy candidates.
 const matchBand = 0.1
 
+// LabelSource resolves cell values to KB resources. *rdf.Store satisfies it,
+// as does resolve.Cache; the interface is declared here (consumer side) so
+// pattern does not depend on the cache package.
+type LabelSource interface {
+	MatchLabel(value string, threshold float64) []rdf.LabelMatch
+}
+
 // Evaluate matches tuple (indexed by column) against p over kb with the
 // given label-similarity threshold.
 func Evaluate(p *Pattern, kb *rdf.Store, tuple []string, threshold float64) *Match {
+	return EvaluateWith(p, kb, kb, tuple, threshold)
+}
+
+// EvaluateWith is Evaluate with label resolution routed through labels —
+// typically a shared memo cache — while type and edge checks still read kb
+// directly. labels must resolve against kb.
+func EvaluateWith(p *Pattern, kb *rdf.Store, labels LabelSource, tuple []string, threshold float64) *Match {
 	m := &Match{
 		Candidates: make(map[int][]rdf.ID, len(p.Nodes)),
 		NodeOK:     make(map[int]bool, len(p.Nodes)),
@@ -348,7 +362,7 @@ func Evaluate(p *Pattern, kb *rdf.Store, tuple []string, threshold float64) *Mat
 				cands = []rdf.ID{id}
 			}
 		} else {
-			hits := kb.MatchLabel(val, threshold)
+			hits := labels.MatchLabel(val, threshold)
 			best := 0.0
 			if len(hits) > 0 {
 				best = hits[0].Score

@@ -19,8 +19,9 @@ func (s *Store) ensureClosures() {
 }
 
 // transitiveClosure computes, for every node in edges, the set of nodes
-// reachable via one or more hops. Cycles are tolerated (a node never
-// includes itself unless reachable through a cycle).
+// reachable via one or more hops, stored as a sorted slice so membership is
+// a binary search. Cycles are tolerated (a node never includes itself unless
+// reachable through a cycle).
 func transitiveClosure(edges map[ID][]ID) map[ID][]ID {
 	out := make(map[ID][]ID, len(edges))
 	var visit func(n ID, seen map[ID]bool) []ID
@@ -32,19 +33,13 @@ func transitiveClosure(edges map[ID][]ID) map[ID][]ID {
 			return nil // cycle guard; partial result is fine
 		}
 		seen[n] = true
-		set := make(map[ID]bool)
+		var r []ID
 		for _, next := range edges[n] {
-			set[next] = true
-			for _, far := range visit(next, seen) {
-				set[far] = true
-			}
+			r = append(r, next)
+			r = append(r, visit(next, seen)...)
 		}
 		delete(seen, n)
-		r := make([]ID, 0, len(set))
-		for id := range set {
-			r = append(r, id)
-		}
-		sort.Slice(r, func(i, j int) bool { return r[i] < r[j] })
+		r = sortDedupe(r)
 		out[n] = r
 		return r
 	}
@@ -52,6 +47,18 @@ func transitiveClosure(edges map[ID][]ID) map[ID][]ID {
 		visit(n, map[ID]bool{})
 	}
 	return out
+}
+
+// sortDedupe sorts ids ascending and removes duplicates in place.
+func sortDedupe(ids []ID) []ID {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return dedupe(ids)
+}
+
+// containsID reports whether id occurs in the ascending-sorted slice.
+func containsID(sorted []ID, id ID) bool {
+	i := sort.Search(len(sorted), func(j int) bool { return sorted[j] >= id })
+	return i < len(sorted) && sorted[i] == id
 }
 
 // WarmClosures forces computation of the class and property closures so a
@@ -84,29 +91,14 @@ func (s *Store) SubProperties(p ID) []ID {
 }
 
 // IsSubClassOf reports whether c == d or c is a transitive subclass of d.
+// Closure slices are sorted, so this is a binary search — no allocation.
 func (s *Store) IsSubClassOf(c, d ID) bool {
-	if c == d {
-		return true
-	}
-	for _, sup := range s.SuperClasses(c) {
-		if sup == d {
-			return true
-		}
-	}
-	return false
+	return c == d || containsID(s.SuperClasses(c), d)
 }
 
 // IsSubPropertyOf reports whether p == q or p is a transitive sub-property of q.
 func (s *Store) IsSubPropertyOf(p, q ID) bool {
-	if p == q {
-		return true
-	}
-	for _, sup := range s.SuperProperties(p) {
-		if sup == q {
-			return true
-		}
-	}
-	return false
+	return p == q || containsID(s.SuperProperties(p), q)
 }
 
 // DirectTypes returns the asserted rdf:type classes of x.
@@ -120,19 +112,12 @@ func (s *Store) AllTypes(x ID) []ID {
 	if len(direct) == 0 {
 		return nil
 	}
-	set := make(map[ID]bool, len(direct)*2)
+	out := make([]ID, 0, len(direct)*2)
 	for _, t := range direct {
-		set[t] = true
-		for _, sup := range s.SuperClasses(t) {
-			set[sup] = true
-		}
-	}
-	out := make([]ID, 0, len(set))
-	for t := range set {
 		out = append(out, t)
+		out = append(out, s.SuperClasses(t)...)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return sortDedupe(out)
 }
 
 // HasType reports whether x has type c directly or through subclassing,
@@ -187,19 +172,12 @@ func (s *Store) PredicatesBetweenSub(sub, obj ID) []ID {
 	if len(direct) == 0 {
 		return nil
 	}
-	set := make(map[ID]bool, len(direct))
+	out := make([]ID, 0, len(direct)*2)
 	for _, p := range direct {
-		set[p] = true
-		for _, sup := range s.SuperProperties(p) {
-			set[sup] = true
-		}
-	}
-	out := make([]ID, 0, len(set))
-	for p := range set {
 		out = append(out, p)
+		out = append(out, s.SuperProperties(p)...)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return sortDedupe(out)
 }
 
 // HasPredicate reports whether (sub, p', obj) holds for p'=p or any

@@ -82,6 +82,7 @@ type Store struct {
 	// Hierarchy closures, memoised per generation.
 	gen        uint64
 	closureGen uint64
+	labelGen   uint64 // bumped whenever a label is indexed; see LabelGen
 	superCls   map[ID][]ID
 	subCls     map[ID][]ID
 	superProp  map[ID][]ID
@@ -149,6 +150,12 @@ func (s *Store) NumTerms() int { return len(s.terms) }
 // NumTriples returns the number of distinct triples added.
 func (s *Store) NumTriples() int { return s.ntriples }
 
+// LabelGen returns a generation counter that changes whenever a label is
+// added to the index, i.e. whenever MatchLabel results could change. Caches
+// layered over label resolution (package resolve) compare it to decide when
+// to invalidate. Reads follow the store's single-writer contract.
+func (s *Store) LabelGen() uint64 { return s.labelGen }
+
 // Add inserts the triple (sub, pred, obj). Duplicate triples are ignored.
 // It returns true if the triple was new.
 func (s *Store) Add(sub, pred, obj ID) bool {
@@ -191,6 +198,7 @@ func (s *Store) Add(sub, pred, obj ID) bool {
 			s.labelIndex[norm] = append(s.labelIndex[norm], sub)
 			s.fuzzy.Add(s.terms[obj].Value)
 			s.fuzzyIDs = append(s.fuzzyIDs, sub)
+			s.labelGen++
 		}
 	}
 	return true

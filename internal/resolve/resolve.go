@@ -1,0 +1,158 @@
+// Package resolve provides the shared entity-resolution layer: a
+// concurrency-safe, memoized cache over fuzzy label lookup.
+//
+// Every KATARA stage — candidate generation (§4.1), annotation coverage
+// (§6.1) and repair candidate enumeration (§6.2) — resolves table cell
+// strings to KB resources. Real tables repeat values heavily (a Capital
+// column mentions each city once per country row, a Country column far more
+// often), so resolving each distinct value once and memoizing the answer
+// removes most of the fuzzy-lookup work. The cache is built once per Cleaner
+// and threaded through discovery, annotation and repair; all of them see the
+// same memo, so a value resolved during discovery is free during annotation.
+package resolve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"katara/internal/rdf"
+	"katara/internal/similarity"
+)
+
+// Source is anything that can resolve a cell value to KB resources.
+// *rdf.Store and *Cache both satisfy it; pipeline stages accept a Source so
+// they run identically with or without caching.
+type Source interface {
+	MatchLabel(value string, threshold float64) []rdf.LabelMatch
+}
+
+// shardCount is a power of two so shard selection is a mask. 16 shards keeps
+// lock contention negligible at the worker counts discovery uses.
+const shardCount = 16
+
+type shard struct {
+	mu sync.RWMutex
+	m  map[string][]rdf.LabelMatch
+}
+
+// Cache memoizes rdf.Store.MatchLabel keyed on the normalized cell value.
+// It is safe for concurrent use under the store's single-writer contract:
+// any number of goroutines may resolve concurrently while the store is
+// quiescent; if the store gains labels (annotation enrichment does this
+// between stages), the cache notices via Store.LabelGen and flushes itself.
+type Cache struct {
+	kb        *rdf.Store
+	threshold float64
+
+	gen     atomic.Uint64 // label generation the memo was built against
+	flushMu sync.Mutex    // serialises flushes so racing readers flush once
+
+	shards [shardCount]shard
+
+	hits, misses atomic.Int64
+}
+
+// New returns a cache over kb resolving at the given threshold. Lookups at a
+// different threshold bypass the memo (see MatchLabel).
+func New(kb *rdf.Store, threshold float64) *Cache {
+	c := &Cache{kb: kb, threshold: threshold}
+	c.gen.Store(kb.LabelGen())
+	for i := range c.shards {
+		c.shards[i].m = make(map[string][]rdf.LabelMatch)
+	}
+	return c
+}
+
+// KB returns the underlying store.
+func (c *Cache) KB() *rdf.Store { return c.kb }
+
+// Threshold returns the threshold the memo is keyed for.
+func (c *Cache) Threshold() float64 { return c.threshold }
+
+// MatchLabel implements Source. Calls at the cache's threshold are memoized;
+// calls at any other threshold fall through to the store uncached, so a
+// Cache can stand in for its store anywhere without changing results.
+func (c *Cache) MatchLabel(value string, threshold float64) []rdf.LabelMatch {
+	if threshold != c.threshold {
+		return c.kb.MatchLabel(value, threshold)
+	}
+	return c.Resolve(value)
+}
+
+// Resolve returns the KB resources matching value at the cache's threshold.
+// The returned slice is shared with the memo; callers must not mutate it.
+func (c *Cache) Resolve(value string) []rdf.LabelMatch {
+	c.sync()
+	key := similarity.Normalize(value)
+	sh := &c.shards[fnvMask(key)]
+	sh.mu.RLock()
+	matches, ok := sh.m[key]
+	sh.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return matches
+	}
+	c.misses.Add(1)
+	// MatchLabel normalizes internally, so resolving the key resolves the
+	// value; memoizing under the key collapses all spellings that normalize
+	// alike ("S. Africa", "s africa") into one entry.
+	matches = c.kb.MatchLabel(key, c.threshold)
+	sh.mu.Lock()
+	if prior, ok := sh.m[key]; ok {
+		matches = prior // another goroutine raced us; keep one canonical slice
+	} else {
+		sh.m[key] = matches
+	}
+	sh.mu.Unlock()
+	return matches
+}
+
+// sync flushes the memo if labels were added to the store since it was
+// built. Label additions happen only in single-writer windows (KB load,
+// annotation enrichment), so readers observing a stale generation here are
+// already synchronized with the writer by the store contract.
+func (c *Cache) sync() {
+	labelGen := c.kb.LabelGen()
+	if c.gen.Load() == labelGen {
+		return
+	}
+	c.flushMu.Lock()
+	defer c.flushMu.Unlock()
+	if c.gen.Load() == labelGen {
+		return // another goroutine flushed while we waited
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.m = make(map[string][]rdf.LabelMatch)
+		sh.mu.Unlock()
+	}
+	c.gen.Store(labelGen)
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Len returns the number of memoized values.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// fnvMask hashes key (FNV-1a) and masks it down to a shard index.
+func fnvMask(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h & (shardCount - 1)
+}

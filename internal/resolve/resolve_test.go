@@ -1,0 +1,153 @@
+package resolve
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"katara/internal/rdf"
+	"katara/internal/similarity"
+)
+
+func newKB(t *testing.T) *rdf.Store {
+	t.Helper()
+	kb := rdf.New()
+	for _, e := range []struct{ iri, label string }{
+		{"ex:Rome", "Rome"},
+		{"ex:Roma", "Roma"},
+		{"ex:Madrid", "Madrid"},
+		{"ex:Pretoria", "Pretoria"},
+		{"ex:SouthAfrica", "South Africa"},
+		{"ex:SouthAfrica", "S. Africa"}, // second label, same resource
+	} {
+		kb.AddFact(rdf.IRI(e.iri), rdf.IRI(rdf.IRILabel), rdf.Lit(e.label))
+	}
+	return kb
+}
+
+func TestResolveMatchesDirectLookup(t *testing.T) {
+	kb := newKB(t)
+	c := New(kb, similarity.DefaultThreshold)
+	queries := []string{
+		"Rome", "rome", "ROME", "Roma", "Pretorria", "S. Africa",
+		"s africa", "Madrid", "nowhere", "", "  Rome  ",
+	}
+	for _, q := range queries {
+		want := kb.MatchLabel(q, similarity.DefaultThreshold)
+		got := c.Resolve(q)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("Resolve(%q) = %v, direct MatchLabel = %v", q, got, want)
+		}
+		// Second call comes from the memo and must be identical.
+		if again := c.Resolve(q); !reflect.DeepEqual(again, want) {
+			t.Errorf("memoized Resolve(%q) = %v, want %v", q, again, want)
+		}
+	}
+}
+
+func TestHitMissAccounting(t *testing.T) {
+	kb := newKB(t)
+	c := New(kb, similarity.DefaultThreshold)
+	c.Resolve("Rome")
+	c.Resolve("Madrid")
+	if hits, misses := c.Stats(); hits != 0 || misses != 2 {
+		t.Fatalf("after 2 distinct resolves: hits=%d misses=%d, want 0/2", hits, misses)
+	}
+	c.Resolve("Rome")
+	c.Resolve("ROME")     // same normalized key: memo hit
+	c.Resolve("  rome  ") // likewise
+	if hits, misses := c.Stats(); hits != 3 || misses != 2 {
+		t.Fatalf("hits=%d misses=%d, want 3/2", hits, misses)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestInvalidationAfterLabelAdd(t *testing.T) {
+	kb := newKB(t)
+	c := New(kb, similarity.DefaultThreshold)
+	if got := c.Resolve("Lisbon"); len(got) != 0 {
+		t.Fatalf("Lisbon should not resolve yet: %v", got)
+	}
+	kb.AddFact(rdf.IRI("ex:Lisbon"), rdf.IRI(rdf.IRILabel), rdf.Lit("Lisbon"))
+	want := kb.MatchLabel("Lisbon", similarity.DefaultThreshold)
+	if len(want) == 0 {
+		t.Fatal("direct lookup should now find Lisbon")
+	}
+	if got := c.Resolve("Lisbon"); !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-enrichment Resolve = %v, want %v", got, want)
+	}
+	// Non-label triples must NOT flush the memo.
+	before := c.Len()
+	kb.AddFact(rdf.IRI("ex:Lisbon"), rdf.IRI(rdf.IRIType), rdf.IRI("ex:City"))
+	c.Resolve("Lisbon")
+	if c.Len() != before {
+		t.Fatalf("non-label Add flushed the memo: Len %d -> %d", before, c.Len())
+	}
+}
+
+func TestThresholdBypass(t *testing.T) {
+	kb := newKB(t)
+	c := New(kb, similarity.DefaultThreshold)
+	// A different threshold must fall through to the store uncached and
+	// return exactly the direct answer.
+	for _, th := range []float64{0.3, 0.9, 1.0} {
+		want := kb.MatchLabel("Roma", th)
+		if got := c.MatchLabel("Roma", th); !reflect.DeepEqual(got, want) {
+			t.Errorf("MatchLabel(Roma, %.1f) = %v, want %v", th, got, want)
+		}
+	}
+	if _, misses := c.Stats(); misses != 0 {
+		t.Fatalf("bypass lookups must not touch the memo, misses=%d", misses)
+	}
+	// At the cache's own threshold MatchLabel memoizes.
+	c.MatchLabel("Roma", similarity.DefaultThreshold)
+	if _, misses := c.Stats(); misses != 1 {
+		t.Fatalf("cache-threshold MatchLabel should memoize, misses=%d", misses)
+	}
+}
+
+func TestConcurrentResolve(t *testing.T) {
+	kb := newKB(t)
+	for i := 0; i < 64; i++ {
+		kb.AddFact(rdf.IRI(fmt.Sprintf("ex:e%d", i)), rdf.IRI(rdf.IRILabel),
+			rdf.Lit(fmt.Sprintf("entity %d", i)))
+	}
+	c := New(kb, similarity.DefaultThreshold)
+	queries := make([]string, 64)
+	for i := range queries {
+		queries[i] = fmt.Sprintf("entity %d", i%16) // heavy key overlap
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < 50; r++ {
+				q := queries[(w*50+r)%len(queries)]
+				got := c.Resolve(q)
+				want := kb.MatchLabel(q, similarity.DefaultThreshold)
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("concurrent Resolve(%q) = %v, want %v", q, got, want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if hits, misses := c.Stats(); hits+misses != 8*50 {
+		t.Fatalf("hits+misses = %d, want %d", hits+misses, 8*50)
+	}
+}
+
+func TestSourceInterface(t *testing.T) {
+	kb := newKB(t)
+	var s Source = kb
+	var c Source = New(kb, similarity.DefaultThreshold)
+	want := s.MatchLabel("Rome", similarity.DefaultThreshold)
+	if got := c.MatchLabel("Rome", similarity.DefaultThreshold); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Source implementations disagree: %v vs %v", got, want)
+	}
+}

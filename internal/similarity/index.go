@@ -1,23 +1,79 @@
 package similarity
 
-import "sort"
+import (
+	"sort"
+	"sync"
+	"unicode/utf8"
+)
 
 // Index is a trigram inverted index over a set of strings, used for fuzzy
 // label lookup: given a query, it retrieves candidate ids whose indexed
 // string shares trigrams with the query, then verifies with Score. This is
 // the stand-in for the paper's Lucene (LARQ) index.
+//
+// Lookup is the hot path of entity resolution: every pipeline stage funnels
+// cell values through it (directly or via the resolve cache), so it runs on
+// reusable per-call scratch — an int32 count buffer indexed by id plus byte
+// encoded trigram windows — instead of the per-call maps a naive
+// implementation would allocate. Add and Lookup share the same windowed
+// trigram walk, so both deduplicate trigrams once and the filter bound in
+// Lookup counts distinct shared trigrams.
 type Index struct {
-	postings map[string][]int32 // trigram -> sorted ids
+	postings map[string][]int32 // trigram -> ids in insertion (= ascending) order
 	values   []string           // id -> normalised string
+	gramN    []int32            // id -> number of distinct padded trigrams
 	exact    map[string][]int32 // normalised string -> ids
+	pool     sync.Pool          // *scratch, reused across Lookup/Add calls
+}
+
+// scratch is the reusable per-call working set. counts is kept all-zero
+// between calls (entries touched by a lookup are reset before release), so a
+// pooled scratch only pays for growth, never for clearing.
+type scratch struct {
+	counts  []int32 // candidate id -> shared distinct trigrams
+	touched []int32 // ids with counts[id] != 0, for sparse reset
+	runes   []rune  // padded rune window of the current string
+	gram    []byte  // UTF-8 encoding of the current trigram window
 }
 
 // NewIndex returns an empty index.
 func NewIndex() *Index {
-	return &Index{
+	ix := &Index{
 		postings: make(map[string][]int32),
 		exact:    make(map[string][]int32),
 	}
+	ix.pool.New = func() any { return &scratch{} }
+	return ix
+}
+
+// appendPadded appends the padded rune form of n ("  n ") to dst, mirroring
+// the padding of trigrams.
+func appendPadded(dst []rune, n string) []rune {
+	dst = append(dst, ' ', ' ')
+	for _, r := range n {
+		dst = append(dst, r)
+	}
+	return append(dst, ' ')
+}
+
+// dupWindow reports whether the trigram window at i repeats an earlier
+// window. Strings are short, so the quadratic scan beats allocating a set.
+func dupWindow(runes []rune, i int) bool {
+	for j := 0; j < i; j++ {
+		if runes[j] == runes[i] && runes[j+1] == runes[i+1] && runes[j+2] == runes[i+2] {
+			return true
+		}
+	}
+	return false
+}
+
+// encodeGram UTF-8-encodes the trigram window into dst. The resulting byte
+// slice is used for map access via string(dst), which the compiler performs
+// without allocating.
+func encodeGram(dst []byte, w []rune) []byte {
+	dst = utf8.AppendRune(dst[:0], w[0])
+	dst = utf8.AppendRune(dst, w[1])
+	return utf8.AppendRune(dst, w[2])
 }
 
 // Add indexes s and returns its id. The caller keeps the id↔payload mapping.
@@ -26,14 +82,19 @@ func (ix *Index) Add(s string) int32 {
 	n := Normalize(s)
 	ix.values = append(ix.values, n)
 	ix.exact[n] = append(ix.exact[n], id)
-	seen := make(map[string]bool)
-	for _, g := range trigrams(n) {
-		if seen[g] {
+	sc := ix.pool.Get().(*scratch)
+	sc.runes = appendPadded(sc.runes[:0], n)
+	distinct := int32(0)
+	for i := 0; i+3 <= len(sc.runes); i++ {
+		if dupWindow(sc.runes, i) {
 			continue
 		}
-		seen[g] = true
-		ix.postings[g] = append(ix.postings[g], id)
+		distinct++
+		sc.gram = encodeGram(sc.gram, sc.runes[i:i+3])
+		ix.postings[string(sc.gram)] = append(ix.postings[string(sc.gram)], id)
 	}
+	ix.gramN = append(ix.gramN, distinct)
+	ix.pool.Put(sc)
 	return id
 }
 
@@ -50,43 +111,86 @@ type Candidate struct {
 }
 
 // Lookup returns ids whose strings match q at or above threshold, best
-// first. Exact (post-normalisation) matches are always returned with score 1.
+// first; ties break by ascending id, so the order is deterministic. Exact
+// (post-normalisation) matches are always returned with score 1.
+//
+// Safe for concurrent use while the index is quiescent (no Add in flight),
+// matching the store-wide single-writer contract.
 func (ix *Index) Lookup(q string, threshold float64) []Candidate {
 	n := Normalize(q)
 	var out []Candidate
-	seen := make(map[int32]bool)
 	for _, id := range ix.exact[n] {
 		out = append(out, Candidate{ID: id, Score: 1})
-		seen[id] = true
 	}
-	// Count shared trigrams per candidate; a candidate matching at Jaccard
-	// threshold t over query trigram set of size Q must share at least
-	// ceil(t/(1+t) * Q) trigrams — a standard filter bound. We use a looser
-	// floor to keep recall high for the non-Jaccard scorers.
-	grams := trigrams(n)
-	counts := make(map[int32]int)
-	for _, g := range grams {
-		for _, id := range ix.postings[g] {
-			counts[id]++
+	sc := ix.pool.Get().(*scratch)
+	// Count shared distinct trigrams per candidate; a candidate matching at
+	// Jaccard threshold t over a query trigram set of size Q must share at
+	// least ceil(t/(1+t) * Q) trigrams — a standard filter bound. We use a
+	// looser floor to keep recall high for the non-Jaccard scorers.
+	if len(sc.counts) < len(ix.values) {
+		sc.counts = make([]int32, len(ix.values))
+	}
+	sc.runes = appendPadded(sc.runes[:0], n)
+	qGrams := int32(0)
+	for i := 0; i+3 <= len(sc.runes); i++ {
+		if dupWindow(sc.runes, i) {
+			continue
+		}
+		qGrams++
+		sc.gram = encodeGram(sc.gram, sc.runes[i:i+3])
+		for _, id := range ix.postings[string(sc.gram)] {
+			if sc.counts[id] == 0 {
+				sc.touched = append(sc.touched, id)
+			}
+			sc.counts[id]++
 		}
 	}
-	minShared := len(grams) / 4
+	minShared := qGrams / 4
 	if minShared < 1 {
 		minShared = 1
 	}
-	for id, c := range counts {
-		if seen[id] || c < minShared {
-			continue
+	for _, id := range sc.touched {
+		shared := sc.counts[id]
+		sc.counts[id] = 0
+		v := ix.values[id]
+		if shared < minShared || v == n {
+			continue // below the filter bound, or already emitted as exact
 		}
-		if s := Score(n, ix.values[id]); s >= threshold {
+		if s := ix.scoreAgainst(n, qGrams, shared, id); s >= threshold {
 			out = append(out, Candidate{ID: id, Score: s})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].ID < out[j].ID
-	})
+	sc.touched = sc.touched[:0]
+	ix.pool.Put(sc)
+	if len(out) > 1 {
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].Score != out[j].Score {
+				return out[i].Score > out[j].Score
+			}
+			return out[i].ID < out[j].ID
+		})
+	}
 	return out
+}
+
+// scoreAgainst is Score specialised for the lookup loop: both strings are
+// already normalised and unequal, and the trigram Jaccard term is computed
+// from the posting counts (shared distinct trigrams, with the per-id set
+// size recorded at Add time) instead of rebuilding trigram sets, so the
+// verify step allocates no maps.
+func (ix *Index) scoreAgainst(n string, qGrams, shared int32, id int32) float64 {
+	v := ix.values[id]
+	if n == "" || v == "" {
+		return 0
+	}
+	s := JaroWinkler(n, v)
+	if l := LevenshteinSim(n, v); l > s {
+		s = l
+	}
+	if union := qGrams + ix.gramN[id] - shared; union > 0 {
+		if t := float64(shared) / float64(union); t > s {
+			s = t
+		}
+	}
+	return s
 }

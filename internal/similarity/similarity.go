@@ -198,7 +198,12 @@ func TrigramJaccard(a, b string) float64 {
 // are normalised, exact matches score 1, otherwise the maximum of
 // Jaro-Winkler, Levenshtein similarity and trigram Jaccard.
 func Score(a, b string) float64 {
-	na, nb := Normalize(a), Normalize(b)
+	return scoreNormalized(Normalize(a), Normalize(b))
+}
+
+// scoreNormalized is Score over already-normalised strings (Normalize is
+// idempotent, so Score(a, b) == scoreNormalized(Normalize(a), Normalize(b))).
+func scoreNormalized(na, nb string) float64 {
 	if na == nb {
 		return 1
 	}

@@ -60,6 +60,12 @@ const (
 	// graceful-degradation policy (pattern fallback, unanswered tuples)
 	// after the budget or deadline ran out.
 	DegradedDecisions
+	// ResolverHits counts label resolutions served from the shared
+	// entity-resolution cache without touching the fuzzy index.
+	ResolverHits
+	// ResolverMisses counts label resolutions the cache had to compute
+	// against the KB (first sight of a value, or post-enrichment flush).
+	ResolverMisses
 
 	numCounters
 )
@@ -87,6 +93,10 @@ func (c Counter) String() string {
 		return "crowd-escalations"
 	case DegradedDecisions:
 		return "degraded-decisions"
+	case ResolverHits:
+		return "resolver-hits"
+	case ResolverMisses:
+		return "resolver-misses"
 	default:
 		return fmt.Sprintf("counter-%d", int(c))
 	}

@@ -134,6 +134,8 @@ func TestStableNames(t *testing.T) {
 		CrowdAbandonments: "crowd-abandonments",
 		CrowdEscalations:  "crowd-escalations",
 		DegradedDecisions: "degraded-decisions",
+		ResolverHits:      "resolver-hits",
+		ResolverMisses:    "resolver-misses",
 	}
 	for c, want := range wantCounters {
 		if c.String() != want {

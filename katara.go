@@ -39,6 +39,7 @@ import (
 	"katara/internal/pattern"
 	"katara/internal/rdf"
 	"katara/internal/repair"
+	"katara/internal/resolve"
 	"katara/internal/similarity"
 	"katara/internal/table"
 	"katara/internal/telemetry"
@@ -272,6 +273,10 @@ type Cleaner struct {
 	stats *kbstats.Stats
 	crowd *Crowd
 	opts  Options
+	// resolver is the shared entity-resolution cache: one memo per Cleaner,
+	// threaded through discovery and annotation so a cell value resolved in
+	// one stage is free in every later stage and run.
+	resolver *resolve.Cache
 }
 
 // NewCleaner builds a Cleaner. The KB statistics (entity counts, coherence
@@ -290,8 +295,18 @@ func NewCleaner(kb *KB, c *Crowd, opts Options) *Cleaner {
 	if opts.Escalate != (EscalationPolicy{}) {
 		c.SetEscalation(opts.Escalate)
 	}
-	return &Cleaner{kb: kb, stats: kbstats.New(kb), crowd: c, opts: opts}
+	return &Cleaner{
+		kb:       kb,
+		stats:    kbstats.New(kb),
+		crowd:    c,
+		opts:     opts,
+		resolver: resolve.New(kb, opts.Threshold),
+	}
 }
+
+// ResolverStats returns the shared resolution cache's cumulative hit and
+// miss counts (all runs of this Cleaner combined).
+func (c *Cleaner) ResolverStats() (hits, misses int64) { return c.resolver.Stats() }
 
 // KB returns the cleaner's knowledge base.
 func (c *Cleaner) KB() *KB { return c.kb }
@@ -313,6 +328,7 @@ func (c *Cleaner) generate(t *Table, tel *telemetry.Pipeline) *discovery.Candida
 		MaxRows:       c.opts.MaxRows,
 		MinSupport:    c.opts.MinSupport,
 		Telemetry:     tel,
+		Resolver:      c.resolver,
 	}
 	if c.opts.Workers > 1 {
 		return discovery.GenerateParallel(t, c.stats, dopts, c.opts.Workers)
@@ -372,6 +388,7 @@ func (c *Cleaner) annotate(ctx context.Context, t *Table, p *Pattern, tel *telem
 		Enrich:    *c.opts.Enrich,
 		Workers:   c.opts.Workers,
 		Telemetry: tel,
+		Resolver:  c.resolver,
 	}
 	return ann.Annotate(t)
 }
@@ -516,6 +533,10 @@ func (c *Cleaner) CleanContext(ctx context.Context, t *Table) (*Report, error) {
 		defer c.crowd.SetBudget(nil)
 	}
 
+	// The resolver cache outlives individual runs; diff its counters so the
+	// run's snapshot reports only this run's hits and misses.
+	hits0, misses0 := c.resolver.Stats()
+
 	start := tel.StartStage(telemetry.StageDiscover)
 	cands := c.generate(t, tel)
 	candidates := discovery.TopK(cands, c.opts.TopK)
@@ -554,6 +575,9 @@ func (c *Cleaner) CleanContext(ctx context.Context, t *Table) (*Report, error) {
 	}
 	rep.Crowd = c.crowd.Stats()
 	rep.QuestionsAsked = rep.Crowd.Questions
+	hits1, misses1 := c.resolver.Stats()
+	tel.Add(telemetry.ResolverHits, hits1-hits0)
+	tel.Add(telemetry.ResolverMisses, misses1-misses0)
 	rep.Timings = tel.Snapshot()
 	return rep, nil
 }
