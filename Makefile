@@ -8,7 +8,7 @@ GO ?= go
 BENCH_OUT ?= BENCH_3.json
 BENCH_TIME ?= 200ms
 
-.PHONY: all build vet test race bench bench-smoke bench-save check
+.PHONY: all build vet test race bench bench-smoke bench-save obs-smoke check
 
 all: check
 
@@ -36,5 +36,11 @@ bench-smoke:
 bench-save:
 	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=$(BENCH_TIME) -json ./... \
 		| $(GO) run ./cmd/benchsave -out $(BENCH_OUT)
+
+# End-to-end observability check: run katara with -listen up, then verify
+# /healthz, /metrics (through the strict promlint parser), /progress and
+# pprof against the live server.
+obs-smoke:
+	./scripts/obs_smoke.sh
 
 check: build vet test race

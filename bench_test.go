@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"katara/internal/annotation"
 	"katara/internal/cleaning"
@@ -441,18 +442,61 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 	b.Run("Enabled", bench(telemetry.New()))
 }
 
-// BenchmarkEndToEndClean measures the full public-API pipeline.
+// BenchmarkDisabledInstrumentation asserts the acceptance criterion that the
+// disabled (nil-*Pipeline) path of every instrumentation primitive — spans,
+// attributes, timers, histogram observations, counters — is allocation-free.
+// ReportAllocs makes the claim visible in bench output; the explicit check
+// fails the benchmark outright on any regression.
+func BenchmarkDisabledInstrumentation(b *testing.B) {
+	var tel *telemetry.Pipeline
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tel.StartSpan("op")
+		sp.SetInt("k", int64(i))
+		sp.SetStr("s", "v")
+		sp.End()
+		ps := tel.PushSpan("stage")
+		ps.End()
+		start := tel.StartTimer()
+		tel.ObserveSince(telemetry.HistCrowdQuestion, start)
+		tel.Observe(telemetry.HistRankJoinIter, time.Millisecond)
+		tel.Inc(telemetry.CrowdQuestions)
+		tel.EndStage(telemetry.StageAnnotate, tel.StartStage(telemetry.StageAnnotate))
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		sp := tel.StartSpan("op")
+		sp.SetInt("k", 1)
+		sp.End()
+		tel.Observe(telemetry.HistRepairTopK, time.Microsecond)
+	}); allocs != 0 {
+		b.Fatalf("disabled instrumentation allocates %.1f per op", allocs)
+	}
+}
+
+// BenchmarkEndToEndClean measures the full public-API pipeline. Latency
+// percentiles from the run's own telemetry ride along as custom metrics, so
+// benchsave snapshots carry distributional data, not just ns/op.
 func BenchmarkEndToEndClean(b *testing.B) {
 	e := env(b)
 	spec := e.Dataset("RelationalTables").Specs[2] // University
 	kb := e.KBs[0]
+	tel := telemetry.New()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cleaner := NewCleaner(kb.Store, crowd.Perfect(3), Options{
 			FactOracle: workload.WorldOracle{W: e.World, KB: kb},
+			Pipeline:   tel,
 		})
 		if _, err := cleaner.Clean(spec.Table); err != nil {
 			b.Fatal(err)
 		}
+	}
+	b.StopTimer()
+	if h := tel.Hist(telemetry.HistAnnotateTuple); h.Count() > 0 {
+		b.ReportMetric(float64(h.Quantile(0.50)), "annotate-p50-ns/op")
+		b.ReportMetric(float64(h.Quantile(0.99)), "annotate-p99-ns/op")
+	}
+	if h := tel.Hist(telemetry.HistRepairTopK); h.Count() > 0 {
+		b.ReportMetric(float64(h.Quantile(0.99)), "topk-p99-ns/op")
 	}
 }

@@ -44,6 +44,10 @@ type Benchmark struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Metrics carries custom units reported via testing.B.ReportMetric —
+	// e.g. the latency percentiles ("p50-ns/op", "p99-ns/op") the telemetry
+	// benchmarks emit — keyed by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Snapshot is the file format: run metadata plus every benchmark result.
@@ -58,7 +62,11 @@ type Snapshot struct {
 // benchLine matches a complete benchmark result line. The name keeps any
 // sub-benchmark path; a trailing -N GOMAXPROCS suffix is split off after.
 var benchLine = regexp.MustCompile(
-	`(?m)^(Benchmark\S+)[ \t]+(\d+)[ \t]+([0-9.]+) ns/op(?:[ \t]+([0-9.]+) B/op)?(?:[ \t]+([0-9.]+) allocs/op)?`)
+	`(?m)^(Benchmark\S+)[ \t]+(\d+)[ \t]+([0-9.]+) ns/op(?:[ \t]+([0-9.]+) B/op)?(?:[ \t]+([0-9.]+) allocs/op)?([^\n]*)`)
+
+// metricPair matches one custom `value unit` pair reported through
+// testing.B.ReportMetric in the tail of a benchmark result line.
+var metricPair = regexp.MustCompile(`([0-9]+(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?)[ \t]+(\S+/op)`)
 
 func main() {
 	out := flag.String("out", "", "snapshot file to write (default stdout)")
@@ -112,6 +120,16 @@ func main() {
 			}
 			if m[5] != "" {
 				b.AllocsPerOp, _ = strconv.ParseFloat(m[5], 64)
+			}
+			for _, p := range metricPair.FindAllStringSubmatch(m[6], -1) {
+				v, err := strconv.ParseFloat(p[1], 64)
+				if err != nil {
+					continue
+				}
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[p[2]] = v
 			}
 			snap.Benchmarks = append(snap.Benchmarks, b)
 		}

@@ -24,15 +24,18 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"katara"
 	"katara/internal/rdf"
+	"katara/internal/telemetry"
 )
 
 // skepticalFacts treats every fact missing from the KB as a data error.
@@ -85,8 +88,14 @@ func main() {
 		paths    = flag.Bool("paths", false, "discover two-hop path relationships for unrelated column pairs")
 		dotPath  = flag.String("dot", "", "write the validated pattern as a Graphviz digraph to this file")
 		verbose  = flag.Bool("v", false, "print per-tuple annotations")
-		stats    = flag.Bool("stats", false, "print pipeline stage timings and counters")
+		stats    = flag.Bool("stats", false, "print pipeline stage timings, counters and latency percentiles")
+		statsAll = flag.Bool("stats-verbose", false, "include zero-valued counters and empty histograms in -stats output")
 		workers  = flag.Int("workers", 0, "worker pool size for the parallel stages (0 or 1 = serial, -1 = GOMAXPROCS)")
+
+		statsJSON = flag.String("stats-json", "", "write the full telemetry snapshot as JSON to this file (- = stdout)")
+		tracePath = flag.String("trace", "", "write a JSONL span journal of the run to this file")
+		listen    = flag.String("listen", "", "serve /metrics, /healthz, /progress and /debug/pprof on this address (e.g. :8080) for the duration of the run")
+		linger    = flag.Duration("linger", 0, "keep the -listen server up this long after the run completes (for late scrapes)")
 
 		faultRate = flag.Float64("fault-rate", 0, "per-assignment crowd fault probability in [0,1), split across abandonment/transient/spam")
 		budget    = flag.Int("budget", 0, "cap on crowd questions per run (0 = unlimited)")
@@ -148,6 +157,37 @@ func main() {
 		RepairK: *k, DiscoverPaths: *paths, Workers: *workers, Telemetry: *stats,
 		Budget: *budget, Deadline: *deadline,
 	}
+
+	// Any observability consumer — text stats, JSON stats, span journal, or
+	// the HTTP endpoints — needs the caller-owned pipeline so it can watch
+	// (or drain) the run rather than only the final report.
+	var pipe *katara.TelemetryPipeline
+	if *stats || *statsJSON != "" || *tracePath != "" || *listen != "" {
+		pipe = katara.NewTelemetry()
+		opts.Pipeline = pipe
+	}
+	var journalW *bufio.Writer
+	var journalF *os.File
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		journalF, journalW = f, bufio.NewWriter(f)
+		pipe.SetJournal(telemetry.NewJournal(journalW))
+	}
+	var srv *telemetry.Server
+	if *listen != "" {
+		srv = telemetry.NewServer(pipe)
+		srv.SetTotalTuples(tbl.NumRows())
+		srv.SetQuestionBudget(*budget)
+		addr, err := srv.Start(*listen)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("observability endpoints on http://%s (/metrics /healthz /progress /debug/pprof/)\n", addr)
+		defer srv.Close()
+	}
 	if *faultRate > 0 {
 		// Split the requested fault mass: half abandonment, a quarter each
 		// transient and spam — a plausibly shaped unreliable crowd.
@@ -179,6 +219,7 @@ func main() {
 
 	cleaner := katara.NewCleaner(kb, katara.TrustingCrowd(), opts)
 	report, err := cleaner.Clean(tbl)
+	srv.MarkDone()
 	if err != nil {
 		fatal(err)
 	}
@@ -258,8 +299,48 @@ func main() {
 		fmt.Printf("new facts written to %s\n", *factPath)
 	}
 	if *stats {
+		report.Timings.Verbose = *statsAll
 		fmt.Print(report.Timings)
 	}
+	if *statsJSON != "" {
+		if err := writeStatsJSON(report.Timings, *statsJSON); err != nil {
+			fatal(err)
+		}
+	}
+	if journalW != nil {
+		if err := journalW.Flush(); err != nil {
+			fatal(err)
+		}
+		if err := journalF.Close(); err != nil {
+			fatal(err)
+		}
+		if err := pipe.Journal().Err(); err != nil {
+			fatal(fmt.Errorf("-trace: %w", err))
+		}
+		fmt.Printf("span journal (%d spans) written to %s\n", pipe.Journal().Spans(), *tracePath)
+	}
+	if srv != nil && *linger > 0 {
+		fmt.Printf("run complete; serving for another %s\n", *linger)
+		time.Sleep(*linger)
+	}
+}
+
+// writeStatsJSON emits the full snapshot — counters, stage timings,
+// histogram percentiles — as indented JSON to path ("-" = stdout).
+func writeStatsJSON(snap *katara.Timings, path string) error {
+	if snap == nil {
+		snap = &katara.Timings{}
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 func loadKB(kb *katara.KB, path string) error {

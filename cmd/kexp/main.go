@@ -16,6 +16,8 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -30,6 +32,7 @@ import (
 	"katara/internal/experiments"
 	"katara/internal/kbstats"
 	"katara/internal/table"
+	"katara/internal/telemetry"
 	"katara/internal/workload"
 	"katara/internal/world"
 )
@@ -44,8 +47,13 @@ func main() {
 		maxQ       = flag.Int("maxq", 7, "maximum questions-per-variable for validation curves")
 		format     = flag.String("format", "table", "figure output: table|chart|csv")
 		stats      = flag.Bool("stats", false, "run the pipeline-telemetry experiment (same as -exp stats)")
+		statsAll   = flag.Bool("stats-verbose", false, "include zero-valued counters and empty histograms in telemetry output")
 		workers    = flag.Int("workers", 0, "worker pool size for the parallel stages (0 or 1 = serial, -1 = GOMAXPROCS)")
 		faultRate  = flag.Float64("fault-rate", 0, "per-assignment crowd fault probability for the stats experiment, split across abandonment/transient/spam")
+		statsJSON  = flag.String("stats-json", "", "write the cumulative telemetry snapshot as JSON to this file (- = stdout)")
+		tracePath  = flag.String("trace", "", "write a JSONL span journal of the instrumented runs to this file")
+		listen     = flag.String("listen", "", "serve /metrics, /healthz, /progress and /debug/pprof on this address for the duration of the driver")
+		linger     = flag.Duration("linger", 0, "keep the -listen server up this long after the experiments complete")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -81,6 +89,37 @@ func main() {
 		}()
 	}
 
+	// A shared pipeline accumulates over every instrumented run of the driver
+	// and feeds the observability sinks: JSONL journal, /metrics server, JSON
+	// snapshot. The per-run telemetry the stats experiment prints then shows
+	// cumulative values, which is what a scraper watching the driver sees.
+	var pipe *katara.TelemetryPipeline
+	if *statsJSON != "" || *tracePath != "" || *listen != "" {
+		pipe = katara.NewTelemetry()
+	}
+	var journalW *bufio.Writer
+	var journalF *os.File
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kexp: -trace: %v\n", err)
+			os.Exit(1)
+		}
+		journalF, journalW = f, bufio.NewWriter(f)
+		pipe.SetJournal(telemetry.NewJournal(journalW))
+	}
+	var srv *telemetry.Server
+	if *listen != "" {
+		srv = telemetry.NewServer(pipe)
+		addr, err := srv.Start(*listen)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kexp: -listen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# observability endpoints on http://%s (/metrics /healthz /progress /debug/pprof/)\n", addr)
+		defer srv.Close()
+	}
+
 	cfg := experiments.Config{Seed: *seed, Scale: *scale}
 	switch *size {
 	case "small":
@@ -114,6 +153,10 @@ func main() {
 			kb.Name, s.Triples, s.Entities, s.Types, s.Properties, s.Facts)
 	}
 	fmt.Println()
+
+	// One root span over the whole driver: each instrumented Clean run pushes
+	// its own "clean" span beneath it, so a -trace journal stays one tree.
+	rootSpan := pipe.PushSpan("kexp")
 
 	run := func(name string, f func() string) {
 		if !sel(name) {
@@ -177,18 +220,71 @@ func main() {
 	run("table7", func() string { return experiments.RenderTable7(experiments.Table7(env)) })
 	run("patterns", func() string { return renderValidatedPatterns(env) })
 	run("ablation", func() string { return experiments.RenderAblation(experiments.AblationCoherence(env)) })
-	run("stats", func() string { return renderStats(env, *workers, *faultRate) })
+	run("stats", func() string { return renderStats(env, *workers, *faultRate, pipe, *statsAll) })
+
+	rootSpan.End()
+	srv.MarkDone()
+	if *statsJSON != "" {
+		if err := writeStatsJSON(pipe, *statsJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "kexp: -stats-json: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if journalW != nil {
+		if err := journalW.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "kexp: -trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := journalF.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "kexp: -trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pipe.Journal().Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "kexp: -trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# span journal (%d spans) written to %s\n", pipe.Journal().Spans(), *tracePath)
+	}
+	if srv != nil && *linger > 0 {
+		fmt.Printf("# experiments complete; serving for another %s\n", *linger)
+		time.Sleep(*linger)
+	}
+}
+
+// writeStatsJSON emits the shared pipeline's cumulative snapshot as indented
+// JSON to path ("-" = stdout).
+func writeStatsJSON(pipe *katara.TelemetryPipeline, path string) error {
+	snap := pipe.Snapshot()
+	if snap == nil {
+		snap = &katara.Timings{}
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 // renderStats runs the instrumented end-to-end pipeline over the
 // RelationalTables specs and both KBs and prints each run's telemetry
-// snapshot plus the crowd's resilience counters — the observability
-// counterpart of Table 6's runtimes. A non-zero faultRate routes every
-// crowd assignment through the seeded fault injector.
-func renderStats(env *experiments.Env, workers int, faultRate float64) string {
+// snapshot — stage timings, counters (including the crowd resilience
+// counters) and latency percentiles, all through the shared
+// Snapshot.String() renderer. A non-zero faultRate routes every crowd
+// assignment through the seeded fault injector. When pipe is non-nil every
+// run records into it (so -trace/-listen/-stats-json observe the runs) and
+// the printed snapshots are cumulative.
+func renderStats(env *experiments.Env, workers int, faultRate float64, pipe *katara.TelemetryPipeline, verbose bool) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Pipeline telemetry (RelationalTables, end-to-end, workers=%d, fault-rate=%.2f)\n",
 		workers, faultRate)
+	if pipe != nil {
+		fmt.Fprintf(&b, "(shared pipeline: per-run snapshots accumulate)\n")
+	}
 	ds := env.Dataset("RelationalTables")
 	for _, kb := range env.KBs {
 		for _, spec := range ds.Specs {
@@ -205,6 +301,7 @@ func renderStats(env *experiments.Env, workers int, faultRate float64) string {
 			opts := katara.Options{
 				FactOracle: workload.WorldOracle{W: env.World, KB: kb},
 				Telemetry:  true,
+				Pipeline:   pipe, // nil = per-run pipeline via Telemetry
 				Workers:    workers,
 			}
 			if faultRate > 0 {
@@ -223,15 +320,12 @@ func renderStats(env *experiments.Env, workers int, faultRate float64) string {
 				fmt.Fprintf(&b, "\n%s x %s: %v\n", kb.Name, spec.Table.Name, err)
 				continue
 			}
+			// Snapshot.String() already renders the crowd resilience
+			// counters (questions, assignments, retries, abandonments,
+			// timeouts, escalations) alongside the stage timings and
+			// latency percentiles — one shared format across binaries.
+			report.Timings.Verbose = verbose
 			fmt.Fprintf(&b, "\n%s x %s (%d rows):\n%s", kb.Name, spec.Table.Name, dirty.NumRows(), report.Timings)
-			cs := report.Crowd
-			fmt.Fprintf(&b, "crowd resilience:\n")
-			fmt.Fprintf(&b, "  %-18s %10d\n", "questions", cs.Questions)
-			fmt.Fprintf(&b, "  %-18s %10d\n", "assignments", cs.Assignments)
-			fmt.Fprintf(&b, "  %-18s %10d\n", "retries", cs.Retries)
-			fmt.Fprintf(&b, "  %-18s %10d\n", "abandonments", cs.Abandonments)
-			fmt.Fprintf(&b, "  %-18s %10d\n", "timeouts", cs.Timeouts)
-			fmt.Fprintf(&b, "  %-18s %10d\n", "escalations", cs.Escalations)
 			if d := report.Degraded; d.Any() {
 				fmt.Fprintf(&b, "  degraded: pattern-fallback=%v tuples=%d repairs-skipped=%v\n",
 					d.PatternFallback, d.Tuples, d.RepairsSkipped)

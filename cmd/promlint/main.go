@@ -1,0 +1,44 @@
+// Command promlint validates Prometheus text-format exposition (version
+// 0.0.4) read from stdin or a file, using the same strict parser the
+// telemetry tests run against /metrics output. The CI observability smoke
+// job pipes a live scrape through it:
+//
+//	curl -s http://127.0.0.1:8080/metrics | go run ./cmd/promlint
+//
+// Exit status 0 means the exposition parsed cleanly and its histogram
+// invariants (cumulative buckets, +Inf == _count) hold; 1 means it did not,
+// with the first violation on stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"katara/internal/telemetry"
+)
+
+func main() {
+	flag.Parse()
+	var in io.Reader = os.Stdin
+	name := "<stdin>"
+	if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "usage: promlint [file]")
+		os.Exit(2)
+	}
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "promlint:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in, name = f, flag.Arg(0)
+	}
+	if err := telemetry.LintExposition(in); err != nil {
+		fmt.Fprintf(os.Stderr, "promlint: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	fmt.Println("promlint: ok")
+}

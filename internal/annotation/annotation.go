@@ -220,6 +220,10 @@ func (a *Annotator) Annotate(tbl *table.Table) *Result {
 	seenFacts := map[string]bool{}
 	enriched := false // KB mutated: precomputed coverage is stale
 	for row := range tbl.Rows {
+		// One scoped span per tuple: the crowd-question spans issued inside
+		// annotateTuple (serially, on this goroutine) attach as its children.
+		tStart := a.Telemetry.StartTimer()
+		tSpan := a.Telemetry.PushSpan("annotate-tuple")
 		var m *pattern.Match
 		if matches != nil && !enriched {
 			m = matches[row]
@@ -230,6 +234,10 @@ func (a *Annotator) Annotate(tbl *table.Table) *Result {
 		}
 		ta, applied := a.annotateTuple(tbl, row, m)
 		enriched = enriched || applied
+		tSpan.SetInt("row", int64(row))
+		tSpan.SetStr("label", ta.Label.String())
+		tSpan.End()
+		a.Telemetry.ObserveSince(telemetry.HistAnnotateTuple, tStart)
 		a.Telemetry.Inc(telemetry.TuplesAnnotated)
 		if ta.Degraded {
 			res.DegradedTuples++

@@ -179,6 +179,14 @@ func (c *Crowd) AskContext(ctx context.Context, q Question) (int, error) {
 	}
 	c.tel.Inc(telemetry.CrowdQuestions)
 
+	// Observe the whole round-trip — base assignments, backoff waits,
+	// simulated latency, reassignments and escalations — as one span and one
+	// histogram sample. The stage timers only see validation/annotation as a
+	// block; this is where per-question p99s under fault injection come from.
+	qStart := c.tel.StartTimer()
+	qSpan := c.tel.StartSpan("crowd-question")
+	var qRetries, qEscalations, qTimeouts, qAbandonments int64
+
 	// One permutation serves the base assignments, reassignments and
 	// escalations: fresh workers are taken in perm order, wrapping around
 	// when the pool is exhausted. Drawing the full Perm up front keeps the
@@ -193,6 +201,16 @@ func (c *Crowd) AskContext(ctx context.Context, q Question) (int, error) {
 		delivered int
 		stop      error // first budget/deadline interruption
 	)
+	defer func() {
+		qSpan.SetStr("kind", q.Kind.String())
+		qSpan.SetInt("assignments", int64(delivered))
+		qSpan.SetInt("retries", qRetries)
+		qSpan.SetInt("escalations", qEscalations)
+		qSpan.SetInt("timeouts", qTimeouts)
+		qSpan.SetInt("abandonments", qAbandonments)
+		qSpan.End()
+		c.tel.ObserveSince(telemetry.HistCrowdQuestion, qStart)
+	}()
 
 	// collect runs one assignment slot to completion (an answer or a
 	// permanently failed slot) and reports whether collection may continue.
@@ -225,6 +243,7 @@ func (c *Crowd) AskContext(ctx context.Context, q Question) (int, error) {
 				if err := c.sleep(ctx, wait); err != nil {
 					c.stats.Timeouts++
 					c.tel.Inc(telemetry.CrowdTimeouts)
+					qTimeouts++
 					stop = err
 					return false
 				}
@@ -235,6 +254,7 @@ func (c *Crowd) AskContext(ctx context.Context, q Question) (int, error) {
 				fault = ErrAbandoned
 				c.stats.Timeouts++
 				c.tel.Inc(telemetry.CrowdTimeouts)
+				qTimeouts++
 			}
 			switch fault {
 			case nil:
@@ -251,6 +271,7 @@ func (c *Crowd) AskContext(ctx context.Context, q Question) (int, error) {
 				if !timedOut {
 					c.stats.Abandonments++
 					c.tel.Inc(telemetry.CrowdAbandonments)
+					qAbandonments++
 				}
 			case ErrTransient:
 				// Retry the same worker after the backoff: widx stays.
@@ -261,6 +282,7 @@ func (c *Crowd) AskContext(ctx context.Context, q Question) (int, error) {
 			}
 			c.stats.Retries++
 			c.tel.Inc(telemetry.CrowdRetries)
+			qRetries++
 			if err := c.sleep(ctx, retry.Backoff(attempt)); err != nil {
 				stop = err
 				return false
@@ -278,6 +300,7 @@ func (c *Crowd) AskContext(ctx context.Context, q Question) (int, error) {
 	for stop == nil && slots < maxSlots && voteMargin(votes) < c.escalate.MinMargin {
 		c.stats.Escalations++
 		c.tel.Inc(telemetry.CrowdEscalations)
+		qEscalations++
 		if !collect() {
 			break
 		}
@@ -285,6 +308,7 @@ func (c *Crowd) AskContext(ctx context.Context, q Question) (int, error) {
 	}
 
 	c.stats.record(q.Kind, delivered)
+	c.tel.Add(telemetry.CrowdAssignments, int64(delivered))
 	if len(votes) == 0 {
 		if stop != nil {
 			return 0, stop

@@ -6,6 +6,7 @@ import (
 
 	"katara/internal/pattern"
 	"katara/internal/rdf"
+	"katara/internal/telemetry"
 )
 
 // This file implements the top-k table-pattern search of §4.3.
@@ -99,13 +100,22 @@ func rankJoinStats(c *Candidates, k int, coherenceWeight float64) ([]*pattern.Pa
 	heap.Init(pq)
 	heap.Push(pq, &stateItem{f: suffixBound[0], st: state{f: suffixBound[0]}})
 
+	tel := c.Options.Telemetry
 	var out []*pattern.Pattern
 	for pq.Len() > 0 && len(out) < k {
+		// One best-first expansion = one rank-join iteration: a histogram
+		// sample always, a journal span when tracing is on.
+		itStart := tel.StartTimer()
+		itSpan := tel.StartSpan("rank-join-iteration")
 		top := heap.Pop(pq).(*stateItem)
 		st := top.st.(state)
 		stats.StatesExpanded++
 		if st.depth == len(lists) {
 			out = append(out, buildPattern(c, lists, colPos, st.choices, st.g))
+			itSpan.SetInt("depth", int64(st.depth))
+			itSpan.SetInt("complete", 1)
+			itSpan.End()
+			tel.ObserveSince(telemetry.HistRankJoinIter, itStart)
 			continue
 		}
 		l := lists[st.depth]
@@ -121,6 +131,10 @@ func rankJoinStats(c *Candidates, k int, coherenceWeight float64) ([]*pattern.Pa
 			heap.Push(pq, &stateItem{f: child.f, st: child})
 			stats.StatesEnqueued++
 		}
+		itSpan.SetInt("depth", int64(st.depth))
+		itSpan.SetInt("enqueued", int64(items))
+		itSpan.End()
+		tel.ObserveSince(telemetry.HistRankJoinIter, itStart)
 	}
 	return out, stats
 }

@@ -123,6 +123,8 @@ func (ix *Index) TopK(tuple []string, k int) []Repair {
 	if k <= 0 {
 		return nil
 	}
+	tkStart := ix.opts.Telemetry.StartTimer()
+	tkSpan := ix.opts.Telemetry.StartSpan("repair-topk")
 	// Agreement per graph via the inverted lists (Example 13: "the
 	// occurrences of instance graphs G1 and G2 are 5 and 1").
 	agree := map[int]float64{}
@@ -158,6 +160,10 @@ func (ix *Index) TopK(tuple []string, k int) []Repair {
 		repairs = append(repairs, rep)
 	}
 	ix.opts.Telemetry.Add(telemetry.RepairsGenerated, int64(len(repairs)))
+	tkSpan.SetInt("candidates", int64(len(agree)))
+	tkSpan.SetInt("repairs", int64(len(repairs)))
+	tkSpan.End()
+	ix.opts.Telemetry.ObserveSince(telemetry.HistRepairTopK, tkStart)
 	return repairs
 }
 

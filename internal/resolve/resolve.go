@@ -17,6 +17,7 @@ import (
 
 	"katara/internal/rdf"
 	"katara/internal/similarity"
+	"katara/internal/telemetry"
 )
 
 // Source is anything that can resolve a cell value to KB resources.
@@ -50,6 +51,12 @@ type Cache struct {
 	shards [shardCount]shard
 
 	hits, misses atomic.Int64
+
+	// tel is the pipeline observing resolver latency for the current run.
+	// The cache outlives individual runs (cmd/kexp shares one across
+	// environments), so it is attached and detached per run via SetTelemetry
+	// and read atomically on the lookup path.
+	tel atomic.Pointer[telemetry.Pipeline]
 }
 
 // New returns a cache over kb resolving at the given threshold. Lookups at a
@@ -61,6 +68,13 @@ func New(kb *rdf.Store, threshold float64) *Cache {
 		c.shards[i].m = make(map[string][]rdf.LabelMatch)
 	}
 	return c
+}
+
+// SetTelemetry attaches the pipeline observing resolver latency (nil
+// detaches). Safe to call concurrently with lookups; typically the run
+// harness attaches before the run and detaches after.
+func (c *Cache) SetTelemetry(tel *telemetry.Pipeline) {
+	c.tel.Store(tel)
 }
 
 // KB returns the underlying store.
@@ -95,8 +109,16 @@ func (c *Cache) Resolve(value string) []rdf.LabelMatch {
 	c.misses.Add(1)
 	// MatchLabel normalizes internally, so resolving the key resolves the
 	// value; memoizing under the key collapses all spellings that normalize
-	// alike ("S. Africa", "s africa") into one entry.
+	// alike ("S. Africa", "s africa") into one entry. Only misses are
+	// observed: a hit is a map read, and timing it would drown the histogram
+	// in nanosecond samples that say nothing about KB lookup cost.
+	tel := c.tel.Load()
+	mStart := tel.StartTimer()
+	mSpan := tel.StartSpan("resolve-miss")
 	matches = c.kb.MatchLabel(key, c.threshold)
+	mSpan.SetInt("matches", int64(len(matches)))
+	mSpan.End()
+	tel.ObserveSince(telemetry.HistResolverLookup, mStart)
 	sh.mu.Lock()
 	if prior, ok := sh.m[key]; ok {
 		matches = prior // another goroutine raced us; keep one canonical slice

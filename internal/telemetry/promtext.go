@@ -1,0 +1,390 @@
+// Prometheus text-format exposition (version 0.0.4), hand-rolled so go.mod
+// stays stdlib-only: every counter, stage timer, and latency histogram of a
+// Snapshot becomes a scrapeable metric family. LintExposition is the strict
+// counterpart — a line-by-line parser used by the tests, cmd/promlint and
+// the CI observability smoke job to reject malformed output.
+
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// promName converts a snapshot name ("crowd-questions") into a metric-name
+// fragment ("crowd_questions").
+func promName(name string) string {
+	return strings.ReplaceAll(name, "-", "_")
+}
+
+// WriteProm writes the snapshot as Prometheus text exposition:
+//
+//	katara_<counter>_total                               each pipeline counter
+//	katara_stage_duration_seconds_total{stage="..."}     accumulated stage wall-clock
+//	katara_stage_runs_total{stage="..."}                 stage entry count
+//	katara_op_duration_seconds{op="...",le="..."}        latency histograms
+//
+// Every counter and histogram appears even at zero, so a scraper sees a
+// stable metric set across runs.
+func (s *Snapshot) WriteProm(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, c := range s.Counters {
+		n := "katara_" + promName(c.Name) + "_total"
+		fmt.Fprintf(bw, "# HELP %s Pipeline counter %s.\n", n, c.Name)
+		fmt.Fprintf(bw, "# TYPE %s counter\n", n)
+		fmt.Fprintf(bw, "%s %d\n", n, c.Value)
+	}
+
+	fmt.Fprintf(bw, "# HELP katara_stage_duration_seconds_total Accumulated wall-clock per pipeline stage.\n")
+	fmt.Fprintf(bw, "# TYPE katara_stage_duration_seconds_total counter\n")
+	for _, st := range s.Stages {
+		fmt.Fprintf(bw, "katara_stage_duration_seconds_total{stage=%q} %s\n",
+			st.Stage, formatFloat(st.Duration.Seconds()))
+	}
+	fmt.Fprintf(bw, "# HELP katara_stage_runs_total Number of times each pipeline stage was entered.\n")
+	fmt.Fprintf(bw, "# TYPE katara_stage_runs_total counter\n")
+	for _, st := range s.Stages {
+		fmt.Fprintf(bw, "katara_stage_runs_total{stage=%q} %d\n", st.Stage, st.Calls)
+	}
+
+	fmt.Fprintf(bw, "# HELP katara_op_duration_seconds Latency of instrumented sub-operations.\n")
+	fmt.Fprintf(bw, "# TYPE katara_op_duration_seconds histogram\n")
+	for _, h := range s.Hists {
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			fmt.Fprintf(bw, "katara_op_duration_seconds_bucket{op=%q,le=%q} %d\n",
+				h.Name, formatFloat(float64(b.UpperNS)/1e9), cum)
+		}
+		fmt.Fprintf(bw, "katara_op_duration_seconds_bucket{op=%q,le=\"+Inf\"} %d\n", h.Name, h.Count)
+		fmt.Fprintf(bw, "katara_op_duration_seconds_sum{op=%q} %s\n", h.Name, formatFloat(h.Sum.Seconds()))
+		fmt.Fprintf(bw, "katara_op_duration_seconds_count{op=%q} %d\n", h.Name, h.Count)
+	}
+	return bw.Flush()
+}
+
+// formatFloat renders a float sample value the way Prometheus expects
+// (shortest round-trip representation).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// --- strict exposition linter -------------------------------------------
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+	typeValues   = map[string]bool{
+		"counter": true, "gauge": true, "histogram": true,
+		"summary": true, "untyped": true,
+	}
+)
+
+// histSeries accumulates one histogram series' buckets for cross-line
+// validation, keyed by the label set minus "le".
+type histSeries struct {
+	lastLE   float64
+	lastCum  float64
+	sawInf   bool
+	infValue float64
+	count    float64
+	sawCount bool
+	firstRef int // line number of the first bucket, for error messages
+}
+
+// LintExposition is a strict line-by-line parser of Prometheus text
+// exposition format. It validates what the ecosystem's parsers enforce:
+// metric and label name grammar, label quoting, float-parseable sample
+// values, TYPE declared once and before its samples, histogram buckets
+// cumulative and nondecreasing in le order, an +Inf bucket present and equal
+// to the series' _count. It returns the first violation found, or nil.
+func LintExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	typed := map[string]string{} // metric family -> type
+	sampled := map[string]bool{} // families that already emitted samples
+	hists := map[string]*histSeries{}
+	lineNo := 0
+	samples := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := lintComment(line, lineNo, typed, sampled); err != nil {
+				return err
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line, lineNo)
+		if err != nil {
+			return err
+		}
+		samples++
+		family := familyOf(name, typed)
+		sampled[family] = true
+		if typed[family] == "histogram" {
+			if err := lintHistogramSample(name, labels, value, lineNo, hists); err != nil {
+				return err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if samples == 0 {
+		return fmt.Errorf("exposition contains no samples")
+	}
+	for key, hs := range hists {
+		if !hs.sawInf {
+			return fmt.Errorf("histogram series %s: no le=\"+Inf\" bucket", key)
+		}
+		if hs.sawCount && hs.infValue != hs.count {
+			return fmt.Errorf("histogram series %s: +Inf bucket %v != _count %v", key, hs.infValue, hs.count)
+		}
+	}
+	return nil
+}
+
+// lintComment validates a # HELP / # TYPE line (other comments are allowed
+// free-form).
+func lintComment(line string, lineNo int, typed map[string]string, sampled map[string]bool) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !metricNameRe.MatchString(fields[2]) {
+			return fmt.Errorf("line %d: malformed HELP comment %q", lineNo, line)
+		}
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("line %d: malformed TYPE comment %q", lineNo, line)
+		}
+		name, typ := fields[2], strings.TrimSpace(fields[3])
+		if !metricNameRe.MatchString(name) {
+			return fmt.Errorf("line %d: TYPE for invalid metric name %q", lineNo, name)
+		}
+		if !typeValues[typ] {
+			return fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+		}
+		if _, dup := typed[name]; dup {
+			return fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+		}
+		if sampled[name] {
+			return fmt.Errorf("line %d: TYPE for %q after its samples", lineNo, name)
+		}
+		typed[name] = typ
+	}
+	return nil
+}
+
+// parseSample splits "name{labels} value [timestamp]" strictly.
+func parseSample(line string, lineNo int) (name string, labels map[string]string, value float64, err error) {
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	if brace >= 0 {
+		name = rest[:brace]
+		end := strings.IndexByte(rest, '}')
+		if end < brace {
+			return "", nil, 0, fmt.Errorf("line %d: unterminated label set in %q", lineNo, line)
+		}
+		labels, err = parseLabels(rest[brace+1:end], lineNo)
+		if err != nil {
+			return "", nil, 0, err
+		}
+		rest = strings.TrimLeft(rest[end+1:], " ")
+	} else {
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			return "", nil, 0, fmt.Errorf("line %d: sample without value: %q", lineNo, line)
+		}
+		name, rest = rest[:sp], strings.TrimLeft(rest[sp:], " ")
+	}
+	if !metricNameRe.MatchString(name) {
+		return "", nil, 0, fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+	}
+	parts := strings.Fields(rest)
+	if len(parts) < 1 || len(parts) > 2 {
+		return "", nil, 0, fmt.Errorf("line %d: expected value [timestamp], got %q", lineNo, rest)
+	}
+	value, err = parsePromFloat(parts[0])
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("line %d: unparseable sample value %q", lineNo, parts[0])
+	}
+	if len(parts) == 2 {
+		if _, err := strconv.ParseInt(parts[1], 10, 64); err != nil {
+			return "", nil, 0, fmt.Errorf("line %d: unparseable timestamp %q", lineNo, parts[1])
+		}
+	}
+	return name, labels, value, nil
+}
+
+// parseLabels parses `k1="v1",k2="v2"` strictly (quoted values, valid
+// escapes, no duplicate names).
+func parseLabels(s string, lineNo int) (map[string]string, error) {
+	labels := map[string]string{}
+	s = strings.TrimSpace(s)
+	for s != "" {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("line %d: label without '=' in %q", lineNo, s)
+		}
+		key := s[:eq]
+		if !labelNameRe.MatchString(key) {
+			return nil, fmt.Errorf("line %d: invalid label name %q", lineNo, key)
+		}
+		if _, dup := labels[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate label %q", lineNo, key)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("line %d: label %q value not quoted", lineNo, key)
+		}
+		val, rest, err := unquoteLabel(s)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: label %q: %v", lineNo, key, err)
+		}
+		labels[key] = val
+		s = rest
+		if s != "" {
+			if s[0] != ',' {
+				return nil, fmt.Errorf("line %d: expected ',' between labels, got %q", lineNo, s)
+			}
+			s = strings.TrimSpace(s[1:])
+			if s == "" {
+				break // trailing comma is tolerated by the reference parser
+			}
+		}
+	}
+	return labels, nil
+}
+
+// unquoteLabel reads a double-quoted label value with \\, \" and \n escapes,
+// returning the value and the remainder after the closing quote.
+func unquoteLabel(s string) (val, rest string, err error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			i++
+			switch s[i] {
+			case '\\', '"':
+				b.WriteByte(s[i])
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("invalid escape \\%c", s[i])
+			}
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted value")
+}
+
+// parsePromFloat parses a sample value, accepting the exposition format's
+// special values.
+func parsePromFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// familyOf maps a sample name to its declared family: histogram samples
+// (_bucket/_sum/_count) belong to their base family.
+func familyOf(name string, typed map[string]string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name && typed[base] == "histogram" {
+			return base
+		}
+	}
+	return name
+}
+
+// lintHistogramSample validates one sample of a histogram family.
+func lintHistogramSample(name string, labels map[string]string, value float64, lineNo int, hists map[string]*histSeries) error {
+	key := func(base string) string {
+		// Series identity: base name plus all labels except le, in sorted order.
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			if k != "le" {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		b.WriteString(base)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "{%s=%q}", k, labels[k])
+		}
+		return b.String()
+	}
+	switch {
+	case strings.HasSuffix(name, "_bucket"):
+		base := strings.TrimSuffix(name, "_bucket")
+		le, ok := labels["le"]
+		if !ok {
+			return fmt.Errorf("line %d: histogram bucket %s without le label", lineNo, name)
+		}
+		k := key(base)
+		hs := hists[k]
+		if hs == nil {
+			hs = &histSeries{lastLE: math.Inf(-1), lastCum: -1, firstRef: lineNo}
+			hists[k] = hs
+		}
+		if le == "+Inf" {
+			hs.sawInf = true
+			hs.infValue = value
+			if value < hs.lastCum {
+				return fmt.Errorf("line %d: +Inf bucket %v below prior cumulative %v", lineNo, value, hs.lastCum)
+			}
+			return nil
+		}
+		leV, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			return fmt.Errorf("line %d: unparseable le %q", lineNo, le)
+		}
+		if leV <= hs.lastLE {
+			return fmt.Errorf("line %d: bucket le %v not increasing (prev %v)", lineNo, leV, hs.lastLE)
+		}
+		if value < hs.lastCum {
+			return fmt.Errorf("line %d: bucket count %v decreasing (prev %v)", lineNo, value, hs.lastCum)
+		}
+		hs.lastLE, hs.lastCum = leV, value
+	case strings.HasSuffix(name, "_count"):
+		k := key(strings.TrimSuffix(name, "_count"))
+		hs := hists[k]
+		if hs == nil {
+			hs = &histSeries{lastLE: math.Inf(-1), lastCum: -1, firstRef: lineNo}
+			hists[k] = hs
+		}
+		hs.count = value
+		hs.sawCount = true
+	}
+	return nil
+}

@@ -1,0 +1,188 @@
+// Embedded observability server: the `-listen :addr` layer of cmd/katara
+// and cmd/kexp. Serves the pipeline's live state over HTTP with only the
+// standard library:
+//
+//	/metrics        Prometheus text exposition of every counter, stage
+//	                timer, and latency histogram (scrape this)
+//	/healthz        liveness probe, always 200 once the listener is up
+//	/progress       live run state as JSON (current stage, tuples
+//	                annotated / total, crowd budget remaining)
+//	/debug/pprof/   the runtime profiler endpoints
+//
+// The server reads the pipeline through the same atomic counters the
+// workers write, so scraping mid-run is safe and requires no pause.
+
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+)
+
+// Progress is the live run state served at /progress.
+type Progress struct {
+	// Stage is the innermost active pipeline stage, "" when idle.
+	Stage string `json:"stage"`
+	// TuplesAnnotated / TuplesTotal report annotation progress. Total is 0
+	// when the serving binary did not declare it.
+	TuplesAnnotated int64 `json:"tuples_annotated"`
+	TuplesTotal     int64 `json:"tuples_total,omitempty"`
+	// CrowdQuestions counts questions consumed so far.
+	CrowdQuestions int64 `json:"crowd_questions"`
+	// BudgetQuestionsRemaining is the question budget headroom; -1 means
+	// unlimited.
+	BudgetQuestionsRemaining int64 `json:"budget_questions_remaining"`
+	// Done reports that the run completed (the server may linger for late
+	// scrapes).
+	Done bool `json:"done"`
+}
+
+// Server serves the observability endpoints for one pipeline. Construct
+// with NewServer, then Start (own listener) or mount Handler() yourself.
+// All methods are safe on a nil *Server, so call sites can hold an optional
+// server without guarding.
+type Server struct {
+	p *Pipeline
+
+	totalTuples atomic.Int64
+	budgetQ     atomic.Int64 // 0 = unlimited
+	done        atomic.Bool
+
+	ln   net.Listener
+	srv  *http.Server
+	errc chan error
+}
+
+// NewServer returns a server exposing p. p may be nil (endpoints then serve
+// zeros), but normally it is the pipeline passed to the run via
+// Options.Pipeline.
+func NewServer(p *Pipeline) *Server {
+	return &Server{p: p}
+}
+
+// SetTotalTuples declares the table size for /progress.
+func (s *Server) SetTotalTuples(n int) {
+	if s == nil {
+		return
+	}
+	s.totalTuples.Store(int64(n))
+}
+
+// SetQuestionBudget declares the run's crowd-question budget for /progress
+// (0 = unlimited).
+func (s *Server) SetQuestionBudget(n int) {
+	if s == nil {
+		return
+	}
+	s.budgetQ.Store(int64(n))
+}
+
+// MarkDone flags the run as completed in /progress.
+func (s *Server) MarkDone() {
+	if s == nil {
+		return
+	}
+	s.done.Store(true)
+}
+
+// progress assembles the live run state.
+func (s *Server) progress() Progress {
+	p := Progress{
+		Stage:                    s.p.CurrentStage(),
+		TuplesAnnotated:          s.p.Get(TuplesAnnotated),
+		TuplesTotal:              s.totalTuples.Load(),
+		CrowdQuestions:           s.p.Get(CrowdQuestions),
+		BudgetQuestionsRemaining: -1,
+		Done:                     s.done.Load(),
+	}
+	if b := s.budgetQ.Load(); b > 0 {
+		rem := b - p.CrowdQuestions
+		if rem < 0 {
+			rem = 0
+		}
+		p.BudgetQuestionsRemaining = rem
+	}
+	return p
+}
+
+// Handler returns the endpoint mux (also used directly by tests).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "katara observability endpoints:\n"+
+			"  /metrics        Prometheus text exposition\n"+
+			"  /healthz        liveness probe\n"+
+			"  /progress       live run state (JSON)\n"+
+			"  /debug/pprof/   runtime profiles\n")
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := s.p.Snapshot()
+		if snap == nil {
+			// Nil pipeline: serve the full zero-valued metric set so scrapers
+			// see a stable exposition either way.
+			snap = New().Snapshot()
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := snap.WriteProm(w); err != nil {
+			// Headers are gone; all we can do is drop the connection.
+			return
+		}
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.progress())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Start listens on addr (e.g. ":8080", "127.0.0.1:0") and serves in the
+// background. It returns the bound address, so ":0" callers can discover
+// the port.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	if s == nil {
+		return nil, fmt.Errorf("telemetry: Start on nil Server")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	s.errc = make(chan error, 1)
+	go func() { s.errc <- s.srv.Serve(ln) }()
+	return ln.Addr(), nil
+}
+
+// Close shuts the listener down. Safe on a nil or never-started server.
+func (s *Server) Close() error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	err := s.srv.Close()
+	<-s.errc // reap the serve goroutine (always returns after Close)
+	if err != nil {
+		return err
+	}
+	return nil
+}

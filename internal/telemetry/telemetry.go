@@ -21,6 +21,7 @@ package telemetry
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -32,6 +33,9 @@ const (
 	// CrowdQuestions counts crowd questions issued (validation §5 and
 	// annotation §6.1 combined) — the paper's monetary-cost driver.
 	CrowdQuestions Counter = iota
+	// CrowdAssignments counts paid assignment deliveries (each question is
+	// asked of several workers; markets price per assignment).
+	CrowdAssignments
 	// KBLookups counts knowledge-base probes: per-cell label resolutions
 	// during candidate generation (Q_types/Q_rels) and per-tuple coverage
 	// evaluations during annotation. Parallel runs may probe more than
@@ -75,6 +79,8 @@ func (c Counter) String() string {
 	switch c {
 	case CrowdQuestions:
 		return "crowd-questions"
+	case CrowdAssignments:
+		return "crowd-assignments"
 	case KBLookups:
 		return "kb-lookups"
 	case GraphsEnumerated:
@@ -158,7 +164,23 @@ type Pipeline struct {
 	counters [numCounters]atomic.Int64
 	stageNS  [numStages]atomic.Int64
 	stageN   [numStages]atomic.Int64
+	hists    [numHists]Histogram
 	tracer   Tracer // optional; no-op when nil
+
+	// Span journal (trace.go). journal is attached before the run; the
+	// scope stack tracks pushed spans (run root, stages) so leaf spans from
+	// any goroutine find their parent through curSpan.
+	journal   *Journal
+	spanMu    sync.Mutex
+	spanStack []uint64
+	curSpan   atomic.Uint64
+
+	// curStagePlus1 is the innermost active stage + 1 (0 = idle), for the
+	// /progress endpoint. stageStack restores the enclosing stage when
+	// nested stages (build-index inside repair) end.
+	curStagePlus1 atomic.Int32
+	stageStack    []Stage
+	stageSpans    [numStages]Span
 }
 
 // New returns an enabled Pipeline with the no-op tracer.
@@ -188,10 +210,20 @@ func (p *Pipeline) Get(c Counter) int64 {
 }
 
 // StartStage marks entry into s and returns the start time to hand back to
-// EndStage. Disabled pipelines return the zero Time.
+// EndStage. Disabled pipelines return the zero Time. Stages are entered and
+// left by the orchestrating goroutine only (the Tracer contract); when a
+// journal is attached each stage also becomes a scoped span, so
+// sub-operation spans nest under it.
 func (p *Pipeline) StartStage(s Stage) time.Time {
 	if p == nil {
 		return time.Time{}
+	}
+	p.spanMu.Lock()
+	p.stageStack = append(p.stageStack, s)
+	p.spanMu.Unlock()
+	p.curStagePlus1.Store(int32(s) + 1)
+	if p.journal != nil {
+		p.stageSpans[s] = p.PushSpan(s.String())
 	}
 	if p.tracer != nil {
 		p.tracer.StageStart(s)
@@ -207,31 +239,71 @@ func (p *Pipeline) EndStage(s Stage, start time.Time) {
 	d := time.Since(start)
 	p.stageNS[s].Add(int64(d))
 	p.stageN[s].Add(1)
+	if p.journal != nil {
+		sp := p.stageSpans[s]
+		sp.End()
+		p.stageSpans[s] = Span{}
+	}
+	p.spanMu.Lock()
+	for i := len(p.stageStack) - 1; i >= 0; i-- {
+		if p.stageStack[i] == s {
+			p.stageStack = append(p.stageStack[:i], p.stageStack[i+1:]...)
+			break
+		}
+	}
+	var cur int32
+	if n := len(p.stageStack); n > 0 {
+		cur = int32(p.stageStack[n-1]) + 1
+	}
+	p.curStagePlus1.Store(cur)
+	p.spanMu.Unlock()
 	if p.tracer != nil {
 		p.tracer.StageEnd(s, d)
 	}
 }
 
+// CurrentStage returns the innermost active stage's name, or "" when the
+// pipeline is idle (or disabled). Safe from any goroutine — the /progress
+// endpoint polls it while the run executes.
+func (p *Pipeline) CurrentStage() string {
+	if p == nil {
+		return ""
+	}
+	v := p.curStagePlus1.Load()
+	if v == 0 {
+		return ""
+	}
+	return Stage(v - 1).String()
+}
+
 // StageTiming is the accumulated wall-clock of one stage.
 type StageTiming struct {
-	Stage    string
-	Calls    int64
-	Duration time.Duration
+	Stage    string        `json:"stage"`
+	Calls    int64         `json:"calls"`
+	Duration time.Duration `json:"duration_ns"`
 }
 
 // CounterValue is one counter's final value.
 type CounterValue struct {
-	Name  string
-	Value int64
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
 }
 
 // Snapshot is a point-in-time copy of a Pipeline, attached to
-// katara.Report.Timings and rendered by the -stats CLI flags.
+// katara.Report.Timings, rendered by the -stats CLI flags, emitted whole by
+// -stats-json, and exposed in Prometheus text format by WriteProm.
 type Snapshot struct {
 	// Stages lists the entered stages in pipeline order.
-	Stages []StageTiming
+	Stages []StageTiming `json:"stages"`
 	// Counters lists every counter (including zeros) in declaration order.
-	Counters []CounterValue
+	Counters []CounterValue `json:"counters"`
+	// Hists lists every latency histogram (including empty ones) in
+	// declaration order, with percentiles and raw buckets.
+	Hists []HistStat `json:"histograms"`
+	// Verbose makes String list zero-valued counters and empty histograms
+	// too; by default they are omitted, so an error-free run's -stats block
+	// does not enumerate every never-hit fault counter.
+	Verbose bool `json:"-"`
 }
 
 // Snapshot copies the current state; nil (disabled) pipelines return nil.
@@ -254,7 +326,23 @@ func (p *Pipeline) Snapshot() *Snapshot {
 	for c := Counter(0); c < numCounters; c++ {
 		snap.Counters = append(snap.Counters, CounterValue{Name: c.String(), Value: p.counters[c].Load()})
 	}
+	for h := Hist(0); h < numHists; h++ {
+		snap.Hists = append(snap.Hists, p.hists[h].stat(h.String()))
+	}
 	return snap
+}
+
+// HistByName returns the named histogram snapshot, or nil if absent.
+func (s *Snapshot) HistByName(name string) *HistStat {
+	if s == nil {
+		return nil
+	}
+	for i := range s.Hists {
+		if s.Hists[i].Name == name {
+			return &s.Hists[i]
+		}
+	}
+	return nil
 }
 
 // Counter returns the value of the named counter, or 0 if absent.
@@ -283,6 +371,8 @@ func (s *Snapshot) Total() time.Duration {
 }
 
 // String renders the snapshot as the aligned text block printed by -stats.
+// Zero-valued counters and empty histograms are omitted unless Verbose is
+// set, so an error-free run does not list every never-hit fault counter.
 func (s *Snapshot) String() string {
 	if s == nil {
 		return ""
@@ -299,7 +389,23 @@ func (s *Snapshot) String() string {
 	fmt.Fprintf(&b, "  %-12s %12s\n", "total", s.Total().Round(time.Microsecond))
 	b.WriteString("pipeline counters:\n")
 	for _, c := range s.Counters {
+		if c.Value == 0 && !s.Verbose {
+			continue
+		}
 		fmt.Fprintf(&b, "  %-18s %10d\n", c.Name, c.Value)
+	}
+	hdr := false
+	for _, h := range s.Hists {
+		if h.Count == 0 && !s.Verbose {
+			continue
+		}
+		if !hdr {
+			b.WriteString("pipeline latencies (p50/p95/p99/max):\n")
+			hdr = true
+		}
+		fmt.Fprintf(&b, "  %-20s %10s %10s %10s %10s  (n=%d)\n", h.Name,
+			h.P50.Round(time.Microsecond), h.P95.Round(time.Microsecond),
+			h.P99.Round(time.Microsecond), h.Max.Round(time.Microsecond), h.Count)
 	}
 	return b.String()
 }

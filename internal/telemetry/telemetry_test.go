@@ -110,11 +110,21 @@ func TestSnapshotString(t *testing.T) {
 	p := New()
 	p.Add(CrowdQuestions, 12)
 	p.EndStage(StageAnnotate, p.StartStage(StageAnnotate))
-	out := p.Snapshot().String()
-	for _, want := range []string{"annotate", "total", "crowd-questions", "12", "graphs-enumerated"} {
+	snap := p.Snapshot()
+	out := snap.String()
+	for _, want := range []string{"annotate", "total", "crowd-questions", "12"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("snapshot rendering missing %q:\n%s", want, out)
 		}
+	}
+	// Zero-valued counters are noise on healthy runs: hidden by default,
+	// restored by the Verbose toggle.
+	if strings.Contains(out, "graphs-enumerated") {
+		t.Fatalf("snapshot rendering should omit zero counters by default:\n%s", out)
+	}
+	snap.Verbose = true
+	if out := snap.String(); !strings.Contains(out, "graphs-enumerated") {
+		t.Fatalf("verbose snapshot rendering missing zero counter:\n%s", out)
 	}
 	if (*Snapshot)(nil).String() != "" {
 		t.Fatal("nil snapshot should render empty")

@@ -73,6 +73,12 @@ type (
 	FactOracle = annotation.FactOracle
 	// Tracer observes pipeline stage boundaries live (Options.Tracer).
 	Tracer = telemetry.Tracer
+	// TelemetryPipeline is the full instrumentation pipeline: counters,
+	// stage timers, latency histograms, spans. Construct with NewTelemetry
+	// and pass via Options.Pipeline when the caller needs to observe the run
+	// live (attach a span journal, serve /metrics) rather than only read the
+	// final Report.Timings snapshot.
+	TelemetryPipeline = telemetry.Pipeline
 	// Timings is the per-run instrumentation snapshot (Report.Timings):
 	// stage wall-clocks plus the crowd-question / KB-lookup /
 	// graphs-enumerated counters.
@@ -127,6 +133,10 @@ const (
 	Erroneous        = annotation.Erroneous
 	Unknown          = annotation.Unknown
 )
+
+// NewTelemetry returns an empty instrumentation pipeline for
+// Options.Pipeline.
+func NewTelemetry() *TelemetryPipeline { return telemetry.New() }
 
 // NewKB returns an empty knowledge base.
 func NewKB() *KB { return rdf.New() }
@@ -193,6 +203,12 @@ type Options struct {
 	// Tracer streams stage boundaries as they happen; setting it implies
 	// Telemetry.
 	Tracer Tracer
+	// Pipeline, when non-nil, is the caller-owned instrumentation pipeline
+	// the run records into, taking precedence over Tracer and Telemetry.
+	// Supplying it lets the caller attach a span journal or serve live
+	// /metrics while the run is in flight; Report.Timings still carries the
+	// end-of-run snapshot.
+	Pipeline *TelemetryPipeline
 
 	// Transport routes every crowd assignment; nil is the direct,
 	// always-reliable in-process transport. Plug in NewFaultInjector to
@@ -516,13 +532,18 @@ func (c *Cleaner) CleanContext(ctx context.Context, t *Table) (*Report, error) {
 		return nil, fmt.Errorf("katara: empty table")
 	}
 	var tel *telemetry.Pipeline
-	if c.opts.Tracer != nil {
+	switch {
+	case c.opts.Pipeline != nil:
+		tel = c.opts.Pipeline
+	case c.opts.Tracer != nil:
 		tel = telemetry.NewTraced(c.opts.Tracer)
-	} else if c.opts.Telemetry {
+	case c.opts.Telemetry:
 		tel = telemetry.New()
 	}
 	c.crowd.SetTelemetry(tel)
 	defer c.crowd.SetTelemetry(nil)
+	c.resolver.SetTelemetry(tel)
+	defer c.resolver.SetTelemetry(nil)
 	if c.opts.Deadline > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, c.opts.Deadline)
@@ -537,11 +558,18 @@ func (c *Cleaner) CleanContext(ctx context.Context, t *Table) (*Report, error) {
 	// run's snapshot reports only this run's hits and misses.
 	hits0, misses0 := c.resolver.Stats()
 
+	// Root span of the run: the stage spans (and through them every leaf
+	// span) nest under it, so the journal reconstructs into one rooted tree.
+	root := tel.PushSpan("clean")
+	root.SetStr("table", t.Name)
+	root.SetInt("rows", int64(t.NumRows()))
+
 	start := tel.StartStage(telemetry.StageDiscover)
 	cands := c.generate(t, tel)
 	candidates := discovery.TopK(cands, c.opts.TopK)
 	tel.EndStage(telemetry.StageDiscover, start)
 	if len(candidates) == 0 {
+		root.End()
 		return nil, ErrNoPattern
 	}
 	c.crowd.ResetStats()
@@ -578,6 +606,8 @@ func (c *Cleaner) CleanContext(ctx context.Context, t *Table) (*Report, error) {
 	hits1, misses1 := c.resolver.Stats()
 	tel.Add(telemetry.ResolverHits, hits1-hits0)
 	tel.Add(telemetry.ResolverMisses, misses1-misses0)
+	root.SetInt("questions", int64(rep.QuestionsAsked))
+	root.End()
 	rep.Timings = tel.Snapshot()
 	return rep, nil
 }

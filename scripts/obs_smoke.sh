@@ -1,0 +1,80 @@
+#!/usr/bin/env sh
+# Observability smoke test: boot a real cleaning run with the serving layer
+# enabled, then verify the endpoints a deployment would scrape.
+#
+#   1. generate a small benchmark environment (kbgen)
+#   2. run cmd/katara with -listen and -linger so the server outlives Clean
+#   3. poll /healthz until the listener is up (fail after a timeout)
+#   4. GET /metrics and pipe it through cmd/promlint's strict parser
+#   5. GET /progress and check it is JSON reporting a finished run
+#
+# Any non-200 status, unparseable exposition, or dead server fails the
+# script. CI runs this as the obs-smoke job; it needs only the go toolchain.
+
+set -eu
+
+ADDR="127.0.0.1:18321"
+WORK="$(mktemp -d)"
+trap 'kill "$KATARA_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+echo "obs-smoke: generating small environment in $WORK"
+go run ./cmd/kbgen -size small -out "$WORK"
+
+echo "obs-smoke: building binaries"
+go build -o "$WORK/katara" ./cmd/katara
+go build -o "$WORK/promlint" ./cmd/promlint
+
+echo "obs-smoke: starting katara with -listen $ADDR"
+"$WORK/katara" \
+    -kb "$WORK/yago.nt" \
+    -in "$WORK/RelationalTables/Soccer.dirty.csv" \
+    -listen "$ADDR" -linger 30s >"$WORK/run.log" 2>&1 &
+KATARA_PID=$!
+
+# Poll /healthz until the listener answers (the run itself takes under a
+# second; 15s is generous for a cold CI runner).
+i=0
+until curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 150 ]; then
+        echo "obs-smoke: FAIL: /healthz never came up" >&2
+        cat "$WORK/run.log" >&2 || true
+        exit 1
+    fi
+    if ! kill -0 "$KATARA_PID" 2>/dev/null; then
+        echo "obs-smoke: FAIL: katara exited before serving" >&2
+        cat "$WORK/run.log" >&2 || true
+        exit 1
+    fi
+    sleep 0.1
+done
+echo "obs-smoke: /healthz ok"
+
+# /metrics must return 200 with a parseable Prometheus exposition.
+curl -fsS "http://$ADDR/metrics" >"$WORK/metrics.txt"
+"$WORK/promlint" "$WORK/metrics.txt"
+grep -q '^katara_crowd_questions_total ' "$WORK/metrics.txt" || {
+    echo "obs-smoke: FAIL: /metrics missing katara_crowd_questions_total" >&2
+    exit 1
+}
+echo "obs-smoke: /metrics ok ($(wc -l <"$WORK/metrics.txt") lines)"
+
+# /progress must be JSON; once Clean returns, it reports done=true. Give the
+# run a few seconds to finish before checking.
+i=0
+until curl -fsS "http://$ADDR/progress" | grep -q '"done": true'; do
+    i=$((i + 1))
+    if [ "$i" -ge 100 ]; then
+        echo "obs-smoke: FAIL: /progress never reported done" >&2
+        curl -fsS "http://$ADDR/progress" >&2 || true
+        exit 1
+    fi
+    sleep 0.1
+done
+echo "obs-smoke: /progress ok"
+
+# pprof must answer too.
+curl -fsS "http://$ADDR/debug/pprof/cmdline" >/dev/null
+echo "obs-smoke: /debug/pprof ok"
+
+echo "obs-smoke: PASS"
