@@ -8,7 +8,12 @@ GO ?= go
 BENCH_OUT ?= BENCH_3.json
 BENCH_TIME ?= 200ms
 
-.PHONY: all build vet test race bench bench-smoke bench-save obs-smoke check
+# Fuzz budget per target for fuzz-smoke, and where the coverage profile lands.
+FUZZTIME ?= 30s
+COVER_OUT ?= coverage.out
+
+.PHONY: all build vet test race bench bench-smoke bench-save obs-smoke \
+	fuzz-smoke cover cover-check check
 
 all: check
 
@@ -36,6 +41,23 @@ bench-smoke:
 bench-save:
 	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=$(BENCH_TIME) -json ./... \
 		| $(GO) run ./cmd/benchsave -out $(BENCH_OUT)
+
+# Native-fuzz burst on every checked-in target: each must survive FUZZTIME
+# (seed corpora under <pkg>/testdata/fuzz/) without a crasher.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzMatchLabel$$' -fuzztime $(FUZZTIME) ./internal/rdf
+	$(GO) test -run '^$$' -fuzz '^FuzzSimilarityLookup$$' -fuzztime $(FUZZTIME) ./internal/similarity
+	$(GO) test -run '^$$' -fuzz '^FuzzLintExposition$$' -fuzztime $(FUZZTIME) ./internal/telemetry
+	$(GO) test -run '^$$' -fuzz '^FuzzTableLoad$$' -fuzztime $(FUZZTIME) ./internal/table
+
+# Per-package coverage summary plus the repo-wide total.
+cover:
+	$(GO) test -covermode=atomic -coverprofile=$(COVER_OUT) ./...
+	$(GO) tool cover -func=$(COVER_OUT) | tail -n 1
+
+# Fail when total coverage drops below scripts/cover_floor.txt.
+cover-check: cover
+	./scripts/cover_check.sh $(COVER_OUT) scripts/cover_floor.txt
 
 # End-to-end observability check: run katara with -listen up, then verify
 # /healthz, /metrics (through the strict promlint parser), /progress and

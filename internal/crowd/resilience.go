@@ -296,8 +296,10 @@ func (c *Crowd) AskContext(ctx context.Context, q Question) (int, error) {
 			break
 		}
 	}
-	// Adaptive redundancy: top up while the margin is unconvincing.
-	for stop == nil && slots < maxSlots && voteMargin(votes) < c.escalate.MinMargin {
+	// Adaptive redundancy: top up while the margin is unconvincing. An
+	// empty pool has nobody to escalate to (and collect's worker pick
+	// would divide by zero): fall through to the degenerate-pool return.
+	for stop == nil && len(c.workers) > 0 && slots < maxSlots && voteMargin(votes) < c.escalate.MinMargin {
 		c.stats.Escalations++
 		c.tel.Inc(telemetry.CrowdEscalations)
 		qEscalations++

@@ -1,0 +1,101 @@
+package propcheck
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"katara"
+	"katara/internal/annotation"
+	"katara/internal/repair"
+)
+
+// Canonical renders the semantic content of a Report as a stable byte
+// string: the validated pattern, every tuple annotation (label, degraded
+// flag, KB-coverage maps, per-tuple facts), the deduplicated new facts, the
+// repair lists and the degradation report. Crowd accounting (assignments,
+// retries, escalations) and Timings are deliberately excluded — they
+// legitimately vary across the fault/telemetry axes while the cleaning
+// outcome must not.
+//
+// Resource IDs appear numerically: every run clones the same pristine
+// store, and Clone preserves IDs, so IDs are comparable across runs of one
+// scenario.
+func Canonical(rep *katara.Report) []byte {
+	var b bytes.Buffer
+	if rep == nil {
+		return b.Bytes()
+	}
+	if rep.Pattern != nil {
+		fmt.Fprintf(&b, "pattern %s score %.9f\n", rep.Pattern.Key(), rep.Pattern.Score)
+	}
+	fmt.Fprintf(&b, "questions %d\n", rep.QuestionsAsked)
+	fmt.Fprintf(&b, "degraded fallback=%v tuples=%d repairs_skipped=%v\n",
+		rep.Degraded.PatternFallback, rep.Degraded.Tuples, rep.Degraded.RepairsSkipped)
+
+	for _, t := range rep.Annotations {
+		fmt.Fprintf(&b, "row %d label %v degraded %v", t.Row, t.Label, t.Degraded)
+		cols := make([]int, 0, len(t.NodeByKB))
+		for c := range t.NodeByKB {
+			cols = append(cols, c)
+		}
+		sort.Ints(cols)
+		for _, c := range cols {
+			fmt.Fprintf(&b, " n%d=%v", c, t.NodeByKB[c])
+		}
+		fmt.Fprintf(&b, " e%v p%v\n", t.EdgeByKB, t.PathByKB)
+		for _, f := range t.NewFacts {
+			writeFact(&b, "  fact ", f)
+		}
+	}
+
+	for _, f := range rep.NewFacts {
+		writeFact(&b, "newfact ", f)
+	}
+
+	rows := make([]int, 0, len(rep.Repairs))
+	for r := range rep.Repairs {
+		rows = append(rows, r)
+	}
+	sort.Ints(rows)
+	for _, r := range rows {
+		for i, rp := range rep.Repairs[r] {
+			writeRepair(&b, r, i, rp)
+		}
+	}
+	return b.Bytes()
+}
+
+func writeFact(b *bytes.Buffer, prefix string, f annotation.Fact) {
+	fmt.Fprintf(b, "%stype=%v subj=%q t=%d p=%d path=%v obj=%q\n",
+		prefix, f.IsType, f.Subject, f.Type, f.Prop, f.Path, f.Object)
+}
+
+func writeRepair(b *bytes.Buffer, row, rank int, rp repair.Repair) {
+	graph := -1
+	if rp.Graph != nil {
+		graph = rp.Graph.ID
+	}
+	fmt.Fprintf(b, "repair row=%d rank=%d graph=%d cost=%.9f", row, rank, graph, rp.Cost)
+	for _, ch := range rp.Changes {
+		fmt.Fprintf(b, " [%d %q->%q]", ch.Col, ch.From, ch.To)
+	}
+	fmt.Fprintln(b)
+}
+
+// canonicalDiff renders the first line where two canonical encodings
+// disagree, for failure messages.
+func canonicalDiff(want, got []byte) string {
+	wl := bytes.Split(want, []byte("\n"))
+	gl := bytes.Split(got, []byte("\n"))
+	n := len(wl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(wl[i], gl[i]) {
+			return fmt.Sprintf("line %d:\n  baseline: %s\n  this run: %s", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: baseline %d lines, this run %d lines", len(wl), len(gl))
+}

@@ -1,0 +1,82 @@
+package rdf
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// fuzzLabelStore is a fixed store whose labels cover the shapes fuzzy
+// resolution must survive: unicode, punctuation, shared prefixes, duplicate
+// labels on distinct resources, and an empty label.
+func fuzzLabelStore() *Store {
+	st := New()
+	labels := map[string][]string{
+		"ex:rome":         {"Rome", "Roma"},
+		"ex:romania":      {"Romania"},
+		"ex:madrid":       {"Madrid"},
+		"ex:pretoria":     {"Pretoria"},
+		"ex:capetown":     {"Cape Town"},
+		"ex:south_africa": {"S. Africa", "South Africa"},
+		"ex:uk":           {"UK", "United Kingdom"},
+		"ex:ivorycoast":   {"Côte d'Ivoire"},
+		"ex:joburg":       {"Johannesburg"},
+		"ex:joburg2":      {"Johannesburg"},
+		"ex:blank":        {""},
+	}
+	for iri, ls := range labels {
+		id := st.Res(iri)
+		for _, l := range ls {
+			st.Add(id, st.LabelID, st.Literal(l))
+		}
+	}
+	return st
+}
+
+// FuzzMatchLabel drives Store.MatchLabel with arbitrary cell values and
+// thresholds: it must never panic, scores must land in [threshold, 1],
+// results must be sorted best-first with deterministic tie-breaking and no
+// duplicate resources, and the same call twice must return identical hits.
+func FuzzMatchLabel(f *testing.F) {
+	st := fuzzLabelStore()
+	f.Add("Rome", 0.7)
+	f.Add("S. Africa", 0.7)
+	f.Add("Pretorria", 0.5)
+	f.Add("", 0.7)
+	f.Add("CÔTE D'IVOIRE", 0.3)
+	f.Add("johannesburgh", 0.7)
+	f.Fuzz(func(t *testing.T, value string, threshold float64) {
+		if len(value) > 256 {
+			t.Skip("similarity cost grows with length; bound the input")
+		}
+		// Wild thresholds (NaN, ±Inf, out of range) must not panic; the
+		// range invariants below only make sense for a sane threshold.
+		_ = st.MatchLabel(value, threshold)
+		if math.IsNaN(threshold) || threshold <= 0 || threshold > 1 {
+			threshold = 0.7
+		}
+		got := st.MatchLabel(value, threshold)
+		seen := map[ID]bool{}
+		for i, m := range got {
+			if m.Score < threshold || m.Score > 1 {
+				t.Fatalf("hit %d: score %v outside [%v, 1]", i, m.Score, threshold)
+			}
+			if seen[m.Resource] {
+				t.Fatalf("hit %d: duplicate resource %d", i, m.Resource)
+			}
+			seen[m.Resource] = true
+			if i > 0 {
+				prev := got[i-1]
+				if m.Score > prev.Score {
+					t.Fatalf("hit %d: score %v after %v — not best-first", i, m.Score, prev.Score)
+				}
+				if m.Score == prev.Score && m.Resource <= prev.Resource {
+					t.Fatalf("hit %d: tie at %v not broken by ascending resource", i, m.Score)
+				}
+			}
+		}
+		if again := st.MatchLabel(value, threshold); !reflect.DeepEqual(got, again) {
+			t.Fatalf("MatchLabel(%q, %v) is not deterministic:\n%v\nvs\n%v", value, threshold, got, again)
+		}
+	})
+}

@@ -1,0 +1,46 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLintExposition throws arbitrary bytes at the strict exposition parser:
+// it must never panic, must be deterministic (same input, same verdict and
+// message), and its verdict must be stable under appending a bare comment
+// line (comments carry no samples, so they can neither fix nor break a
+// page). Seeds include real WriteProm output so the corpus starts on the
+// accepting path, plus the malformed shapes the linter exists to reject.
+func FuzzLintExposition(f *testing.F) {
+	var buf bytes.Buffer
+	if err := New().Snapshot().WriteProm(&buf); err != nil {
+		f.Fatalf("seeding from WriteProm: %v", err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("# HELP katara_x_total Pipeline counter x.\n# TYPE katara_x_total counter\nkatara_x_total 3\n"))
+	f.Add([]byte("katara_op_duration_seconds_bucket{op=\"x\",le=\"0.001\"} 1\n"))
+	f.Add([]byte("# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 3\nh_sum 1.5\nh_count 3\n"))
+	f.Add([]byte("# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"0.5\"} 3\n"))
+	f.Add([]byte("metric{label=\"unterminated} 1\n"))
+	f.Add([]byte("1bad_name 2\n"))
+	f.Add([]byte("metric notafloat\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			t.Skip("bound parser input")
+		}
+		err1 := LintExposition(bytes.NewReader(data))
+		err2 := LintExposition(bytes.NewReader(data))
+		switch {
+		case (err1 == nil) != (err2 == nil):
+			t.Fatalf("lint verdict not deterministic: %v vs %v", err1, err2)
+		case err1 != nil && err1.Error() != err2.Error():
+			t.Fatalf("lint message not deterministic: %q vs %q", err1, err2)
+		}
+		appended := append(append([]byte{}, data...), []byte("\n# trailing comment\n")...)
+		err3 := LintExposition(bytes.NewReader(appended))
+		if (err1 == nil) != (err3 == nil) {
+			t.Fatalf("appending a comment flipped the verdict: %v vs %v", err1, err3)
+		}
+	})
+}

@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// InjectLabelCollisions plants n decoy resources in the KB whose labels are
+// near-duplicates of real table values — the adversarial value distribution
+// that table-to-KB matchers (MTab, pattern-driven cleaners) are known to
+// fail on. Each decoy takes a mutated label (character swap, dropped rune or
+// doubled rune) of a sampled value and one of the KB's declared classes, so
+// fuzzy label resolution now sees plausible homonyms competing with the true
+// resource. Ground truth is untouched: the decoys exist only in the KB, the
+// world still answers crowd questions, which is exactly what makes the
+// collisions adversarial for discovery and annotation.
+//
+// The mutation stream is drawn entirely from rng and classes are visited in
+// sorted semantic order, so the same (kb, rng state, values) triple always
+// yields the same decoys. It returns the number of decoys actually added
+// (values too short to mutate are skipped).
+func InjectLabelCollisions(kb *KB, rng *rand.Rand, values []string, n int) int {
+	if n <= 0 || len(values) == 0 {
+		return 0
+	}
+	semantics := make([]string, 0, len(kb.TypeID))
+	for sem := range kb.TypeID {
+		semantics = append(semantics, sem)
+	}
+	sort.Strings(semantics)
+	if len(semantics) == 0 {
+		return 0
+	}
+	st := kb.Store
+	added := 0
+	for i := 0; i < n; i++ {
+		v := values[rng.Intn(len(values))]
+		label := mutateLabel(v, rng)
+		if label == "" || label == v {
+			continue
+		}
+		typ := kb.TypeID[semantics[rng.Intn(len(semantics))]]
+		id := st.Res(fmt.Sprintf("adv:collision_%d", i))
+		st.Add(id, st.LabelID, st.Literal(label))
+		st.Add(id, st.TypeID, typ)
+		added++
+	}
+	return added
+}
+
+// mutateLabel applies one random single-character edit, mirroring
+// table.typo but driven by the caller's rng so workload stays the only
+// owner of the adversary's determinism.
+func mutateLabel(s string, rng *rand.Rand) string {
+	r := []rune(s)
+	if len(r) < 2 {
+		return ""
+	}
+	i := rng.Intn(len(r))
+	switch rng.Intn(3) {
+	case 0: // swap with neighbour
+		j := i + 1
+		if j >= len(r) {
+			j = i - 1
+		}
+		r[i], r[j] = r[j], r[i]
+	case 1: // deletion
+		r = append(r[:i], r[i+1:]...)
+	default: // duplication
+		r = append(r[:i+1], r[i:]...)
+	}
+	return string(r)
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Compare total test coverage against the recorded floor. Usage:
+#
+#   scripts/cover_check.sh [coverage.out] [scripts/cover_floor.txt]
+#
+# The floor file holds a single number (percent). Raise it when coverage
+# durably improves; the gate only stops regressions.
+set -euo pipefail
+
+profile=${1:-coverage.out}
+floor_file=${2:-scripts/cover_floor.txt}
+
+floor=$(tr -d '[:space:]' < "$floor_file")
+total=$(go tool cover -func="$profile" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
+
+if [ -z "$total" ]; then
+    echo "cover_check: no total line in $profile" >&2
+    exit 2
+fi
+
+echo "total coverage ${total}% (floor ${floor}%)"
+if awk -v t="$total" -v f="$floor" 'BEGIN { exit !(t + 0 < f + 0) }'; then
+    echo "cover_check: total coverage ${total}% is below the ${floor}% floor" >&2
+    exit 1
+fi
