@@ -13,7 +13,7 @@ FUZZTIME ?= 30s
 COVER_OUT ?= coverage.out
 
 .PHONY: all build vet test race bench bench-smoke bench-save obs-smoke \
-	fuzz-smoke cover cover-check check
+	daemon-smoke fuzz-smoke cover cover-check check
 
 all: check
 
@@ -64,5 +64,11 @@ cover-check: cover
 # pprof against the live server.
 obs-smoke:
 	./scripts/obs_smoke.sh
+
+# End-to-end job-server check: boot katarad, run a kload burst (every job
+# must complete with byte-identical reports and lint-clean, monotone
+# /metrics scrapes), then verify SIGTERM tears it down cleanly.
+daemon-smoke:
+	./scripts/daemon_smoke.sh
 
 check: build vet test race

@@ -7,7 +7,7 @@
 //
 //	katara -kb yago.nt -in dirty.csv [-out cleaned.csv] [-k 3]
 //	       [-assume trust|skeptic] [-facts new-facts.nt] [-v]
-//	       [-workers N] [-stats]
+//	       [-workers N] [-shards N] [-stats]
 //	       [-fault-rate 0.3] [-budget 100] [-deadline 30s] [-degrade trust|unknown]
 //
 // Without a crowd to consult, the -assume policy decides how to treat data
@@ -27,6 +27,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -34,6 +35,7 @@ import (
 	"time"
 
 	"katara"
+	"katara/internal/jobs"
 	"katara/internal/rdf"
 	"katara/internal/telemetry"
 )
@@ -77,160 +79,234 @@ func (f interactiveFacts) PathHolds(subj string, props []rdf.ID, obj string) boo
 		subj, obj, strings.Join(labels, " then ")))
 }
 
+// main only converts run's code into the process exit status. Everything
+// with cleanup obligations lives in run, where deferred flushes execute on
+// every path — os.Exit here used to skip them, truncating -trace journals
+// and dropping -memprofile output on error exits.
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run parses flags, validates parameters, and executes the clean. Usage
+// errors return 2, runtime errors 1.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("katara", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		kbPath   = flag.String("kb", "", "knowledge base in N-Triples format (required)")
-		inPath   = flag.String("in", "", "input table as CSV with a header row (required)")
-		outPath  = flag.String("out", "", "write the repaired table to this CSV (top-1 repair applied)")
-		factPath = flag.String("facts", "", "write newly inferred facts to this N-Triples file")
-		k        = flag.Int("k", 3, "number of possible repairs per erroneous tuple")
-		assume   = flag.String("assume", "trust", "policy for KB-uncovered data: trust|skeptic|ask (ask = answer crowd questions at the terminal)")
-		paths    = flag.Bool("paths", false, "discover two-hop path relationships for unrelated column pairs")
-		dotPath  = flag.String("dot", "", "write the validated pattern as a Graphviz digraph to this file")
-		verbose  = flag.Bool("v", false, "print per-tuple annotations")
-		stats    = flag.Bool("stats", false, "print pipeline stage timings, counters and latency percentiles")
-		statsAll = flag.Bool("stats-verbose", false, "include zero-valued counters and empty histograms in -stats output")
-		workers  = flag.Int("workers", 0, "worker pool size for the parallel stages (0 or 1 = serial, -1 = GOMAXPROCS)")
+		kbPath   = fs.String("kb", "", "knowledge base in N-Triples format (required)")
+		inPath   = fs.String("in", "", "input table as CSV with a header row (required)")
+		outPath  = fs.String("out", "", "write the repaired table to this CSV (top-1 repair applied)")
+		factPath = fs.String("facts", "", "write newly inferred facts to this N-Triples file")
+		k        = fs.Int("k", 3, "number of possible repairs per erroneous tuple")
+		assume   = fs.String("assume", "trust", "policy for KB-uncovered data: trust|skeptic|ask (ask = answer crowd questions at the terminal)")
+		paths    = fs.Bool("paths", false, "discover two-hop path relationships for unrelated column pairs")
+		dotPath  = fs.String("dot", "", "write the validated pattern as a Graphviz digraph to this file")
+		verbose  = fs.Bool("v", false, "print per-tuple annotations")
+		stats    = fs.Bool("stats", false, "print pipeline stage timings, counters and latency percentiles")
+		statsAll = fs.Bool("stats-verbose", false, "include zero-valued counters and empty histograms in -stats output")
+		workers  = fs.Int("workers", 0, "worker pool size for the parallel stages (0 or 1 = serial, -1 = GOMAXPROCS)")
+		shards   = fs.Int("shards", 0, "row-range shards for annotation coverage and repair retrieval (0 or 1 = unsharded, -1 = GOMAXPROCS)")
 
-		statsJSON = flag.String("stats-json", "", "write the full telemetry snapshot as JSON to this file (- = stdout)")
-		tracePath = flag.String("trace", "", "write a JSONL span journal of the run to this file")
-		listen    = flag.String("listen", "", "serve /metrics, /healthz, /progress and /debug/pprof on this address (e.g. :8080) for the duration of the run")
-		linger    = flag.Duration("linger", 0, "keep the -listen server up this long after the run completes (for late scrapes)")
+		statsJSON = fs.String("stats-json", "", "write the full telemetry snapshot as JSON to this file (- = stdout)")
+		tracePath = fs.String("trace", "", "write a JSONL span journal of the run to this file")
+		listen    = fs.String("listen", "", "serve /metrics, /healthz, /progress and /debug/pprof on this address (e.g. :8080) for the duration of the run")
+		linger    = fs.Duration("linger", 0, "keep the -listen server up this long after the run completes (for late scrapes)")
 
-		faultRate = flag.Float64("fault-rate", 0, "per-assignment crowd fault probability in [0,1), split across abandonment/transient/spam")
-		budget    = flag.Int("budget", 0, "cap on crowd questions per run (0 = unlimited)")
-		deadline  = flag.Duration("deadline", 0, "wall-clock bound for the run, e.g. 30s (0 = none)")
-		degrade   = flag.String("degrade", "trust", "policy for tuples unanswered after budget/deadline exhaustion: trust|unknown")
+		faultRate = fs.Float64("fault-rate", 0, "per-assignment crowd fault probability in [0,1), split across abandonment/transient/spam")
+		budget    = fs.Int("budget", 0, "cap on crowd questions per run (0 = unlimited)")
+		deadline  = fs.Duration("deadline", 0, "wall-clock bound for the run, e.g. 30s (0 = none)")
+		degrade   = fs.String("degrade", "trust", "policy for tuples unanswered after budget/deadline exhaustion: trust|unknown")
 
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	if *kbPath == "" || *inPath == "" {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
+	}
+	// One validator for every numeric knob, shared with katarad's submit
+	// handler and the kexp driver, so all front doors reject the same
+	// inputs with the same message.
+	params := jobs.Params{
+		Workers:    *workers,
+		Shards:     *shards,
+		RepairK:    *k,
+		Budget:     *budget,
+		DeadlineMS: deadline.Milliseconds(),
+		FaultRate:  *faultRate,
+		Degrade:    *degrade,
+	}
+	if *deadline > 0 && *deadline < time.Millisecond {
+		// Sub-millisecond deadlines survive the ms conversion above.
+		params.DeadlineMS = 1
+	}
+	if err := params.Validate(); err != nil {
+		fmt.Fprintln(stderr, "katara:", err)
+		return 2
+	}
+	switch *assume {
+	case "trust", "skeptic", "ask":
+	default:
+		fmt.Fprintf(stderr, "katara: unknown -assume %q\n", *assume)
+		return 2
 	}
 
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
-			fatal(err)
+	err := clean(cleanConfig{
+		kbPath: *kbPath, inPath: *inPath, outPath: *outPath, factPath: *factPath,
+		dotPath: *dotPath, assume: *assume, paths: *paths, verbose: *verbose,
+		stats: *stats, statsAll: *statsAll, statsJSON: *statsJSON,
+		tracePath: *tracePath, listen: *listen, linger: *linger,
+		cpuProfile: *cpuProfile, memProfile: *memProfile,
+		deadline: *deadline, params: params,
+	}, stdin, stdout, stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "katara:", err)
+		return 1
+	}
+	return 0
+}
+
+// cleanConfig carries the parsed flags into clean.
+type cleanConfig struct {
+	kbPath, inPath, outPath, factPath, dotPath string
+	assume                                     string
+	paths, verbose, stats, statsAll            bool
+	statsJSON, tracePath, listen               string
+	linger                                     time.Duration
+	cpuProfile, memProfile                     string
+	deadline                                   time.Duration
+	params                                     jobs.Params
+}
+
+// clean runs the pipeline. Every cleanup — profile stop, journal flush,
+// server close — is deferred, so it runs on error returns too.
+func clean(cfg cleanConfig, stdin io.Reader, stdout, stderr io.Writer) (err error) {
+	if cfg.cpuProfile != "" {
+		f, cerr := os.Create(cfg.cpuProfile)
+		if cerr != nil {
+			return cerr
 		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
+		if cerr := pprof.StartCPUProfile(f); cerr != nil {
+			f.Close()
+			return cerr
 		}
 		defer func() {
 			pprof.StopCPUProfile()
 			f.Close()
 		}()
 	}
-	if *memProfile != "" {
+	if cfg.memProfile != "" {
 		defer func() {
-			f, err := os.Create(*memProfile)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "katara: -memprofile:", err)
+			f, merr := os.Create(cfg.memProfile)
+			if merr != nil {
+				fmt.Fprintln(stderr, "katara: -memprofile:", merr)
 				return
 			}
 			defer f.Close()
 			runtime.GC() // materialise live-heap stats before the snapshot
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "katara: -memprofile:", err)
+			if merr := pprof.WriteHeapProfile(f); merr != nil {
+				fmt.Fprintln(stderr, "katara: -memprofile:", merr)
 			}
 		}()
 	}
 
 	kb := katara.NewKB()
-	if err := loadKB(kb, *kbPath); err != nil {
-		fatal(err)
+	if err := loadKB(kb, cfg.kbPath, stdout); err != nil {
+		return err
 	}
-	in, err := os.Open(*inPath)
+	in, err := os.Open(cfg.inPath)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	tbl, err := readTable(in, *inPath)
+	tbl, err := readTable(in, cfg.inPath)
 	in.Close()
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
-	opts := katara.Options{
-		RepairK: *k, DiscoverPaths: *paths, Workers: *workers, Telemetry: *stats,
-		Budget: *budget, Deadline: *deadline,
-	}
+	opts := cfg.params.Options()
+	opts.DiscoverPaths = cfg.paths
+	opts.Telemetry = cfg.stats
+	opts.Deadline = cfg.deadline
 
 	// Any observability consumer — text stats, JSON stats, span journal, or
 	// the HTTP endpoints — needs the caller-owned pipeline so it can watch
 	// (or drain) the run rather than only the final report.
 	var pipe *katara.TelemetryPipeline
-	if *stats || *statsJSON != "" || *tracePath != "" || *listen != "" {
+	if cfg.stats || cfg.statsJSON != "" || cfg.tracePath != "" || cfg.listen != "" {
 		pipe = katara.NewTelemetry()
 		opts.Pipeline = pipe
 	}
-	var journalW *bufio.Writer
-	var journalF *os.File
-	if *tracePath != "" {
-		f, err := os.Create(*tracePath)
-		if err != nil {
-			fatal(err)
+	if cfg.tracePath != "" {
+		f, terr := os.Create(cfg.tracePath)
+		if terr != nil {
+			return terr
 		}
-		journalF, journalW = f, bufio.NewWriter(f)
+		journalW := bufio.NewWriter(f)
 		pipe.SetJournal(telemetry.NewJournal(journalW))
+		// The flush+close runs on EVERY exit path. A fatal-exit here used
+		// to leave the journal truncated mid-span whenever anything after
+		// this point failed.
+		defer func() {
+			if ferr := journalW.Flush(); ferr != nil && err == nil {
+				err = fmt.Errorf("-trace: %w", ferr)
+			}
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("-trace: %w", cerr)
+			}
+			if jerr := pipe.Journal().Err(); jerr != nil && err == nil {
+				err = fmt.Errorf("-trace: %w", jerr)
+			}
+		}()
 	}
 	var srv *telemetry.Server
-	if *listen != "" {
+	if cfg.listen != "" {
 		srv = telemetry.NewServer(pipe)
 		srv.SetTotalTuples(tbl.NumRows())
-		srv.SetQuestionBudget(*budget)
-		addr, err := srv.Start(*listen)
-		if err != nil {
-			fatal(err)
+		srv.SetQuestionBudget(cfg.params.Budget)
+		addr, serr := srv.Start(cfg.listen)
+		if serr != nil {
+			return serr
 		}
-		fmt.Printf("observability endpoints on http://%s (/metrics /healthz /progress /debug/pprof/)\n", addr)
+		fmt.Fprintf(stdout, "observability endpoints on http://%s (/metrics /healthz /progress /debug/pprof/)\n", addr)
 		defer srv.Close()
 	}
-	if *faultRate > 0 {
+	if cfg.params.FaultRate > 0 {
 		// Split the requested fault mass: half abandonment, a quarter each
 		// transient and spam — a plausibly shaped unreliable crowd.
 		opts.Transport = katara.NewFaultInjector(katara.FaultConfig{
 			Seed:          1,
-			AbandonRate:   *faultRate * 0.5,
-			TransientRate: *faultRate * 0.25,
-			SpamRate:      *faultRate * 0.25,
+			AbandonRate:   cfg.params.FaultRate * 0.5,
+			TransientRate: cfg.params.FaultRate * 0.25,
+			SpamRate:      cfg.params.FaultRate * 0.25,
 		})
 	}
-	switch *degrade {
-	case "trust":
-		opts.Degrade = katara.DegradeTrustKB
-	case "unknown":
-		opts.Degrade = katara.DegradeMarkUnknown
-	default:
-		fatal(fmt.Errorf("unknown -degrade %q", *degrade))
-	}
-	switch *assume {
+	switch cfg.assume {
 	case "trust":
 		// nil FactOracle = trusting policy
 	case "skeptic":
 		opts.FactOracle = skepticalFacts{}
 	case "ask":
-		opts.FactOracle = interactiveFacts{kb: kb, in: bufio.NewScanner(os.Stdin)}
-	default:
-		fatal(fmt.Errorf("unknown -assume %q", *assume))
+		opts.FactOracle = interactiveFacts{kb: kb, in: bufio.NewScanner(stdin)}
 	}
 
 	cleaner := katara.NewCleaner(kb, katara.TrustingCrowd(), opts)
 	report, err := cleaner.Clean(tbl)
 	srv.MarkDone()
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
-	fmt.Printf("table %s: %d rows x %d columns\n", tbl.Name, tbl.NumRows(), tbl.NumCols())
-	fmt.Printf("pattern: %s\n", report.Pattern.Render(kb, tbl.Columns))
-	if *dotPath != "" {
-		if err := os.WriteFile(*dotPath, []byte(report.Pattern.DOT(kb, tbl.Columns)), 0o644); err != nil {
-			fatal(err)
+	fmt.Fprintf(stdout, "table %s: %d rows x %d columns\n", tbl.Name, tbl.NumRows(), tbl.NumCols())
+	fmt.Fprintf(stdout, "pattern: %s\n", report.Pattern.Render(kb, tbl.Columns))
+	if cfg.dotPath != "" {
+		if err := os.WriteFile(cfg.dotPath, []byte(report.Pattern.DOT(kb, tbl.Columns)), 0o644); err != nil {
+			return err
 		}
-		fmt.Printf("pattern graph written to %s\n", *dotPath)
+		fmt.Fprintf(stdout, "pattern graph written to %s\n", cfg.dotPath)
 	}
 	nKB, nCrowd, nErr, nUnknown := 0, 0, 0, 0
 	for _, a := range report.Annotations {
@@ -244,85 +320,78 @@ func main() {
 		default:
 			nErr++
 		}
-		if *verbose {
+		if cfg.verbose {
 			suffix := ""
 			if a.Degraded {
 				suffix = "  (degraded)"
 			}
-			fmt.Printf("  row %-5d %s%s\n", a.Row, a.Label, suffix)
+			fmt.Fprintf(stdout, "  row %-5d %s%s\n", a.Row, a.Label, suffix)
 		}
 	}
-	fmt.Printf("annotations: %d validated by KB, %d assumed correct, %d erroneous",
+	fmt.Fprintf(stdout, "annotations: %d validated by KB, %d assumed correct, %d erroneous",
 		nKB, nCrowd, nErr)
 	if nUnknown > 0 {
-		fmt.Printf(", %d unknown", nUnknown)
+		fmt.Fprintf(stdout, ", %d unknown", nUnknown)
 	}
-	fmt.Println()
-	fmt.Printf("new facts inferred: %d\n", len(report.NewFacts))
+	fmt.Fprintln(stdout)
+	fmt.Fprintf(stdout, "new facts inferred: %d\n", len(report.NewFacts))
 	if d := report.Degraded; d.Any() {
-		fmt.Printf("degraded run: pattern-fallback=%v unanswered-tuples=%d repairs-skipped=%v\n",
+		fmt.Fprintf(stdout, "degraded run: pattern-fallback=%v unanswered-tuples=%d repairs-skipped=%v\n",
 			d.PatternFallback, d.Tuples, d.RepairsSkipped)
 	}
 
 	repaired := tbl.Clone()
 	for row, reps := range report.Repairs {
 		if len(reps) == 0 {
-			fmt.Printf("row %d: erroneous, no repair found\n", row)
+			fmt.Fprintf(stdout, "row %d: erroneous, no repair found\n", row)
 			continue
 		}
-		fmt.Printf("row %d: erroneous %v\n", row, tbl.Rows[row])
+		fmt.Fprintf(stdout, "row %d: erroneous %v\n", row, tbl.Rows[row])
 		for i, r := range reps {
-			fmt.Printf("  repair %d: %s\n", i+1, r)
+			fmt.Fprintf(stdout, "  repair %d: %s\n", i+1, r)
 		}
 		for _, ch := range reps[0].Changes {
 			repaired.Rows[row][ch.Col] = ch.To
 		}
 	}
 
-	if *outPath != "" {
-		f, err := os.Create(*outPath)
-		if err != nil {
-			fatal(err)
+	if cfg.outPath != "" {
+		f, oerr := os.Create(cfg.outPath)
+		if oerr != nil {
+			return oerr
 		}
 		if err := repaired.WriteCSV(f); err != nil {
-			fatal(err)
+			f.Close()
+			return err
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("repaired table written to %s\n", *outPath)
+		fmt.Fprintf(stdout, "repaired table written to %s\n", cfg.outPath)
 	}
-	if *factPath != "" && len(report.NewFacts) > 0 {
-		if err := writeFacts(kb, report.NewFacts, *factPath); err != nil {
-			fatal(err)
+	if cfg.factPath != "" && len(report.NewFacts) > 0 {
+		if err := writeFacts(kb, report.NewFacts, cfg.factPath); err != nil {
+			return err
 		}
-		fmt.Printf("new facts written to %s\n", *factPath)
+		fmt.Fprintf(stdout, "new facts written to %s\n", cfg.factPath)
 	}
-	if *stats {
-		report.Timings.Verbose = *statsAll
-		fmt.Print(report.Timings)
+	if cfg.stats {
+		report.Timings.Verbose = cfg.statsAll
+		fmt.Fprint(stdout, report.Timings)
 	}
-	if *statsJSON != "" {
-		if err := writeStatsJSON(report.Timings, *statsJSON); err != nil {
-			fatal(err)
+	if cfg.statsJSON != "" {
+		if err := writeStatsJSON(report.Timings, cfg.statsJSON); err != nil {
+			return err
 		}
 	}
-	if journalW != nil {
-		if err := journalW.Flush(); err != nil {
-			fatal(err)
-		}
-		if err := journalF.Close(); err != nil {
-			fatal(err)
-		}
-		if err := pipe.Journal().Err(); err != nil {
-			fatal(fmt.Errorf("-trace: %w", err))
-		}
-		fmt.Printf("span journal (%d spans) written to %s\n", pipe.Journal().Spans(), *tracePath)
+	if cfg.tracePath != "" {
+		fmt.Fprintf(stdout, "span journal (%d spans) written to %s\n", pipe.Journal().Spans(), cfg.tracePath)
 	}
-	if srv != nil && *linger > 0 {
-		fmt.Printf("run complete; serving for another %s\n", *linger)
-		time.Sleep(*linger)
+	if srv != nil && cfg.linger > 0 {
+		fmt.Fprintf(stdout, "run complete; serving for another %s\n", cfg.linger)
+		time.Sleep(cfg.linger)
 	}
+	return nil
 }
 
 // writeStatsJSON emits the full snapshot — counters, stage timings,
@@ -343,7 +412,7 @@ func writeStatsJSON(snap *katara.Timings, path string) error {
 	return os.WriteFile(path, data, 0o644)
 }
 
-func loadKB(kb *katara.KB, path string) error {
+func loadKB(kb *katara.KB, path string, stdout io.Writer) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -361,15 +430,10 @@ func loadKB(kb *katara.KB, path string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("loaded %d triples from %s\n", n, path)
+	fmt.Fprintf(stdout, "loaded %d triples from %s\n", n, path)
 	return nil
 }
 
 func readTable(f *os.File, name string) (*katara.Table, error) {
 	return readCSV(f, name)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "katara:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,137 @@
+// Command katarad serves cleaning as a service: a long-running daemon that
+// loads one knowledge base at startup and accepts concurrent cleaning jobs
+// over HTTP/JSON. Each job cleans its submitted table against a private
+// clone of the pristine KB through the sharded pipeline, with per-job
+// budgets, deadlines and live progress.
+//
+// Usage:
+//
+//	katarad -kb yago.nt [-listen :8080] [-max-concurrent 4] [-max-queue 64]
+//
+// Endpoints:
+//
+//	POST /jobs              submit {"table": {...}, "params": {...}}
+//	GET  /jobs              list jobs
+//	GET  /jobs/{id}         status + live progress
+//	GET  /jobs/{id}/result  final report (409 until the job finishes)
+//	POST /jobs/{id}/cancel  cancel a queued or running job
+//	GET  /healthz           liveness probe
+//	GET  /metrics           Prometheus exposition (all jobs merged, monotone)
+//
+// SIGINT/SIGTERM shut down gracefully: in-flight HTTP requests drain,
+// queued and running jobs are cancelled, and the process exits cleanly.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"katara"
+	"katara/internal/jobs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable main: all cleanup runs via defer, so every exit path
+// tears the daemon down completely.
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("katarad", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		kbPath        = fs.String("kb", "", "knowledge base in N-Triples (.nt), Turtle (.ttl) or snapshot (.snap) format (required)")
+		listen        = fs.String("listen", ":8080", "serve the job API on this address")
+		maxConcurrent = fs.Int("max-concurrent", 4, "jobs running at once")
+		maxQueue      = fs.Int("max-queue", 64, "jobs waiting in the queue before submissions are rejected")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *kbPath == "" {
+		fmt.Fprintln(stderr, "katarad: -kb is required")
+		fs.Usage()
+		return 2
+	}
+	if *maxConcurrent < 1 || *maxQueue < 1 {
+		fmt.Fprintln(stderr, "katarad: -max-concurrent and -max-queue must be >= 1")
+		return 2
+	}
+
+	kb := katara.NewKB()
+	n, err := loadKB(kb, *kbPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "katarad:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "katarad: loaded %d triples from %s\n", n, *kbPath)
+
+	m := jobs.NewManager(jobs.Config{
+		KB:            kb,
+		MaxConcurrent: *maxConcurrent,
+		MaxQueue:      *maxQueue,
+	})
+	defer m.Close()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(stderr, "katarad:", err)
+		return 1
+	}
+	srv := &http.Server{Handler: jobs.NewHandler(m), ReadHeaderTimeout: 5 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	fmt.Fprintf(stdout, "katarad: serving job API on http://%s (max-concurrent=%d max-queue=%d)\n",
+		ln.Addr(), *maxConcurrent, *maxQueue)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(stdout, "katarad: %s, shutting down\n", s)
+	case err := <-serveErr:
+		fmt.Fprintln(stderr, "katarad: serve:", err)
+		return 1
+	}
+
+	// Drain in-flight HTTP first (so a mid-scrape /metrics completes), then
+	// cancel the job pool via the deferred m.Close.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		_ = srv.Close()
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(stderr, "katarad: serve:", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "katarad: bye")
+	return 0
+}
+
+// loadKB reads the KB file, picking the parser from the extension (same
+// conventions as cmd/katara).
+func loadKB(kb *katara.KB, path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	switch {
+	case strings.HasSuffix(path, ".ttl") || strings.HasSuffix(path, ".turtle"):
+		return kb.ParseTurtle(f)
+	case strings.HasSuffix(path, ".snap"):
+		return kb.ReadSnapshot(f)
+	default:
+		return kb.ParseNTriples(f)
+	}
+}

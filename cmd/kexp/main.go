@@ -30,6 +30,7 @@ import (
 	"katara"
 	"katara/internal/discovery"
 	"katara/internal/experiments"
+	"katara/internal/jobs"
 	"katara/internal/kbstats"
 	"katara/internal/table"
 	"katara/internal/telemetry"
@@ -58,6 +59,19 @@ func main() {
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	// Same parameter validator as cmd/katara and katarad's submit handler:
+	// a fractional-but-negative scale or an impossible worker count is a
+	// usage error, not a silently empty experiment.
+	params := jobs.Params{Workers: *workers, Scale: *scale, FaultRate: *faultRate}
+	if err := params.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "kexp:", err)
+		os.Exit(2)
+	}
+	if *scale <= 0 {
+		fmt.Fprintf(os.Stderr, "kexp: -scale must be > 0, got %v\n", *scale)
+		os.Exit(2)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

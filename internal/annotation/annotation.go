@@ -215,7 +215,46 @@ func (a *Annotator) Annotate(tbl *table.Table) *Result {
 	if threshold == 0 {
 		threshold = similarity.DefaultThreshold
 	}
-	matches := a.precomputeMatches(tbl, threshold)
+	return a.AnnotateWith(tbl, a.precomputeMatches(tbl, threshold))
+}
+
+// EvaluateCoverage evaluates the step-1 KB coverage (§6.1) of rows
+// [lo, hi) into out, which must have length tbl.NumRows(). Coverage is a
+// pure function of the (read-only) KB, the pattern and the tuple, so
+// disjoint ranges may be evaluated concurrently — this is the per-shard
+// entry point of a row-range sharded run. tel receives the KBLookups
+// counter and may be a shard-local pipeline merged by the caller. Call
+// KB.WarmClosures() before fanning out: the lazily-memoised hierarchy
+// closures must not be forced by racing workers.
+func (a *Annotator) EvaluateCoverage(tbl *table.Table, lo, hi int, out []*pattern.Match, tel *telemetry.Pipeline) {
+	threshold := a.Threshold
+	if threshold == 0 {
+		threshold = similarity.DefaultThreshold
+	}
+	labels := a.labels()
+	if hi > tbl.NumRows() {
+		hi = tbl.NumRows()
+	}
+	for i := lo; i < hi; i++ {
+		tel.Inc(telemetry.KBLookups)
+		out[i] = pattern.EvaluateWith(a.Pattern, a.KB, labels, tbl.Rows[i], threshold)
+	}
+}
+
+// AnnotateWith labels every tuple of tbl, with the step-1 KB coverage
+// optionally precomputed in matches (nil = evaluate inline per row; the
+// coverage of row i, when present, must be matches[i]). Step 2 — crowd
+// consultation and enrichment — always runs serially in row order
+// regardless of how matches was produced, which is the shard-determinism
+// argument: a sharded run fans only the KB-pure coverage evaluation out and
+// feeds this same serial pass, so its report is byte-identical to the
+// unsharded run's. Once enrichment mutates the KB the precomputed coverage
+// is stale and later rows are re-evaluated inline.
+func (a *Annotator) AnnotateWith(tbl *table.Table, matches []*pattern.Match) *Result {
+	threshold := a.Threshold
+	if threshold == 0 {
+		threshold = similarity.DefaultThreshold
+	}
 	res := &Result{}
 	seenFacts := map[string]bool{}
 	enriched := false // KB mutated: precomputed coverage is stale

@@ -1,0 +1,451 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"katara"
+	"katara/internal/telemetry"
+)
+
+// State is a job's lifecycle state.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+var (
+	// ErrQueueFull rejects a submission when the bounded queue is at
+	// capacity — the backpressure signal, not an internal failure.
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrClosed rejects submissions after Close.
+	ErrClosed = errors.New("jobs: manager closed")
+	// ErrUnknownJob reports a job ID the manager has never issued.
+	ErrUnknownJob = errors.New("jobs: unknown job")
+)
+
+// Job is one submitted cleaning run. All mutable fields are guarded by the
+// owning Manager's mutex; callers observe jobs through Manager.Status and
+// Manager.Report.
+type Job struct {
+	id     string
+	table  *katara.Table
+	params Params
+	// pipe is the job's private telemetry pipeline: progress reads it live,
+	// /metrics merges it (exactly once after the job finishes, via the
+	// manager's aggregate).
+	pipe   *telemetry.Pipeline
+	ctx    context.Context
+	cancel context.CancelFunc
+	// done closes when the job reaches a terminal state — the poll-free
+	// wait used by tests and the load driver.
+	done chan struct{}
+
+	state           State
+	report          *katara.Report
+	err             error
+	cancelRequested bool
+	absorbed        bool
+	submitted       time.Time
+	started         time.Time
+	finished        time.Time
+}
+
+// RunFunc executes one job and returns its report. The manager cancels ctx
+// on job cancel and daemon shutdown; pipe is the job's telemetry pipeline
+// and must be handed to the run via katara.Options.Pipeline (the default
+// runner does). Tests inject their own RunFunc to script slow, failing or
+// blocking jobs.
+type RunFunc func(ctx context.Context, kb *katara.KB, tbl *katara.Table, p Params, pipe *telemetry.Pipeline) (*katara.Report, error)
+
+// Config configures a Manager.
+type Config struct {
+	// KB is the pristine knowledge base. Every job runs against its own
+	// clone: annotation enrichment mutates the store, and jobs must not
+	// observe each other's enrichment (or corrupt each other's repairs).
+	KB *katara.KB
+	// MaxConcurrent bounds jobs running at once (default 4).
+	MaxConcurrent int
+	// MaxQueue bounds jobs waiting to run (default 64); submissions beyond
+	// it fail fast with ErrQueueFull.
+	MaxQueue int
+	// Run overrides the job runner (tests); nil uses the real pipeline.
+	Run RunFunc
+}
+
+// Manager owns the job table, the bounded queue and the worker pool, and
+// keeps the monotone metrics aggregate the /metrics endpoint serves.
+type Manager struct {
+	cfg   Config
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // submission order, for stable listings
+	nextID int
+	closed bool
+	// aggregate absorbs each finished job's pipeline exactly once, so a
+	// /metrics scrape = aggregate + still-live pipelines is monotone: a
+	// job's counters move from the live term to the absorbed term without
+	// ever being counted twice or dropped.
+	aggregate *telemetry.Pipeline
+
+	submitted, completed, failed, cancelled, rejected int64
+	running                                           int64
+}
+
+// NewManager starts the worker pool and returns the manager.
+func NewManager(cfg Config) *Manager {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 4
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 64
+	}
+	if cfg.Run == nil {
+		cfg.Run = runClean
+	}
+	m := &Manager{
+		cfg:       cfg,
+		queue:     make(chan *Job, cfg.MaxQueue),
+		jobs:      make(map[string]*Job),
+		aggregate: telemetry.New(),
+	}
+	for i := 0; i < cfg.MaxConcurrent; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// runClean is the real runner: clone the pristine KB (per-job enrichment
+// isolation), build a cleaner and run the sharded pipeline.
+func runClean(ctx context.Context, kb *katara.KB, tbl *katara.Table, p Params, pipe *telemetry.Pipeline) (*katara.Report, error) {
+	opts := p.Options()
+	opts.Pipeline = pipe
+	if p.FaultRate > 0 {
+		opts.Transport = katara.NewFaultInjector(katara.FaultConfig{
+			Seed:          1,
+			AbandonRate:   p.FaultRate * 0.5,
+			TransientRate: p.FaultRate * 0.25,
+			SpamRate:      p.FaultRate * 0.25,
+		})
+	}
+	cleaner := katara.NewCleaner(kb.Clone(), katara.TrustingCrowd(), opts)
+	return cleaner.CleanContext(ctx, tbl)
+}
+
+// Submit validates, registers and enqueues a job. It fails fast with a
+// *ValidationError, ErrQueueFull or ErrClosed; it never blocks.
+func (m *Manager) Submit(tbl *katara.Table, p Params) (string, error) {
+	if err := p.Validate(); err != nil {
+		return "", err
+	}
+	if tbl == nil || tbl.NumRows() == 0 {
+		return "", &ValidationError{Problems: []string{"table must have at least one row"}}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	job := &Job{
+		table:     tbl,
+		params:    p,
+		pipe:      telemetry.New(),
+		ctx:       ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		cancel()
+		return "", ErrClosed
+	}
+	m.nextID++
+	job.id = fmt.Sprintf("j%d", m.nextID)
+	select {
+	case m.queue <- job:
+		m.jobs[job.id] = job
+		m.order = append(m.order, job.id)
+		m.submitted++
+		m.mu.Unlock()
+		return job.id, nil
+	default:
+		m.rejected++
+		m.mu.Unlock()
+		cancel()
+		return "", ErrQueueFull
+	}
+}
+
+// worker drains the queue until Close closes it.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for job := range m.queue {
+		m.mu.Lock()
+		if job.state.Terminal() {
+			// Cancelled while still queued; already finalized.
+			m.mu.Unlock()
+			continue
+		}
+		job.state = StateRunning
+		job.started = time.Now()
+		m.running++
+		m.mu.Unlock()
+
+		rep, err := m.cfg.Run(job.ctx, m.cfg.KB, job.table, job.params, job.pipe)
+
+		m.mu.Lock()
+		m.running--
+		job.report = rep
+		job.err = err
+		switch {
+		case job.cancelRequested:
+			job.state = StateCancelled
+			m.cancelled++
+		case err != nil:
+			job.state = StateFailed
+			m.failed++
+		default:
+			job.state = StateDone
+			m.completed++
+		}
+		m.absorbLocked(job)
+		job.finished = time.Now()
+		job.cancel()
+		close(job.done)
+		m.mu.Unlock()
+	}
+}
+
+// absorbLocked folds a finished job's pipeline into the aggregate, exactly
+// once. Callers hold m.mu.
+func (m *Manager) absorbLocked(job *Job) {
+	if job.absorbed {
+		return
+	}
+	job.absorbed = true
+	m.aggregate.Merge(job.pipe)
+}
+
+// Cancel requests cancellation. A queued job is finalized immediately; a
+// running job has its context cancelled and finishes as StateCancelled
+// (typically with a degraded report — the pipeline honours context
+// cancellation by degrading, not aborting). Cancelling a terminal job is a
+// harmless no-op.
+func (m *Manager) Cancel(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	job, ok := m.jobs[id]
+	if !ok {
+		return ErrUnknownJob
+	}
+	if job.state.Terminal() {
+		return nil
+	}
+	job.cancelRequested = true
+	job.cancel()
+	if job.state == StateQueued {
+		job.state = StateCancelled
+		m.cancelled++
+		m.absorbLocked(job)
+		job.finished = time.Now()
+		close(job.done)
+	}
+	return nil
+}
+
+// JobStatus is the wire representation of one job's state and live
+// progress — the per-job generalization of the single-run /progress
+// endpoint.
+type JobStatus struct {
+	ID     string `json:"id"`
+	Table  string `json:"table"`
+	Rows   int    `json:"rows"`
+	State  State  `json:"state"`
+	Params Params `json:"params"`
+	Error  string `json:"error,omitempty"`
+
+	Progress telemetry.Progress `json:"progress"`
+
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+}
+
+// statusLocked builds the wire status. Callers hold m.mu; the pipeline
+// reads are atomic, so a running job's counters are safely read live.
+func (m *Manager) statusLocked(job *Job) JobStatus {
+	st := JobStatus{
+		ID:          job.id,
+		Table:       job.table.Name,
+		Rows:        job.table.NumRows(),
+		State:       job.state,
+		Params:      job.params,
+		SubmittedAt: job.submitted,
+	}
+	if job.err != nil {
+		st.Error = job.err.Error()
+	}
+	if !job.started.IsZero() {
+		t := job.started
+		st.StartedAt = &t
+	}
+	if !job.finished.IsZero() {
+		t := job.finished
+		st.FinishedAt = &t
+	}
+	st.Progress = telemetry.Progress{
+		Stage:                    job.pipe.CurrentStage(),
+		TuplesAnnotated:          job.pipe.Get(telemetry.TuplesAnnotated),
+		TuplesTotal:              int64(job.table.NumRows()),
+		CrowdQuestions:           job.pipe.Get(telemetry.CrowdQuestions),
+		BudgetQuestionsRemaining: -1,
+		Done:                     job.state.Terminal(),
+	}
+	if b := int64(job.params.Budget); b > 0 {
+		rem := b - st.Progress.CrowdQuestions
+		if rem < 0 {
+			rem = 0
+		}
+		st.Progress.BudgetQuestionsRemaining = rem
+	}
+	return st
+}
+
+// Status returns one job's status.
+func (m *Manager) Status(id string) (JobStatus, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	job, ok := m.jobs[id]
+	if !ok {
+		return JobStatus{}, ErrUnknownJob
+	}
+	return m.statusLocked(job), nil
+}
+
+// List returns every job's status in submission order.
+func (m *Manager) List() []JobStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]JobStatus, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.statusLocked(m.jobs[id]))
+	}
+	return out
+}
+
+// Report returns a terminal job's report (possibly nil for a failed or
+// early-cancelled job) and its final state. Non-terminal jobs return
+// ok=false: the result is not ready yet.
+func (m *Manager) Report(id string) (rep *katara.Report, state State, ok bool, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	job, found := m.jobs[id]
+	if !found {
+		return nil, "", false, ErrUnknownJob
+	}
+	if !job.state.Terminal() {
+		return nil, job.state, false, nil
+	}
+	return job.report, job.state, true, nil
+}
+
+// Wait blocks until the job reaches a terminal state or ctx is done.
+func (m *Manager) Wait(ctx context.Context, id string) error {
+	m.mu.Lock()
+	job, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return ErrUnknownJob
+	}
+	select {
+	case <-job.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close stops accepting submissions, cancels queued and running jobs, and
+// waits for the workers to drain. Idempotent.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return
+	}
+	m.closed = true
+	for _, id := range m.order {
+		job := m.jobs[id]
+		if job.state.Terminal() {
+			continue
+		}
+		job.cancelRequested = true
+		job.cancel()
+		if job.state == StateQueued {
+			job.state = StateCancelled
+			m.cancelled++
+			m.absorbLocked(job)
+			job.finished = time.Now()
+			close(job.done)
+		}
+	}
+	close(m.queue)
+	m.mu.Unlock()
+	m.wg.Wait()
+}
+
+// WriteMetrics writes the daemon-wide Prometheus exposition: the merged
+// katara_* pipeline families (aggregate of finished jobs + live pipelines
+// of unfinished ones — monotone by construction) followed by the katarad_*
+// job-accounting families.
+func (m *Manager) WriteMetrics(w io.Writer) error {
+	merged := telemetry.New()
+	m.mu.Lock()
+	merged.Merge(m.aggregate)
+	for _, id := range m.order {
+		if job := m.jobs[id]; !job.absorbed {
+			merged.Merge(job.pipe)
+		}
+	}
+	submitted, completed, failed := m.submitted, m.completed, m.failed
+	cancelled, rejected, running := m.cancelled, m.rejected, m.running
+	queued := int64(len(m.queue))
+	m.mu.Unlock()
+
+	if err := merged.Snapshot().WriteProm(w); err != nil {
+		return err
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("katarad_jobs_submitted_total", "Jobs accepted into the queue.", submitted)
+	counter("katarad_jobs_completed_total", "Jobs finished successfully.", completed)
+	counter("katarad_jobs_failed_total", "Jobs finished with an error.", failed)
+	counter("katarad_jobs_cancelled_total", "Jobs cancelled before or during execution.", cancelled)
+	counter("katarad_jobs_rejected_total", "Submissions rejected because the queue was full.", rejected)
+	gauge("katarad_jobs_running", "Jobs currently executing.", running)
+	gauge("katarad_jobs_queued", "Jobs waiting in the queue.", queued)
+	return nil
+}

@@ -1,0 +1,69 @@
+package jobs
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParamsValidate(t *testing.T) {
+	valid := []Params{
+		{},
+		{Workers: -1, Shards: -1},
+		{Workers: 8, Shards: 16, RepairK: 5, Budget: 100, BudgetAssignments: 300, DeadlineMS: 30000, FaultRate: 0.3, Scale: 1.0},
+		{Degrade: "trust"},
+		{Degrade: "unknown"},
+	}
+	for _, p := range valid {
+		if err := p.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", p, err)
+		}
+	}
+
+	invalid := []struct {
+		p    Params
+		want string // substring of the error naming the bad knob
+	}{
+		{Params{Workers: -2}, "workers"},
+		{Params{Shards: -3}, "shards"},
+		{Params{RepairK: -1}, "repair_k"},
+		{Params{Budget: -1}, "budget"},
+		{Params{BudgetAssignments: -7}, "budget_assignments"},
+		{Params{DeadlineMS: -1}, "deadline"},
+		{Params{FaultRate: 1.0}, "fault_rate"},
+		{Params{FaultRate: -0.1}, "fault_rate"},
+		{Params{FaultRate: math.NaN()}, "fault_rate"},
+		{Params{Scale: -0.5}, "scale"},
+		{Params{Scale: math.Inf(1)}, "scale"},
+		{Params{Degrade: "panic"}, "degrade"},
+	}
+	for _, c := range invalid {
+		err := c.p.Validate()
+		if err == nil {
+			t.Errorf("Validate(%+v) = nil, want error about %s", c.p, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Validate(%+v) = %q, want mention of %s", c.p, err, c.want)
+		}
+	}
+
+	// All problems are reported at once.
+	err := Params{Workers: -5, Budget: -1, Degrade: "x"}.Validate()
+	verr, ok := err.(*ValidationError)
+	if !ok || len(verr.Problems) != 3 {
+		t.Fatalf("want 3 aggregated problems, got %v", err)
+	}
+}
+
+func TestParamsOptions(t *testing.T) {
+	p := Params{Workers: 4, Shards: 8, RepairK: 2, Budget: 50, DeadlineMS: 1500, Degrade: "unknown"}
+	opts := p.Options()
+	if opts.Workers != 4 || opts.Shards != 8 || opts.RepairK != 2 || opts.Budget != 50 {
+		t.Fatalf("Options() dropped fields: %+v", opts)
+	}
+	if opts.Deadline != 1500*time.Millisecond {
+		t.Fatalf("Deadline = %v, want 1.5s", opts.Deadline)
+	}
+}

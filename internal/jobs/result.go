@@ -1,0 +1,130 @@
+package jobs
+
+import (
+	"fmt"
+	"sort"
+
+	"katara"
+)
+
+// ResultDoc is the GET /jobs/{id}/result body. Report is fully
+// deterministic — no timings, no timestamps, fields in fixed order — so
+// two submissions of the same table with the same parameters produce
+// byte-identical Report JSON. cmd/kload leans on this: any two differing
+// report bodies for identical jobs is report corruption.
+type ResultDoc struct {
+	ID     string     `json:"id"`
+	State  State      `json:"state"`
+	Report *ReportDoc `json:"report,omitempty"`
+}
+
+// ReportDoc is the wire form of a katara.Report.
+type ReportDoc struct {
+	Pattern        string          `json:"pattern,omitempty"`
+	PatternScore   float64         `json:"pattern_score,omitempty"`
+	QuestionsAsked int             `json:"questions_asked"`
+	Degraded       DegradedDoc     `json:"degraded"`
+	Summary        SummaryDoc      `json:"summary"`
+	Annotations    []AnnotationDoc `json:"annotations"`
+	NewFacts       int             `json:"new_facts"`
+	Repairs        []RepairRowDoc  `json:"repairs,omitempty"`
+}
+
+// DegradedDoc mirrors katara.DegradeReport.
+type DegradedDoc struct {
+	PatternFallback bool `json:"pattern_fallback"`
+	Tuples          int  `json:"tuples"`
+	RepairsSkipped  bool `json:"repairs_skipped"`
+}
+
+// SummaryDoc counts annotations by label.
+type SummaryDoc struct {
+	ValidatedByKB    int `json:"validated_by_kb"`
+	ValidatedByCrowd int `json:"validated_by_crowd"`
+	Erroneous        int `json:"erroneous"`
+	Unknown          int `json:"unknown"`
+}
+
+// AnnotationDoc is one tuple's verdict.
+type AnnotationDoc struct {
+	Row      int    `json:"row"`
+	Label    string `json:"label"`
+	Degraded bool   `json:"degraded,omitempty"`
+}
+
+// RepairRowDoc lists one erroneous row's possible repairs, best first.
+type RepairRowDoc struct {
+	Row     int               `json:"row"`
+	Options []RepairOptionDoc `json:"options"`
+}
+
+// RepairOptionDoc is one possible repair.
+type RepairOptionDoc struct {
+	Cost    float64     `json:"cost"`
+	Changes []ChangeDoc `json:"changes"`
+}
+
+// ChangeDoc is one cell rewrite.
+type ChangeDoc struct {
+	Col  int    `json:"col"`
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
+// BuildResult converts a finished job's report into its wire form. rep may
+// be nil (failed or cancelled-before-start jobs).
+func BuildResult(id string, state State, rep *katara.Report) ResultDoc {
+	doc := ResultDoc{ID: id, State: state}
+	if rep == nil {
+		return doc
+	}
+	rd := &ReportDoc{
+		QuestionsAsked: rep.QuestionsAsked,
+		Degraded: DegradedDoc{
+			PatternFallback: rep.Degraded.PatternFallback,
+			Tuples:          rep.Degraded.Tuples,
+			RepairsSkipped:  rep.Degraded.RepairsSkipped,
+		},
+		NewFacts:    len(rep.NewFacts),
+		Annotations: make([]AnnotationDoc, 0, len(rep.Annotations)),
+	}
+	if rep.Pattern != nil {
+		rd.Pattern = rep.Pattern.Key()
+		rd.PatternScore = rep.Pattern.Score
+	}
+	for _, a := range rep.Annotations {
+		rd.Annotations = append(rd.Annotations, AnnotationDoc{
+			Row:      a.Row,
+			Label:    fmt.Sprint(a.Label),
+			Degraded: a.Degraded,
+		})
+		switch a.Label {
+		case katara.ValidatedByKB:
+			rd.Summary.ValidatedByKB++
+		case katara.ValidatedByCrowd:
+			rd.Summary.ValidatedByCrowd++
+		case katara.Unknown:
+			rd.Summary.Unknown++
+		default:
+			rd.Summary.Erroneous++
+		}
+	}
+	rows := make([]int, 0, len(rep.Repairs))
+	for r := range rep.Repairs {
+		rows = append(rows, r)
+	}
+	sort.Ints(rows)
+	for _, r := range rows {
+		row := RepairRowDoc{Row: r, Options: []RepairOptionDoc{}}
+		for _, rp := range rep.Repairs[r] {
+			opt := RepairOptionDoc{Cost: rp.Cost, Changes: []ChangeDoc{}}
+			for _, ch := range rp.Changes {
+				opt.Changes = append(opt.Changes, ChangeDoc{Col: ch.Col, From: ch.From, To: ch.To})
+			}
+			row.Options = append(row.Options, opt)
+		}
+		rd.Repairs = append(rd.Repairs, row)
+	}
+	doc.Report = rd
+	return doc
+}

@@ -1,0 +1,150 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"katara"
+)
+
+// TableDoc is the JSON wire form of a table in a job submission.
+type TableDoc struct {
+	Name    string     `json:"name"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// Table converts the document into a katara.Table, checking arity.
+func (d TableDoc) Table() (*katara.Table, error) {
+	if len(d.Columns) == 0 {
+		return nil, errors.New("table needs at least one column")
+	}
+	if len(d.Rows) == 0 {
+		return nil, errors.New("table needs at least one row")
+	}
+	name := d.Name
+	if name == "" {
+		name = "table"
+	}
+	t := &katara.Table{Name: name, Columns: d.Columns, Rows: d.Rows}
+	for i, row := range d.Rows {
+		if len(row) != len(d.Columns) {
+			return nil, fmt.Errorf("row %d has %d cells, want %d", i, len(row), len(d.Columns))
+		}
+	}
+	return t, nil
+}
+
+// SubmitRequest is the POST /jobs body.
+type SubmitRequest struct {
+	Table  TableDoc `json:"table"`
+	Params Params   `json:"params"`
+}
+
+// SubmitResponse acknowledges an accepted job.
+type SubmitResponse struct {
+	ID    string `json:"id"`
+	State State  `json:"state"`
+}
+
+// errorDoc is the JSON error body every non-2xx response carries.
+type errorDoc struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorDoc{Error: err.Error()})
+}
+
+// NewHandler mounts the job API for a manager:
+//
+//	POST /jobs              submit a job (202; 400 invalid, 429 queue full)
+//	GET  /jobs              list all jobs
+//	GET  /jobs/{id}         one job's status and live progress
+//	GET  /jobs/{id}/result  the finished job's report (409 until terminal)
+//	POST /jobs/{id}/cancel  request cancellation
+//	GET  /healthz           liveness probe
+//	GET  /metrics           daemon-wide Prometheus exposition
+func NewHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = m.WriteMetrics(w)
+	})
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req SubmitRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
+			return
+		}
+		tbl, err := req.Table.Table()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		id, err := m.Submit(tbl, req.Params)
+		switch {
+		case err == nil:
+			writeJSON(w, http.StatusAccepted, SubmitResponse{ID: id, State: StateQueued})
+		case errors.Is(err, ErrQueueFull):
+			writeError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, err)
+		default:
+			writeError(w, http.StatusBadRequest, err)
+		}
+	})
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.List())
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := m.Status(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		rep, state, done, err := m.Report(id)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		if !done {
+			writeError(w, http.StatusConflict, fmt.Errorf("job %s is %s; result not ready", id, state))
+			return
+		}
+		writeJSON(w, http.StatusOK, BuildResult(id, state, rep))
+	})
+	mux.HandleFunc("POST /jobs/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if err := m.Cancel(id); err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		st, err := m.Status(id)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	return mux
+}

@@ -22,6 +22,11 @@ type RunConfig struct {
 	// Workers is katara.Options.Workers: 1 serial, >1 pooled, -1 resolves
 	// to GOMAXPROCS.
 	Workers int
+	// Shards is katara.Options.Shards: row-range shards for annotation
+	// coverage and repair retrieval (0 or 1 unsharded). The invariant
+	// `sharded(T, N) ≡ unsharded(T)` — byte-identical canonical reports
+	// for every shard count — rides on the matrix comparison.
+	Shards int
 	// Faults routes crowd deliveries through a seeded FaultInjector
 	// (abandonment + transient failures, zero latency) with retry enabled.
 	Faults bool
@@ -35,6 +40,9 @@ type RunConfig struct {
 
 func (c RunConfig) String() string {
 	s := fmt.Sprintf("workers=%d faults=%v telemetry=%v", c.Workers, c.Faults, c.Telemetry)
+	if c.Shards > 1 {
+		s += fmt.Sprintf(" shards=%d", c.Shards)
+	}
 	if c.BudgetQuestions > 0 {
 		s += fmt.Sprintf(" budget=%d degrade=%v", c.BudgetQuestions, c.Degrade)
 	}
@@ -64,6 +72,20 @@ func Matrix() []RunConfig {
 				out = append(out, RunConfig{Workers: w, Faults: faults, Telemetry: tel})
 			}
 		}
+	}
+	// Shard cells prove `sharded(T, N) ≡ unsharded(T)` byte-identically
+	// against the serial baseline. Not a full cross-product — the shard
+	// fan-out only touches the pure KB-coverage and repair-retrieval loops,
+	// so {1 (above), 4, GOMAXPROCS} with telemetry (to also prove the
+	// shard-pipeline merge does not perturb results) carries the invariant.
+	seenShards := map[int]bool{1: true}
+	for _, sh := range []int{4, runtime.GOMAXPROCS(0)} {
+		if sh < 2 || seenShards[sh] {
+			continue
+		}
+		seenShards[sh] = true
+		out = append(out, RunConfig{Workers: 1, Shards: sh, Telemetry: true})
+		out = append(out, RunConfig{Workers: 1, Shards: sh})
 	}
 	return out
 }
@@ -114,6 +136,7 @@ func (s *Scenario) Run(cfg RunConfig) (*katara.Report, *rdf.Store, error) {
 	opts := katara.Options{
 		Seed:    1,
 		Workers: cfg.Workers,
+		Shards:  cfg.Shards,
 		// Small per-list caps keep the rank-join search space within
 		// ExhaustiveTopK's refusal bound so invariant 1 stays checkable.
 		MaxCandidates:    4,

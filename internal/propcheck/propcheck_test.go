@@ -78,17 +78,27 @@ func TestCanonicalStable(t *testing.T) {
 }
 
 // TestMatrixShape pins the differential matrix: the worker axis carries 1
-// and 4 (GOMAXPROCS deduplicated in) crossed with both boolean axes.
+// and 4 (GOMAXPROCS deduplicated in) crossed with both boolean axes, plus
+// two cells (telemetry on/off) per distinct shard count in
+// {4, GOMAXPROCS} — the `sharded ≡ unsharded` invariant.
 func TestMatrixShape(t *testing.T) {
 	m := Matrix()
 	workers := map[int]bool{}
+	shards := map[int]bool{}
 	for _, cfg := range m {
 		workers[cfg.Workers] = true
+		if cfg.Shards > 1 {
+			shards[cfg.Shards] = true
+		}
 	}
 	if !workers[1] || !workers[4] {
 		t.Fatalf("matrix misses required worker counts: %+v", m)
 	}
-	if len(m) != len(workers)*4 {
-		t.Fatalf("matrix has %d cells for %d worker counts", len(m), len(workers))
+	if !shards[4] {
+		t.Fatalf("matrix misses shard cells: %+v", m)
+	}
+	if len(m) != len(workers)*4+len(shards)*2 {
+		t.Fatalf("matrix has %d cells for %d worker counts and %d shard counts",
+			len(m), len(workers), len(shards))
 	}
 }

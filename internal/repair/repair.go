@@ -108,6 +108,17 @@ func BuildIndex(kb *rdf.Store, p *pattern.Pattern, opts Options) *Index {
 // NumGraphs returns the number of indexed instance graphs.
 func (ix *Index) NumGraphs() int { return len(ix.Graphs) }
 
+// WithTelemetry returns a shallow view of the index whose retrieval
+// telemetry (repair-topk histogram/spans, RepairsGenerated) lands in tel
+// instead of the pipeline the index was built with. Graphs and inverted
+// lists are shared read-only — this is the per-shard handle of a row-range
+// sharded retrieval fan-out, each shard recording into its own pipeline.
+func (ix *Index) WithTelemetry(tel *telemetry.Pipeline) *Index {
+	cp := *ix
+	cp.opts.Telemetry = tel
+	return &cp
+}
+
 // PostingList returns the graph IDs holding value v on column col — exposed
 // for tests and the Example 13 walkthrough.
 func (ix *Index) PostingList(col int, v string) []int {

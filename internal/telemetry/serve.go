@@ -15,7 +15,9 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -53,10 +55,23 @@ type Server struct {
 	budgetQ     atomic.Int64 // 0 = unlimited
 	done        atomic.Bool
 
+	// ShutdownGrace bounds how long Close waits for in-flight requests to
+	// finish before severing their connections (0 = DefaultShutdownGrace).
+	// Set it before Close; scrapers mid-/metrics get this long to drain.
+	ShutdownGrace time.Duration
+
 	ln   net.Listener
 	srv  *http.Server
 	errc chan error
+
+	// requestGate, when non-nil, runs at the top of every request — a test
+	// hook to hold a request in flight while Close executes.
+	requestGate func()
 }
+
+// DefaultShutdownGrace is how long Close lets in-flight requests drain
+// before falling back to a hard close.
+const DefaultShutdownGrace = 2 * time.Second
 
 // NewServer returns a server exposing p. p may be nil (endpoints then serve
 // zeros), but normally it is the pipeline passed to the run via
@@ -153,6 +168,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if s.requestGate != nil {
+		gate := s.requestGate
+		inner := mux
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			gate()
+			inner.ServeHTTP(w, r)
+		})
+	}
 	return mux
 }
 
@@ -174,14 +197,29 @@ func (s *Server) Start(addr string) (net.Addr, error) {
 	return ln.Addr(), nil
 }
 
-// Close shuts the listener down. Safe on a nil or never-started server.
+// Close shuts the server down gracefully: the listener stops accepting new
+// connections immediately, but requests already in flight (a scraper
+// mid-/metrics, a dashboard polling /progress) get ShutdownGrace to
+// complete before their connections are severed with a hard Close. Safe on
+// a nil or never-started server.
 func (s *Server) Close() error {
 	if s == nil || s.srv == nil {
 		return nil
 	}
-	err := s.srv.Close()
-	<-s.errc // reap the serve goroutine (always returns after Close)
+	grace := s.ShutdownGrace
+	if grace <= 0 {
+		grace = DefaultShutdownGrace
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), grace)
+	err := s.srv.Shutdown(ctx)
+	cancel()
 	if err != nil {
+		// Grace expired with requests still in flight: sever them. Shutdown
+		// already closed the listener, so this only kills stragglers.
+		err = s.srv.Close()
+	}
+	<-s.errc // reap the serve goroutine (returns after Shutdown or Close)
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
 	return nil

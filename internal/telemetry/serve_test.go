@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -152,6 +153,120 @@ func TestServerStartAndClose(t *testing.T) {
 	}
 	if err := s.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestCloseDrainsInFlightScrape is the regression test for the shutdown
+// bugfix: Close used http.Server.Close, which severed connections mid-
+// response, so a scraper could get a truncated /metrics body. Close now
+// drains gracefully: a request already in flight when Close starts must
+// complete with a full, lint-clean exposition.
+func TestCloseDrainsInFlightScrape(t *testing.T) {
+	p := New()
+	p.Add(CrowdQuestions, 7)
+	s := NewServer(p)
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var gated atomic.Bool
+	s.requestGate = func() {
+		// Gate only the first request; Shutdown's own internals issue none,
+		// but keep the hook idempotent anyway.
+		if gated.CompareAndSwap(false, true) {
+			close(entered)
+			<-release
+		}
+	}
+
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+
+	type scrape struct {
+		status int
+		body   string
+		err    error
+	}
+	got := make(chan scrape, 1)
+	go func() {
+		resp, err := http.Get("http://" + addr.String() + "/metrics")
+		if err != nil {
+			got <- scrape{err: err}
+			return
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		got <- scrape{status: resp.StatusCode, body: string(body), err: err}
+	}()
+
+	<-entered // the scrape is in flight
+	closed := make(chan error, 1)
+	go func() { closed <- s.Close() }()
+
+	// Close must not return while the request is still being served.
+	select {
+	case err := <-closed:
+		t.Fatalf("Close returned (%v) before the in-flight scrape completed", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(release) // let the handler run; shutdown should now complete
+	sc := <-got
+	if sc.err != nil {
+		t.Fatalf("in-flight scrape failed during shutdown: %v", sc.err)
+	}
+	if sc.status != 200 {
+		t.Fatalf("in-flight scrape status = %d, want 200", sc.status)
+	}
+	if err := LintExposition(strings.NewReader(sc.body)); err != nil {
+		t.Fatalf("in-flight scrape body truncated or malformed: %v", err)
+	}
+	if !strings.Contains(sc.body, "katara_crowd_questions_total 7") {
+		t.Fatalf("in-flight scrape body incomplete:\n%s", sc.body)
+	}
+	if err := <-closed; err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestCloseSeversStuckRequestAfterGrace: a request that never finishes must
+// not wedge Close forever — after ShutdownGrace the server falls back to a
+// hard close.
+func TestCloseSeversStuckRequestAfterGrace(t *testing.T) {
+	s := NewServer(New())
+	s.ShutdownGrace = 30 * time.Millisecond
+
+	entered := make(chan struct{})
+	var gated atomic.Bool
+	s.requestGate = func() {
+		if gated.CompareAndSwap(false, true) {
+			close(entered)
+			select {} // never returns: a pathologically stuck handler
+		}
+	}
+
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	go func() {
+		resp, err := http.Get("http://" + addr.String() + "/metrics")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-entered
+
+	done := make(chan error, 1)
+	go func() { done <- s.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Close after grace: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close wedged on a stuck request; grace fallback did not fire")
 	}
 }
 

@@ -276,6 +276,35 @@ func (p *Pipeline) CurrentStage() string {
 	return Stage(v - 1).String()
 }
 
+// Merge folds o's counters, stage accumulators and histograms into p — the
+// shard-combining operation: each row-range shard of a sharded run records
+// into its own Pipeline, and the orchestrator merges them into the run's
+// pipeline once the fan-out joins. Span/journal state is not merged (shard
+// pipelines carry no journal). Safe when either side is nil or when o is
+// still being written by other goroutines (all state is atomic), though the
+// orchestrator merges only after its shards join.
+func (p *Pipeline) Merge(o *Pipeline) {
+	if p == nil || o == nil {
+		return
+	}
+	for c := Counter(0); c < numCounters; c++ {
+		if n := o.counters[c].Load(); n != 0 {
+			p.counters[c].Add(n)
+		}
+	}
+	for s := Stage(0); s < numStages; s++ {
+		if ns := o.stageNS[s].Load(); ns != 0 {
+			p.stageNS[s].Add(ns)
+		}
+		if n := o.stageN[s].Load(); n != 0 {
+			p.stageN[s].Add(n)
+		}
+	}
+	for h := Hist(0); h < numHists; h++ {
+		p.hists[h].Merge(&o.hists[h])
+	}
+}
+
 // StageTiming is the accumulated wall-clock of one stage.
 type StageTiming struct {
 	Stage    string        `json:"stage"`

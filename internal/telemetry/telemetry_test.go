@@ -165,3 +165,52 @@ func TestStableNames(t *testing.T) {
 		}
 	}
 }
+
+func TestPipelineMerge(t *testing.T) {
+	a, b := New(), New()
+	a.Add(CrowdQuestions, 3)
+	b.Add(CrowdQuestions, 4)
+	b.Add(TuplesAnnotated, 10)
+	a.EndStage(StageAnnotate, a.StartStage(StageAnnotate))
+	b.EndStage(StageAnnotate, b.StartStage(StageAnnotate))
+	a.Observe(HistRepairTopK, 2*time.Millisecond)
+	b.Observe(HistRepairTopK, 8*time.Millisecond)
+	b.Observe(HistAnnotateTuple, time.Millisecond)
+
+	a.Merge(b)
+	if got := a.Get(CrowdQuestions); got != 7 {
+		t.Fatalf("merged crowd-questions = %d, want 7", got)
+	}
+	if got := a.Get(TuplesAnnotated); got != 10 {
+		t.Fatalf("merged tuples-annotated = %d, want 10", got)
+	}
+	snap := a.Snapshot()
+	var annotate *StageTiming
+	for i := range snap.Stages {
+		if snap.Stages[i].Stage == "annotate" {
+			annotate = &snap.Stages[i]
+		}
+	}
+	if annotate == nil || annotate.Calls != 2 {
+		t.Fatalf("merged annotate stage = %+v, want 2 calls", annotate)
+	}
+	h := a.Hist(HistRepairTopK)
+	if h.Count() != 2 || h.Sum() != 10*time.Millisecond || h.Max() != 8*time.Millisecond {
+		t.Fatalf("merged hist count=%d sum=%v max=%v", h.Count(), h.Sum(), h.Max())
+	}
+	if a.Hist(HistAnnotateTuple).Count() != 1 {
+		t.Fatal("merged annotate-tuple hist missing b's observation")
+	}
+	// b is untouched by the merge.
+	if b.Get(CrowdQuestions) != 4 {
+		t.Fatalf("source pipeline mutated: %d", b.Get(CrowdQuestions))
+	}
+
+	// Nil on either side is a no-op.
+	var nilP *Pipeline
+	nilP.Merge(a)
+	a.Merge(nil)
+	if a.Get(CrowdQuestions) != 7 {
+		t.Fatal("nil merge changed counters")
+	}
+}

@@ -25,11 +25,8 @@ package katara
 import (
 	"context"
 	"errors"
-	"fmt"
 	"math/rand"
 	"runtime"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"katara/internal/annotation"
@@ -196,6 +193,12 @@ type Options struct {
 	// serially; negative uses GOMAXPROCS. Results are identical for every
 	// value — crowd interaction always stays serial in row order.
 	Workers int
+	// Shards splits annotation coverage and repair retrieval into this many
+	// contiguous row-range shards, each with its own telemetry pipeline
+	// merged after the fan-out joins (see CleanShardedContext). 0 or 1 runs
+	// unsharded; negative uses GOMAXPROCS. Reports are byte-identical for
+	// every shard count — the propcheck `sharded ≡ unsharded` invariant.
+	Shards int
 	// Telemetry enables per-run instrumentation: Report.Timings carries
 	// stage wall-clocks and pipeline counters (default off; disabled
 	// instrumentation adds no overhead).
@@ -271,6 +274,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Workers < 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Shards < 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
 	}
 	return o
 }
@@ -389,11 +395,18 @@ func (c *Cleaner) Annotate(t *Table, p *Pattern) *annotation.Result {
 }
 
 func (c *Cleaner) annotate(ctx context.Context, t *Table, p *Pattern, tel *telemetry.Pipeline) *annotation.Result {
+	return c.annotator(ctx, p, tel).Annotate(t)
+}
+
+// annotator assembles the §6.1 annotator for one run; shared by the
+// unsharded path (Annotate) and the shard orchestrator (EvaluateCoverage +
+// AnnotateWith).
+func (c *Cleaner) annotator(ctx context.Context, p *Pattern, tel *telemetry.Pipeline) *annotation.Annotator {
 	oracle := c.opts.FactOracle
 	if oracle == nil {
 		oracle = trustingFacts{}
 	}
-	ann := &annotation.Annotator{
+	return &annotation.Annotator{
 		KB:        c.kb,
 		Pattern:   p,
 		Crowd:     c.crowd,
@@ -406,7 +419,6 @@ func (c *Cleaner) annotate(ctx context.Context, t *Table, p *Pattern, tel *telem
 		Telemetry: tel,
 		Resolver:  c.resolver,
 	}
-	return ann.Annotate(t)
 }
 
 // Repairs generates top-k possible repairs for the given rows of t (§6.2).
@@ -415,60 +427,7 @@ func (c *Cleaner) Repairs(t *Table, p *Pattern, rows []int) map[int][]Repair {
 }
 
 func (c *Cleaner) repairs(t *Table, p *Pattern, rows []int, tel *telemetry.Pipeline) map[int][]Repair {
-	if len(p.Edges) == 0 {
-		return nil // no relationships: repairs are undefined (§7.4)
-	}
-	out := make(map[int][]Repair, len(rows))
-	if len(rows) == 0 {
-		// An error-free table needs no repairs: skip instance-graph
-		// enumeration entirely — on large KBs building the index dwarfs
-		// the rest of the pipeline.
-		return out
-	}
-	start := tel.StartStage(telemetry.StageBuildIndex)
-	ix := repair.BuildIndex(c.kb, p, repair.Options{
-		MaxGraphs: c.opts.RepairMaxGraphs,
-		Weights:   c.opts.RepairWeights,
-		Workers:   c.opts.Workers,
-		Telemetry: tel,
-	})
-	tel.EndStage(telemetry.StageBuildIndex, start)
-	if c.opts.Workers > 1 && len(rows) >= 2*c.opts.Workers {
-		// Per-row retrieval is independent and the index is read-only:
-		// fan out, keyed by row, so the result map is order-insensitive.
-		perRow := make([][]Repair, len(rows))
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < c.opts.Workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= len(rows) {
-						return
-					}
-					if row := rows[i]; row >= 0 && row < t.NumRows() {
-						perRow[i] = ix.TopK(t.Rows[row], c.opts.RepairK)
-					}
-				}
-			}()
-		}
-		wg.Wait()
-		for i, row := range rows {
-			if row >= 0 && row < t.NumRows() {
-				out[row] = perRow[i]
-			}
-		}
-		return out
-	}
-	for _, row := range rows {
-		if row < 0 || row >= t.NumRows() {
-			continue
-		}
-		out[row] = ix.TopK(t.Rows[row], c.opts.RepairK)
-	}
-	return out
+	return c.repairsSharded(t, p, rows, tel, 1)
 }
 
 // Report is the outcome of an end-to-end Clean run.
@@ -526,90 +485,11 @@ func (c *Cleaner) Clean(t *Table) (*Report, error) {
 // Exhausting either never aborts the run: the configured
 // graceful-degradation policies take over (top-scored pattern, trust-KB or
 // mark-unknown annotation, skipped repairs) and Report.Degraded records
-// exactly which decisions degraded.
+// exactly which decisions degraded. Execution fans out across
+// Options.Shards row-range shards (see CleanShardedContext); the report is
+// identical for every shard count.
 func (c *Cleaner) CleanContext(ctx context.Context, t *Table) (*Report, error) {
-	if t == nil || t.NumRows() == 0 {
-		return nil, fmt.Errorf("katara: empty table")
-	}
-	var tel *telemetry.Pipeline
-	switch {
-	case c.opts.Pipeline != nil:
-		tel = c.opts.Pipeline
-	case c.opts.Tracer != nil:
-		tel = telemetry.NewTraced(c.opts.Tracer)
-	case c.opts.Telemetry:
-		tel = telemetry.New()
-	}
-	c.crowd.SetTelemetry(tel)
-	defer c.crowd.SetTelemetry(nil)
-	c.resolver.SetTelemetry(tel)
-	defer c.resolver.SetTelemetry(nil)
-	if c.opts.Deadline > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, c.opts.Deadline)
-		defer cancel()
-	}
-	if c.opts.Budget > 0 || c.opts.BudgetAssignments > 0 {
-		c.crowd.SetBudget(crowd.NewBudget(c.opts.Budget, c.opts.BudgetAssignments))
-		defer c.crowd.SetBudget(nil)
-	}
-
-	// The resolver cache outlives individual runs; diff its counters so the
-	// run's snapshot reports only this run's hits and misses.
-	hits0, misses0 := c.resolver.Stats()
-
-	// Root span of the run: the stage spans (and through them every leaf
-	// span) nest under it, so the journal reconstructs into one rooted tree.
-	root := tel.PushSpan("clean")
-	root.SetStr("table", t.Name)
-	root.SetInt("rows", int64(t.NumRows()))
-
-	start := tel.StartStage(telemetry.StageDiscover)
-	cands := c.generate(t, tel)
-	candidates := discovery.TopK(cands, c.opts.TopK)
-	tel.EndStage(telemetry.StageDiscover, start)
-	if len(candidates) == 0 {
-		root.End()
-		return nil, ErrNoPattern
-	}
-	c.crowd.ResetStats()
-	rep := &Report{}
-	start = tel.StartStage(telemetry.StageValidate)
-	p, _, degraded := c.validatePattern(ctx, t, candidates)
-	if degraded {
-		rep.Degraded.PatternFallback = true
-		tel.Inc(telemetry.DegradedDecisions)
-	}
-	if c.opts.DiscoverPaths {
-		p = p.Clone()
-		discovery.AttachPathEdges(p, discovery.DiscoverPathEdges(cands))
-	}
-	tel.EndStage(telemetry.StageValidate, start)
-	start = tel.StartStage(telemetry.StageAnnotate)
-	res := c.annotate(ctx, t, p, tel)
-	tel.EndStage(telemetry.StageAnnotate, start)
-	rep.Pattern = p
-	rep.Annotations = res.Tuples
-	rep.NewFacts = res.NewFacts
-	rep.Degraded.Tuples = res.DegradedTuples
-	if ctx.Err() != nil {
-		// Deadline spent before repair: degrade rather than blow through it.
-		rep.Degraded.RepairsSkipped = true
-		tel.Inc(telemetry.DegradedDecisions)
-	} else {
-		start = tel.StartStage(telemetry.StageRepair)
-		rep.Repairs = c.repairs(t, p, res.Errors(), tel)
-		tel.EndStage(telemetry.StageRepair, start)
-	}
-	rep.Crowd = c.crowd.Stats()
-	rep.QuestionsAsked = rep.Crowd.Questions
-	hits1, misses1 := c.resolver.Stats()
-	tel.Add(telemetry.ResolverHits, hits1-hits0)
-	tel.Add(telemetry.ResolverMisses, misses1-misses0)
-	root.SetInt("questions", int64(rep.QuestionsAsked))
-	root.End()
-	rep.Timings = tel.Snapshot()
-	return rep, nil
+	return c.runClean(ctx, t, c.opts.Shards)
 }
 
 // BestKB picks, among several KBs, the one whose top discovered pattern

@@ -1,0 +1,104 @@
+#!/usr/bin/env sh
+# Daemon smoke test: boot katarad against a generated KB, hammer it with a
+# kload burst, and verify the service invariants end to end.
+#
+#   1. generate a small benchmark environment (kbgen)
+#   2. build katarad, kload and promlint
+#   3. boot katarad, poll /healthz until the listener answers
+#   4. run a kload burst (120 jobs, 100 concurrent) — kload itself asserts
+#      every job completes, report documents are byte-identical, and every
+#      /metrics scrape is lint-clean and monotone
+#   5. re-check /metrics through promlint after the burst
+#   6. tear down with SIGTERM and require a clean exit
+#
+# Any kload violation, unparseable exposition, dead daemon, or unclean
+# shutdown fails the script. CI runs this as the daemon-smoke job; it needs
+# only the go toolchain.
+
+set -eu
+
+ADDR="127.0.0.1:18443"
+JOBS="${JOBS:-120}"
+CONCURRENCY="${CONCURRENCY:-100}"
+WORK="$(mktemp -d)"
+KATARAD_PID=""
+trap '[ -n "$KATARAD_PID" ] && kill "$KATARAD_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+echo "daemon-smoke: generating small environment in $WORK"
+go run ./cmd/kbgen -size small -out "$WORK"
+
+echo "daemon-smoke: building binaries"
+go build -o "$WORK/katarad" ./cmd/katarad
+go build -o "$WORK/kload" ./cmd/kload
+go build -o "$WORK/promlint" ./cmd/promlint
+
+echo "daemon-smoke: starting katarad on $ADDR"
+"$WORK/katarad" \
+    -kb "$WORK/yago.nt" \
+    -listen "$ADDR" \
+    -max-concurrent 4 -max-queue 256 >"$WORK/daemon.log" 2>&1 &
+KATARAD_PID=$!
+
+i=0
+until curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 150 ]; then
+        echo "daemon-smoke: FAIL: /healthz never came up" >&2
+        cat "$WORK/daemon.log" >&2 || true
+        exit 1
+    fi
+    if ! kill -0 "$KATARAD_PID" 2>/dev/null; then
+        echo "daemon-smoke: FAIL: katarad exited before serving" >&2
+        cat "$WORK/daemon.log" >&2 || true
+        exit 1
+    fi
+    sleep 0.1
+done
+echo "daemon-smoke: /healthz ok"
+
+echo "daemon-smoke: kload burst ($JOBS jobs, $CONCURRENCY concurrent)"
+"$WORK/kload" \
+    -addr "$ADDR" \
+    -in "$WORK/RelationalTables/Soccer.dirty.csv" \
+    -jobs "$JOBS" -concurrency "$CONCURRENCY" -shards 4
+
+# Post-burst exposition must still be promlint-clean and carry both the
+# pipeline and the daemon job-accounting families.
+curl -fsS "http://$ADDR/metrics" >"$WORK/metrics.txt"
+"$WORK/promlint" "$WORK/metrics.txt"
+grep -q '^katara_tuples_annotated_total ' "$WORK/metrics.txt" || {
+    echo "daemon-smoke: FAIL: /metrics missing katara_tuples_annotated_total" >&2
+    exit 1
+}
+grep -q "^katarad_jobs_completed_total $JOBS\$" "$WORK/metrics.txt" || {
+    echo "daemon-smoke: FAIL: katarad_jobs_completed_total != $JOBS" >&2
+    grep '^katarad_' "$WORK/metrics.txt" >&2 || true
+    exit 1
+}
+echo "daemon-smoke: /metrics ok ($(wc -l <"$WORK/metrics.txt") lines)"
+
+echo "daemon-smoke: shutting down with SIGTERM"
+kill -TERM "$KATARAD_PID"
+i=0
+while kill -0 "$KATARAD_PID" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -ge 100 ]; then
+        echo "daemon-smoke: FAIL: katarad did not exit after SIGTERM" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+wait "$KATARAD_PID" 2>/dev/null || {
+    echo "daemon-smoke: FAIL: katarad exited non-zero" >&2
+    cat "$WORK/daemon.log" >&2 || true
+    exit 1
+}
+KATARAD_PID=""
+grep -q 'katarad: bye' "$WORK/daemon.log" || {
+    echo "daemon-smoke: FAIL: shutdown was not clean" >&2
+    cat "$WORK/daemon.log" >&2 || true
+    exit 1
+}
+echo "daemon-smoke: clean shutdown"
+
+echo "daemon-smoke: PASS"

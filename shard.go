@@ -1,0 +1,314 @@
+// Row-range sharded execution: the job/shard orchestration extracted from
+// CleanContext so one machine can clean the paper's full-scale tables (§2
+// clamped Person to 5K rows because 316K "needed a 30-machine cluster").
+//
+// The split follows the stages' data dependencies:
+//
+//   - pattern discovery runs ONCE over the table (its own MaxRows cap is the
+//     sample the paper describes) — sharding never changes the pattern;
+//   - pattern validation runs ONCE — it is crowd-serial by construction;
+//   - annotation's step-1 KB coverage (§6.1) is a pure function of the
+//     read-only KB and one tuple, so it fans out across N contiguous
+//     row-range shards; step 2 (crowd consultation + enrichment) stays
+//     serial in global row order, fed the precomputed coverage;
+//   - repair index construction runs ONCE (deterministic), then per-row
+//     top-k retrieval fans out across row-range shards of the erroneous
+//     rows; the result map is keyed by row, so the merge is order-free.
+//
+// Each shard records into its own telemetry.Pipeline; the orchestrator
+// merges them into the run's pipeline (counters, stage timers and the
+// mergeable latency histograms) after the fan-out joins. Because everything
+// the crowd, the budget accounting and KB enrichment can observe happens in
+// the same serial order for every shard count, reports are byte-identical
+// across shard counts — the propcheck `sharded ≡ unsharded` invariant
+// (DESIGN.md §13).
+package katara
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"katara/internal/annotation"
+	"katara/internal/crowd"
+	"katara/internal/discovery"
+	"katara/internal/pattern"
+	"katara/internal/repair"
+	"katara/internal/telemetry"
+)
+
+// CleanSharded is Clean with annotation coverage and repair retrieval fanned
+// out across shards row-range shards (0 or 1 = unsharded, negative =
+// GOMAXPROCS). The report is byte-identical to Clean's for every shard
+// count.
+func (c *Cleaner) CleanSharded(t *Table, shards int) (*Report, error) {
+	return c.CleanShardedContext(context.Background(), t, shards)
+}
+
+// CleanShardedContext is CleanContext with an explicit shard count,
+// overriding Options.Shards for this run.
+func (c *Cleaner) CleanShardedContext(ctx context.Context, t *Table, shards int) (*Report, error) {
+	return c.runClean(ctx, t, shards)
+}
+
+// runClean is the pipeline orchestrator: telemetry/budget/deadline setup,
+// discover → validate → annotate → repair with the annotate/repair stages
+// sharded across row ranges, and the end-of-run accounting.
+func (c *Cleaner) runClean(ctx context.Context, t *Table, shards int) (*Report, error) {
+	if t == nil || t.NumRows() == 0 {
+		return nil, fmt.Errorf("katara: empty table")
+	}
+	shards = resolveShards(shards)
+	var tel *telemetry.Pipeline
+	switch {
+	case c.opts.Pipeline != nil:
+		tel = c.opts.Pipeline
+	case c.opts.Tracer != nil:
+		tel = telemetry.NewTraced(c.opts.Tracer)
+	case c.opts.Telemetry:
+		tel = telemetry.New()
+	}
+	c.crowd.SetTelemetry(tel)
+	defer c.crowd.SetTelemetry(nil)
+	c.resolver.SetTelemetry(tel)
+	defer c.resolver.SetTelemetry(nil)
+	if c.opts.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.opts.Deadline)
+		defer cancel()
+	}
+	if c.opts.Budget > 0 || c.opts.BudgetAssignments > 0 {
+		c.crowd.SetBudget(crowd.NewBudget(c.opts.Budget, c.opts.BudgetAssignments))
+		defer c.crowd.SetBudget(nil)
+	}
+
+	// The resolver cache outlives individual runs; diff its counters so the
+	// run's snapshot reports only this run's hits and misses.
+	hits0, misses0 := c.resolver.Stats()
+
+	// Root span of the run: the stage spans (and through them every leaf
+	// span) nest under it, so the journal reconstructs into one rooted tree.
+	root := tel.PushSpan("clean")
+	root.SetStr("table", t.Name)
+	root.SetInt("rows", int64(t.NumRows()))
+	root.SetInt("shards", int64(shards))
+
+	start := tel.StartStage(telemetry.StageDiscover)
+	cands := c.generate(t, tel)
+	candidates := discovery.TopK(cands, c.opts.TopK)
+	tel.EndStage(telemetry.StageDiscover, start)
+	if len(candidates) == 0 {
+		root.End()
+		return nil, ErrNoPattern
+	}
+	c.crowd.ResetStats()
+	rep := &Report{}
+	start = tel.StartStage(telemetry.StageValidate)
+	p, _, degraded := c.validatePattern(ctx, t, candidates)
+	if degraded {
+		rep.Degraded.PatternFallback = true
+		tel.Inc(telemetry.DegradedDecisions)
+	}
+	if c.opts.DiscoverPaths {
+		p = p.Clone()
+		discovery.AttachPathEdges(p, discovery.DiscoverPathEdges(cands))
+	}
+	tel.EndStage(telemetry.StageValidate, start)
+	start = tel.StartStage(telemetry.StageAnnotate)
+	res := c.annotateSharded(ctx, t, p, tel, shards)
+	tel.EndStage(telemetry.StageAnnotate, start)
+	rep.Pattern = p
+	rep.Annotations = res.Tuples
+	rep.NewFacts = res.NewFacts
+	rep.Degraded.Tuples = res.DegradedTuples
+	if ctx.Err() != nil {
+		// Deadline spent before repair: degrade rather than blow through it.
+		rep.Degraded.RepairsSkipped = true
+		tel.Inc(telemetry.DegradedDecisions)
+	} else {
+		start = tel.StartStage(telemetry.StageRepair)
+		rep.Repairs = c.repairsSharded(t, p, res.Errors(), tel, shards)
+		tel.EndStage(telemetry.StageRepair, start)
+	}
+	rep.Crowd = c.crowd.Stats()
+	rep.QuestionsAsked = rep.Crowd.Questions
+	hits1, misses1 := c.resolver.Stats()
+	tel.Add(telemetry.ResolverHits, hits1-hits0)
+	tel.Add(telemetry.ResolverMisses, misses1-misses0)
+	root.SetInt("questions", int64(rep.QuestionsAsked))
+	root.End()
+	rep.Timings = tel.Snapshot()
+	return rep, nil
+}
+
+// resolveShards normalizes a shard count: 0 and 1 mean unsharded, negative
+// means GOMAXPROCS (via Options.withDefaults' convention).
+func resolveShards(shards int) int {
+	if shards < 0 {
+		shards = Options{Shards: shards}.withDefaults().Shards
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	return shards
+}
+
+// shardRange is one contiguous row range [Lo, Hi).
+type shardRange struct{ Lo, Hi int }
+
+// shardRanges splits n rows into at most shards contiguous ranges of
+// near-equal size (the first n%shards ranges take one extra row). Empty
+// ranges are never produced.
+func shardRanges(n, shards int) []shardRange {
+	if shards > n {
+		shards = n
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	out := make([]shardRange, 0, shards)
+	base, extra := n/shards, n%shards
+	lo := 0
+	for i := 0; i < shards; i++ {
+		size := base
+		if i < extra {
+			size++
+		}
+		if size == 0 {
+			continue
+		}
+		out = append(out, shardRange{Lo: lo, Hi: lo + size})
+		lo += size
+	}
+	return out
+}
+
+// shardPipelines returns one child pipeline per range when the run is
+// instrumented, or all-nil children when it is not (nil *Pipeline is the
+// disabled instrument).
+func shardPipelines(tel *telemetry.Pipeline, n int) []*telemetry.Pipeline {
+	children := make([]*telemetry.Pipeline, n)
+	if tel == nil {
+		return children
+	}
+	for i := range children {
+		children[i] = telemetry.New()
+	}
+	return children
+}
+
+// annotateSharded is the sharded §6.1 stage: step-1 KB coverage fans out
+// across contiguous row-range shards (each with its own telemetry pipeline,
+// merged after the join), then the crowd-serial step 2 consumes the
+// precomputed coverage in global row order. For shards <= 1 it falls back
+// to the unsharded annotator (whose Workers pool remains available).
+func (c *Cleaner) annotateSharded(ctx context.Context, t *Table, p *Pattern, tel *telemetry.Pipeline, shards int) *annotation.Result {
+	ann := c.annotator(ctx, p, tel)
+	n := t.NumRows()
+	if shards <= 1 || n < 2*shards {
+		return ann.Annotate(t)
+	}
+	// Coverage workers only read the KB: force the lazily-memoised
+	// hierarchy closures before the fan-out.
+	c.kb.WarmClosures()
+	matches := make([]*pattern.Match, n)
+	ranges := shardRanges(n, shards)
+	children := shardPipelines(tel, len(ranges))
+	var wg sync.WaitGroup
+	for i, rg := range ranges {
+		wg.Add(1)
+		go func(rg shardRange, child *telemetry.Pipeline) {
+			defer wg.Done()
+			ann.EvaluateCoverage(t, rg.Lo, rg.Hi, matches, child)
+		}(rg, children[i])
+	}
+	wg.Wait()
+	for _, child := range children {
+		tel.Merge(child)
+	}
+	return ann.AnnotateWith(t, matches)
+}
+
+// repairsSharded is the sharded §6.2 stage: the index is built once
+// (deterministic for every worker and shard count), then per-row top-k
+// retrieval fans out across row-range shards of the erroneous-row list,
+// each shard recording into its own telemetry pipeline through a shallow
+// index view. The merge is a map fill keyed by row — order-free.
+func (c *Cleaner) repairsSharded(t *Table, p *Pattern, rows []int, tel *telemetry.Pipeline, shards int) map[int][]Repair {
+	if len(p.Edges) == 0 {
+		return nil // no relationships: repairs are undefined (§7.4)
+	}
+	out := make(map[int][]Repair, len(rows))
+	if len(rows) == 0 {
+		// An error-free table needs no repairs: skip instance-graph
+		// enumeration entirely — on large KBs building the index dwarfs
+		// the rest of the pipeline.
+		return out
+	}
+	start := tel.StartStage(telemetry.StageBuildIndex)
+	ix := repair.BuildIndex(c.kb, p, repair.Options{
+		MaxGraphs: c.opts.RepairMaxGraphs,
+		Weights:   c.opts.RepairWeights,
+		Workers:   c.opts.Workers,
+		Telemetry: tel,
+	})
+	tel.EndStage(telemetry.StageBuildIndex, start)
+	perRow := make([][]Repair, len(rows))
+	switch {
+	case shards > 1 && len(rows) >= 2:
+		ranges := shardRanges(len(rows), shards)
+		children := shardPipelines(tel, len(ranges))
+		var wg sync.WaitGroup
+		for i, rg := range ranges {
+			wg.Add(1)
+			go func(rg shardRange, child *telemetry.Pipeline) {
+				defer wg.Done()
+				ixs := ix.WithTelemetry(child)
+				for i := rg.Lo; i < rg.Hi; i++ {
+					if row := rows[i]; row >= 0 && row < t.NumRows() {
+						perRow[i] = ixs.TopK(t.Rows[row], c.opts.RepairK)
+					}
+				}
+			}(rg, children[i])
+		}
+		wg.Wait()
+		for _, child := range children {
+			tel.Merge(child)
+		}
+	case c.opts.Workers > 1 && len(rows) >= 2*c.opts.Workers:
+		// Per-row retrieval is independent and the index is read-only:
+		// work-steal across the worker pool, keyed by row index.
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < c.opts.Workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(rows) {
+						return
+					}
+					if row := rows[i]; row >= 0 && row < t.NumRows() {
+						perRow[i] = ix.TopK(t.Rows[row], c.opts.RepairK)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	default:
+		for i, row := range rows {
+			if row < 0 || row >= t.NumRows() {
+				continue
+			}
+			perRow[i] = ix.TopK(t.Rows[row], c.opts.RepairK)
+		}
+	}
+	for i, row := range rows {
+		if row >= 0 && row < t.NumRows() {
+			out[row] = perRow[i]
+		}
+	}
+	return out
+}
