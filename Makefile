@@ -13,7 +13,7 @@ FUZZTIME ?= 30s
 COVER_OUT ?= coverage.out
 
 .PHONY: all build vet test race bench bench-smoke bench-save obs-smoke \
-	daemon-smoke fuzz-smoke cover cover-check check
+	daemon-smoke chaos-smoke fuzz-smoke cover cover-check check
 
 all: check
 
@@ -49,6 +49,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzSimilarityLookup$$' -fuzztime $(FUZZTIME) ./internal/similarity
 	$(GO) test -run '^$$' -fuzz '^FuzzLintExposition$$' -fuzztime $(FUZZTIME) ./internal/telemetry
 	$(GO) test -run '^$$' -fuzz '^FuzzTableLoad$$' -fuzztime $(FUZZTIME) ./internal/table
+	$(GO) test -run '^$$' -fuzz '^FuzzJournalReplay$$' -fuzztime $(FUZZTIME) ./internal/jobs
 
 # Per-package coverage summary plus the repo-wide total.
 cover:
@@ -70,5 +71,11 @@ obs-smoke:
 # /metrics scrapes), then verify SIGTERM tears it down cleanly.
 daemon-smoke:
 	./scripts/daemon_smoke.sh
+
+# Crash-recovery check: kchaos SIGKILLs and restarts katarad mid-burst on a
+# shared journal — no accepted job may be lost, every report must match a
+# crash-free oracle byte-for-byte, and the journal must compact.
+chaos-smoke:
+	./scripts/chaos_smoke.sh
 
 check: build vet test race

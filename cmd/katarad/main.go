@@ -7,6 +7,7 @@
 // Usage:
 //
 //	katarad -kb yago.nt [-listen :8080] [-max-concurrent 4] [-max-queue 64]
+//	        [-journal-dir /var/lib/katarad] [-drain-timeout 30s]
 //
 // Endpoints:
 //
@@ -18,8 +19,17 @@
 //	GET  /healthz           liveness probe
 //	GET  /metrics           Prometheus exposition (all jobs merged, monotone)
 //
-// SIGINT/SIGTERM shut down gracefully: in-flight HTTP requests drain,
-// queued and running jobs are cancelled, and the process exits cleanly.
+// With -journal-dir, every job transition is recorded in a crash-safe
+// write-ahead log: a submission is fsynced before it is acknowledged, so an
+// accepted job survives SIGKILL. A restarted daemon replays the journal —
+// finished jobs stay retrievable with byte-identical results, interrupted
+// jobs are re-queued, and a job seen running across two consecutive crashes
+// is quarantined as failed (poisoned) instead of re-entering the crash loop.
+//
+// SIGTERM drains gracefully: admission stops (503 + Retry-After), running
+// jobs get -drain-timeout to finish, still-queued jobs are left in the
+// journal for the next boot, and the process exits 0. SIGINT shuts down
+// fast: queued and running jobs are cancelled (journaled as cancelled).
 package main
 
 import (
@@ -53,6 +63,8 @@ func run(args []string, stdout, stderr *os.File) int {
 		listen        = fs.String("listen", ":8080", "serve the job API on this address")
 		maxConcurrent = fs.Int("max-concurrent", 4, "jobs running at once")
 		maxQueue      = fs.Int("max-queue", 64, "jobs waiting in the queue before submissions are rejected")
+		journalDir    = fs.String("journal-dir", "", "durable job journal directory (empty: job state does not survive restarts)")
+		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "how long SIGTERM lets running jobs finish before exiting")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -75,12 +87,41 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 	fmt.Fprintf(stdout, "katarad: loaded %d triples from %s\n", n, *kbPath)
 
+	var (
+		journal *jobs.Journal
+		replay  *jobs.Replay
+	)
+	if *journalDir != "" {
+		journal, replay, err = jobs.OpenJournal(*journalDir)
+		if err != nil {
+			fmt.Fprintln(stderr, "katarad:", err)
+			return 1
+		}
+		defer journal.Close()
+	}
+
 	m := jobs.NewManager(jobs.Config{
 		KB:            kb,
 		MaxConcurrent: *maxConcurrent,
 		MaxQueue:      *maxQueue,
+		Journal:       journal,
+		Replay:        replay,
 	})
-	defer m.Close()
+	// The drain path exits without Close: cancelling queued jobs would
+	// journal them terminal, and the whole point of draining is to leave
+	// them re-queueable for the next boot.
+	closeManager := true
+	defer func() {
+		if closeManager {
+			m.Close()
+		}
+	}()
+	if replay != nil {
+		rs := m.Recovery()
+		fmt.Fprintf(stdout,
+			"katarad: journal replayed: %d finished, %d requeued, %d poisoned (boots=%d truncated=%dB)\n",
+			rs.Terminal, rs.Requeued, rs.Poisoned, rs.Boots, rs.TruncatedBytes)
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -97,14 +138,28 @@ func run(args []string, stdout, stderr *os.File) int {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case s := <-sig:
-		fmt.Fprintf(stdout, "katarad: %s, shutting down\n", s)
+		if s == syscall.SIGTERM {
+			// Graceful drain: refuse new work while the API stays up, so
+			// clients can keep polling results of jobs that finish.
+			fmt.Fprintf(stdout, "katarad: SIGTERM, draining (timeout %s)\n", *drainTimeout)
+			m.StartDraining()
+			if m.Drain(*drainTimeout) {
+				fmt.Fprintln(stdout, "katarad: drained: no jobs running")
+			} else {
+				fmt.Fprintln(stdout, "katarad: drain timeout: unfinished jobs left journaled for restart")
+			}
+			closeManager = false
+		} else {
+			fmt.Fprintf(stdout, "katarad: %s, shutting down\n", s)
+		}
 	case err := <-serveErr:
 		fmt.Fprintln(stderr, "katarad: serve:", err)
 		return 1
 	}
 
-	// Drain in-flight HTTP first (so a mid-scrape /metrics completes), then
-	// cancel the job pool via the deferred m.Close.
+	// Drain in-flight HTTP (so a mid-scrape /metrics completes), then tear
+	// down the job pool via the deferred Close (fast path only) and sync
+	// the journal via its deferred Close.
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture returns an *os.File run() can write to plus a closure reading
+// back what was written (run takes *os.File, not io.Writer).
+func capture(t *testing.T) (*os.File, func() string) {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "capture-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f, func() string {
+		b, err := os.ReadFile(f.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+}
+
+// TestRunRequiresKB: the daemon refuses to start without a knowledge
+// base (exit 2, usage error).
+func TestRunRequiresKB(t *testing.T) {
+	stdout, _ := capture(t)
+	stderr, errText := capture(t)
+	if code := run(nil, stdout, stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2 (stderr %q)", code, errText())
+	}
+	if !strings.Contains(errText(), "-kb is required") {
+		t.Fatalf("stderr does not name the missing flag: %q", errText())
+	}
+}
+
+// TestRunRejectsBadLimits: non-positive concurrency or queue bounds are
+// usage errors before anything loads.
+func TestRunRejectsBadLimits(t *testing.T) {
+	for _, bad := range [][]string{
+		{"-max-concurrent", "0"},
+		{"-max-queue", "0"},
+	} {
+		args := append([]string{"-kb", "x.nt"}, bad...)
+		stdout, outText := capture(t)
+		stderr, errText := capture(t)
+		if code := run(args, stdout, stderr); code != 2 {
+			t.Fatalf("run(%v) = %d, want 2 (stderr %q)", bad, code, errText())
+		}
+		if strings.Contains(outText(), "loaded") {
+			t.Fatalf("run(%v): KB loaded despite usage error: %q", bad, outText())
+		}
+	}
+}
+
+// TestRunMissingKB: a nonexistent KB file is a runtime error (exit 1),
+// and the daemon never reaches the listen phase.
+func TestRunMissingKB(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "no-such.nt")
+	stdout, outText := capture(t)
+	stderr, errText := capture(t)
+	code := run([]string{"-kb", missing}, stdout, stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr %q)", code, errText())
+	}
+	if !strings.Contains(errText(), "no-such.nt") {
+		t.Fatalf("stderr does not name the missing file: %q", errText())
+	}
+	if strings.Contains(outText(), "serving") {
+		t.Fatalf("daemon reached the serve phase: %q", outText())
+	}
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture returns an *os.File run() can write to plus a closure that
+// reads everything written so far. The run seams take *os.File (they are
+// handed os.Stdout/os.Stderr in main), so a bytes.Buffer won't do.
+func capture(t *testing.T) (*os.File, func() string) {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "capture-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f, func() string {
+		b, err := os.ReadFile(f.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+}
+
+// TestRunRequiresFlags: without -katarad/-kb/-in nothing may start; the
+// usage error must name the missing flags and exit 2.
+func TestRunRequiresFlags(t *testing.T) {
+	stdout, _ := capture(t)
+	stderr, errText := capture(t)
+	if code := run(nil, stdout, stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2 (stderr %q)", code, errText())
+	}
+	if !strings.Contains(errText(), "-katarad, -kb and -in are required") {
+		t.Fatalf("stderr does not name the required flags: %q", errText())
+	}
+}
+
+// TestRunRejectsBadSchedule: an inverted kill window (-kill-max below
+// -kill-min) and non-positive counts are usage errors, not runs.
+func TestRunRejectsBadSchedule(t *testing.T) {
+	for _, bad := range [][]string{
+		{"-jobs", "0"},
+		{"-concurrency", "0"},
+		{"-kill-min", "0s"},
+		{"-kill-min", "200ms", "-kill-max", "100ms"},
+	} {
+		args := append([]string{"-katarad", "x", "-kb", "y", "-in", "z"}, bad...)
+		stdout, _ := capture(t)
+		stderr, errText := capture(t)
+		if code := run(args, stdout, stderr); code != 2 {
+			t.Fatalf("run(%v) = %d, want 2 (stderr %q)", bad, code, errText())
+		}
+		if !strings.Contains(errText(), "invalid") {
+			t.Fatalf("run(%v): stderr missing validation message: %q", bad, errText())
+		}
+	}
+}
+
+// TestRunMissingInput: flag validation passes but the table file does not
+// exist — a runtime error (exit 1), reported before any process spawns.
+func TestRunMissingInput(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "no-such.csv")
+	stdout, _ := capture(t)
+	stderr, errText := capture(t)
+	code := run([]string{"-katarad", "x", "-kb", "y", "-in", missing}, stdout, stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr %q)", code, errText())
+	}
+	if !strings.Contains(errText(), "no-such.csv") {
+		t.Fatalf("stderr does not name the missing file: %q", errText())
+	}
+}

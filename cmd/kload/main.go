@@ -27,8 +27,6 @@ import (
 	"io"
 	"net/http"
 	"os"
-	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -140,7 +138,7 @@ func run(args []string, stdout, stderr *os.File) int {
 				fail("scrape not lint-clean: %v", err)
 				return
 			}
-			if err := checkMonotone(prev, body); err != nil {
+			if err := telemetry.CheckMonotone(prev, body); err != nil {
 				fail("%v", err)
 				return
 			}
@@ -220,10 +218,13 @@ func submitJob(client *http.Client, base string, payload []byte, deadline time.T
 				return "", fmt.Errorf("submit response: %w", err)
 			}
 			return sub.ID, nil
-		case http.StatusTooManyRequests:
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			// 429 = queue full, 503 = draining for restart; both are
+			// backpressure (the daemon says so with Retry-After), so retry
+			// with backoff until the deadline.
 			rejections.Add(1)
 			if time.Now().After(deadline) {
-				return "", fmt.Errorf("queue full past deadline")
+				return "", fmt.Errorf("status %d past deadline", resp.StatusCode)
 			}
 			time.Sleep(backoff)
 			if backoff < 100*time.Millisecond {
@@ -267,36 +268,4 @@ func awaitResult(client *http.Client, base, id string, deadline time.Time) ([]by
 			return nil, fmt.Errorf("result: status %d: %s", resp.StatusCode, body)
 		}
 	}
-}
-
-// checkMonotone verifies no cumulative series ever decreases between
-// scrapes (prev is updated in place). Gauges are exempt.
-func checkMonotone(prev map[string]float64, body []byte) error {
-	for _, line := range strings.Split(string(body), "\n") {
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		sp := strings.LastIndexByte(line, ' ')
-		if sp < 0 {
-			continue
-		}
-		series, valStr := line[:sp], line[sp+1:]
-		base := series
-		if i := strings.IndexByte(series, '{'); i >= 0 {
-			base = series[:i]
-		}
-		if !strings.HasSuffix(base, "_total") && !strings.HasSuffix(base, "_count") &&
-			!strings.HasSuffix(base, "_sum") && !strings.HasSuffix(base, "_bucket") {
-			continue
-		}
-		v, err := strconv.ParseFloat(valStr, 64)
-		if err != nil {
-			return fmt.Errorf("series %s: unparseable value %q", series, valStr)
-		}
-		if last, ok := prev[series]; ok && v < last {
-			return fmt.Errorf("series %s went backwards: %v -> %v", series, last, v)
-		}
-		prev[series] = v
-	}
-	return nil
 }

@@ -148,6 +148,12 @@ type Crowd struct {
 	assignments int
 	stats       Stats
 
+	// backoffRng draws retry-backoff jitter. It is deliberately separate
+	// from rng: concurrent sharded jobs must not retry in lockstep, but the
+	// decision stream (worker permutations, answers) must stay untouched so
+	// differential runs remain byte-identical.
+	backoffRng *rand.Rand
+
 	// Resilience layer (transport.go, resilience.go).
 	transport Transport // nil = direct in-process delivery
 	retry     RetryPolicy
@@ -195,10 +201,20 @@ func WithBudget(b *Budget) Option {
 	return func(c *Crowd) { c.budget = b }
 }
 
+// jitterSeedSalt decorrelates the backoff-jitter rng from the decision rng
+// while keeping both derived from the same crowd seed.
+const jitterSeedSalt = 0x6a697474 // "jitt"
+
 // newCrowd is the shared construction path: defaults applied here, workers
-// and options by the callers.
-func newCrowd(rng *rand.Rand) *Crowd {
-	return &Crowd{rng: rng, assignments: 3}
+// and options by the callers. The backoff-jitter rng is seeded separately
+// from the decision rng so jitter never perturbs worker permutations or
+// answers — reports stay byte-identical with jitter on or off.
+func newCrowd(rng *rand.Rand, seed int64) *Crowd {
+	return &Crowd{
+		rng:         rng,
+		assignments: 3,
+		backoffRng:  rand.New(rand.NewSource(seed ^ jitterSeedSalt)),
+	}
 }
 
 func (c *Crowd) apply(opts []Option) *Crowd {
@@ -213,7 +229,7 @@ func (c *Crowd) apply(opts []Option) *Crowd {
 // All randomness flows from seed, keeping experiments reproducible.
 func New(n int, meanAccuracy float64, seed int64, opts ...Option) *Crowd {
 	rng := rand.New(rand.NewSource(seed))
-	c := newCrowd(rng)
+	c := newCrowd(rng, seed)
 	for i := 0; i < n; i++ {
 		acc := meanAccuracy + (rng.Float64()-0.5)*0.1
 		if acc > 1 {
@@ -232,7 +248,7 @@ func New(n int, meanAccuracy float64, seed int64, opts ...Option) *Crowd {
 // Options as New (accuracies are pinned to 1 rather than jittered, so the
 // rng stream starts identically to the historical Perfect).
 func Perfect(n int, opts ...Option) *Crowd {
-	c := newCrowd(rand.New(rand.NewSource(0)))
+	c := newCrowd(rand.New(rand.NewSource(0)), 0)
 	for i := 0; i < n; i++ {
 		c.workers = append(c.workers, Worker{ID: i, Accuracy: 1})
 	}

@@ -29,6 +29,14 @@ type RetryPolicy struct {
 	// before it is treated as abandoned and reassigned (0 = wait forever,
 	// i.e. only the context deadline applies).
 	AssignmentTimeout time.Duration
+	// Jitter in (0, 1] randomizes each backoff wait down to
+	// [d·(1−Jitter), d], so concurrent sharded jobs hitting the same
+	// transient fault don't retry in lockstep (a thundering herd against
+	// the crowd market). The draw comes from a dedicated rng seeded by the
+	// crowd seed — never the decision rng — so enabling jitter changes
+	// timing only, never answers. 0 selects the default (0.5); negative
+	// disables jitter entirely.
+	Jitter float64
 }
 
 func (r RetryPolicy) withDefaults() RetryPolicy {
@@ -41,11 +49,15 @@ func (r RetryPolicy) withDefaults() RetryPolicy {
 	if r.MaxBackoff <= 0 {
 		r.MaxBackoff = 16 * time.Millisecond
 	}
+	if r.Jitter == 0 {
+		r.Jitter = 0.5
+	}
 	return r
 }
 
 // Backoff returns the capped exponential wait before retry attempt n
-// (n = 1 is the first retry).
+// (n = 1 is the first retry), before jitter. The jittered wait the crowd
+// actually sleeps is drawn by Crowd.jitteredBackoff.
 func (r RetryPolicy) Backoff(n int) time.Duration {
 	r = r.withDefaults()
 	d := r.BaseBackoff
@@ -59,6 +71,21 @@ func (r RetryPolicy) Backoff(n int) time.Duration {
 		d = r.MaxBackoff
 	}
 	return d
+}
+
+// jitteredBackoff is Backoff(n) with the policy's seeded jitter applied:
+// uniform in [d·(1−Jitter), d]. Callers hold c.mu (backoffRng is guarded by
+// it, like the decision rng).
+func (c *Crowd) jitteredBackoff(r RetryPolicy, n int) time.Duration {
+	d := r.Backoff(n)
+	j := r.withDefaults().Jitter
+	if j <= 0 || d <= 0 || c.backoffRng == nil {
+		return d
+	}
+	if j > 1 {
+		j = 1
+	}
+	return time.Duration(float64(d) * (1 - j*c.backoffRng.Float64()))
 }
 
 // EscalationPolicy is adaptive redundancy (§5.1 asks every question exactly
@@ -283,7 +310,7 @@ func (c *Crowd) AskContext(ctx context.Context, q Question) (int, error) {
 			c.stats.Retries++
 			c.tel.Inc(telemetry.CrowdRetries)
 			qRetries++
-			if err := c.sleep(ctx, retry.Backoff(attempt)); err != nil {
+			if err := c.sleep(ctx, c.jitteredBackoff(retry, attempt)); err != nil {
 				stop = err
 				return false
 			}

@@ -1,0 +1,444 @@
+// The durable job journal: an append-only write-ahead log that makes the
+// daemon's job table survive a crash. Every lifecycle transition is recorded
+// as a CRC-framed record — submit (table + params, fsynced before the
+// submission is acknowledged, so an accepted job is never lost), start, and
+// the terminal end (carrying the deterministic result document, so replayed
+// jobs stay retrievable) — and a restarted daemon replays the log to rebuild
+// its state: terminal jobs come back retrievable, jobs that were queued or
+// running at crash time are re-queued for execution, and a job observed
+// running across two consecutive crashes is quarantined as poisoned instead
+// of re-entering the crash loop.
+//
+// Frame format (little-endian):
+//
+//	[4 bytes length n] [4 bytes IEEE CRC32 of payload] [n bytes JSON payload]
+//
+// Replay stops at the first torn or corrupted frame — a crash mid-append
+// leaves a partial tail, never a corrupted prefix — so every fully-framed
+// record before the tear is recovered. Durability is group-committed: a
+// caller asking for a synced append piggybacks on any fsync that already
+// covers its record, so a burst of concurrent submissions costs one fsync,
+// not one each.
+//
+// The journal directory holds files named wal-<seq>.log. On open, all files
+// are replayed in sequence order, then the surviving state is checkpointed
+// into a fresh highest-sequence file and the old files are deleted —
+// truncation by checkpoint compaction, bounding journal growth to one boot's
+// worth of records.
+package jobs
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// ErrJournalClosed rejects appends after Close.
+var ErrJournalClosed = errors.New("jobs: journal closed")
+
+// maxRecordBytes bounds one frame's payload (a table submission tops out at
+// the HTTP body cap, so anything larger is corruption, not data).
+const maxRecordBytes = 128 << 20
+
+// Journal record kinds.
+const (
+	recBoot       = "boot"
+	recSubmit     = "submit"
+	recStart      = "start"
+	recEnd        = "end"
+	recCheckpoint = "checkpoint"
+)
+
+// journalRecord is the JSON payload of one frame.
+type journalRecord struct {
+	Kind   string         `json:"kind"`
+	ID     string         `json:"id,omitempty"`
+	Table  *TableDoc      `json:"table,omitempty"`
+	Params *Params        `json:"params,omitempty"`
+	State  State          `json:"state,omitempty"`
+	Error  string         `json:"error,omitempty"`
+	Stack  string         `json:"stack,omitempty"`
+	Report *ReportDoc     `json:"report,omitempty"`
+	Jobs   []RecoveredJob `json:"jobs,omitempty"` // checkpoint snapshot
+}
+
+// RecoveredJob is one job's replayed state: its full submission (so a
+// non-terminal job can be re-run), its last observed state, and — for
+// terminal jobs — the result document exactly as it was served.
+type RecoveredJob struct {
+	ID     string     `json:"id"`
+	Table  TableDoc   `json:"table"`
+	Params Params     `json:"params"`
+	State  State      `json:"state"`
+	// Starts counts start records not yet followed by a terminal record —
+	// i.e. boots that crashed while this job was running. Two unterminated
+	// starts mark the job poisoned: it has taken the daemon down twice.
+	Starts int        `json:"starts,omitempty"`
+	Error  string     `json:"error,omitempty"`
+	Stack  string     `json:"stack,omitempty"`
+	Report *ReportDoc `json:"report,omitempty"`
+}
+
+// Replay is the state rebuilt from a journal directory.
+type Replay struct {
+	// Jobs lists every known job in submission order.
+	Jobs []RecoveredJob
+	// Boots counts boot records seen (prior daemon starts since the last
+	// compaction).
+	Boots int
+	// MaxID is the highest numeric job ID seen; the manager continues the
+	// sequence from here so IDs stay unique across restarts.
+	MaxID int
+	// TruncatedBytes counts bytes dropped from torn or corrupted tails.
+	TruncatedBytes int64
+}
+
+// replayState accumulates records during replay.
+type replayState struct {
+	jobs  map[string]*RecoveredJob
+	order []string
+	boots int
+	maxID int
+}
+
+func newReplayState() *replayState {
+	return &replayState{jobs: map[string]*RecoveredJob{}}
+}
+
+func (st *replayState) insert(rj *RecoveredJob) {
+	if _, ok := st.jobs[rj.ID]; ok {
+		return
+	}
+	st.jobs[rj.ID] = rj
+	st.order = append(st.order, rj.ID)
+	if strings.HasPrefix(rj.ID, "j") {
+		if n, err := strconv.Atoi(rj.ID[1:]); err == nil && n > st.maxID {
+			st.maxID = n
+		}
+	}
+}
+
+// apply folds one record into the state. Records referencing unknown jobs
+// are tolerated (a start whose submit was torn away), never fatal — replay
+// must accept any prefix of a valid journal.
+func (st *replayState) apply(rec journalRecord) {
+	switch rec.Kind {
+	case recBoot:
+		st.boots++
+	case recCheckpoint:
+		st.jobs = map[string]*RecoveredJob{}
+		st.order = nil
+		for i := range rec.Jobs {
+			cp := rec.Jobs[i]
+			st.insert(&cp)
+		}
+	case recSubmit:
+		if rec.ID == "" || rec.Table == nil {
+			return
+		}
+		rj := &RecoveredJob{ID: rec.ID, Table: *rec.Table, State: StateQueued}
+		if rec.Params != nil {
+			rj.Params = *rec.Params
+		}
+		st.insert(rj)
+	case recEnd:
+		rj := st.jobs[rec.ID]
+		if rj == nil {
+			return
+		}
+		rj.State = rec.State
+		if !rj.State.Terminal() {
+			rj.State = StateFailed // defensive: an end record is terminal
+		}
+		rj.Error, rj.Stack, rj.Report = rec.Error, rec.Stack, rec.Report
+		rj.Starts = 0
+	case recStart:
+		if rj := st.jobs[rec.ID]; rj != nil && !rj.State.Terminal() {
+			rj.Starts++
+			rj.State = StateRunning
+		}
+	}
+}
+
+func (st *replayState) replay() *Replay {
+	rep := &Replay{Boots: st.boots, MaxID: st.maxID}
+	for _, id := range st.order {
+		rep.Jobs = append(rep.Jobs, *st.jobs[id])
+	}
+	return rep
+}
+
+// encodeFrame wraps payload in the length+CRC frame.
+func encodeFrame(payload []byte) []byte {
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
+	copy(frame[8:], payload)
+	return frame
+}
+
+// replayStream applies every fully-framed record in data to st and returns
+// the number of bytes in the torn/corrupted tail (0 for a clean stream). It
+// never panics on arbitrary input — the FuzzJournalReplay contract.
+func replayStream(data []byte, st *replayState) int64 {
+	off := 0
+	for {
+		rest := len(data) - off
+		if rest == 0 {
+			return 0
+		}
+		if rest < 8 {
+			return int64(rest)
+		}
+		n := binary.LittleEndian.Uint32(data[off:])
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if n == 0 || n > maxRecordBytes || int64(n) > int64(rest-8) {
+			return int64(rest)
+		}
+		payload := data[off+8 : off+8+int(n)]
+		if crc32.ChecksumIEEE(payload) != crc {
+			return int64(rest)
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return int64(rest)
+		}
+		st.apply(rec)
+		off += 8 + int(n)
+	}
+}
+
+// Journal is the append-only WAL. All methods are safe for concurrent use
+// and safe on a nil receiver (the journal-less daemon).
+type Journal struct {
+	dir string
+
+	mu       sync.Mutex // guards f, writeSeq, closed
+	f        *os.File
+	seq      int
+	writeSeq int64
+	closed   bool
+
+	// syncMu serializes fsyncs for group commit: syncedSeq is the highest
+	// writeSeq known durable, so a waiter whose record is already covered
+	// returns without touching the disk.
+	syncMu    sync.Mutex
+	syncedSeq int64
+}
+
+// walPath names the sequence's journal file.
+func walPath(dir string, seq int) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%08d.log", seq))
+}
+
+// journalFiles lists dir's journal files in sequence order.
+func journalFiles(dir string) (paths []string, seqs []int, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+			continue
+		}
+		n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"))
+		if err != nil {
+			continue
+		}
+		paths = append(paths, filepath.Join(dir, name))
+		seqs = append(seqs, n)
+	}
+	sort.Sort(&bySeq{paths, seqs})
+	return paths, seqs, nil
+}
+
+type bySeq struct {
+	paths []string
+	seqs  []int
+}
+
+func (b *bySeq) Len() int           { return len(b.seqs) }
+func (b *bySeq) Less(i, j int) bool { return b.seqs[i] < b.seqs[j] }
+func (b *bySeq) Swap(i, j int) {
+	b.paths[i], b.paths[j] = b.paths[j], b.paths[i]
+	b.seqs[i], b.seqs[j] = b.seqs[j], b.seqs[i]
+}
+
+// OpenJournal opens (creating if needed) the journal directory, replays
+// every record into a Replay, checkpoints the surviving state into a fresh
+// journal file (compaction — old files are deleted), stamps a boot record,
+// and returns the journal ready for appends.
+func OpenJournal(dir string) (*Journal, *Replay, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("jobs: journal dir: %w", err)
+	}
+	paths, seqs, err := journalFiles(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("jobs: journal dir: %w", err)
+	}
+	st := newReplayState()
+	var truncated int64
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, nil, fmt.Errorf("jobs: journal replay %s: %w", p, err)
+		}
+		truncated += replayStream(data, st)
+	}
+	rep := st.replay()
+	rep.TruncatedBytes = truncated
+
+	seq := 1
+	if n := len(seqs); n > 0 {
+		seq = seqs[n-1] + 1
+	}
+	f, err := os.OpenFile(walPath(dir, seq), os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("jobs: journal open: %w", err)
+	}
+	j := &Journal{dir: dir, f: f, seq: seq}
+	// Checkpoint compaction: fold everything known into the fresh file so
+	// the old ones can go. The boot record follows, marking this process
+	// start (replayed starts after it count toward poison detection).
+	if len(rep.Jobs) > 0 {
+		if err := j.append(journalRecord{Kind: recCheckpoint, Jobs: rep.Jobs}, false); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if err := j.append(journalRecord{Kind: recBoot}, true); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	for _, p := range paths {
+		_ = os.Remove(p) // best-effort; a survivor is superseded by the checkpoint
+	}
+	return j, rep, nil
+}
+
+// append frames and writes rec; with sync it blocks until the record is
+// durable (group commit).
+func (j *Journal) append(rec journalRecord, sync bool) error {
+	if j == nil {
+		return nil
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("jobs: journal encode: %w", err)
+	}
+	frame := encodeFrame(payload)
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return ErrJournalClosed
+	}
+	_, werr := j.f.Write(frame)
+	j.writeSeq++
+	seq := j.writeSeq
+	j.mu.Unlock()
+	if werr != nil {
+		return fmt.Errorf("jobs: journal append: %w", werr)
+	}
+	if sync {
+		return j.syncTo(seq)
+	}
+	return nil
+}
+
+// syncTo makes every record up to target durable, piggybacking on fsyncs
+// issued by concurrent callers.
+func (j *Journal) syncTo(target int64) error {
+	j.syncMu.Lock()
+	defer j.syncMu.Unlock()
+	if j.syncedSeq >= target {
+		return nil
+	}
+	j.mu.Lock()
+	cur, f, closed := j.writeSeq, j.f, j.closed
+	j.mu.Unlock()
+	if closed {
+		return ErrJournalClosed
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("jobs: journal sync: %w", err)
+	}
+	j.syncedSeq = cur
+	return nil
+}
+
+// Sync flushes every appended record to stable storage.
+func (j *Journal) Sync() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	seq := j.writeSeq
+	j.mu.Unlock()
+	return j.syncTo(seq)
+}
+
+// Close syncs and closes the journal. Appends after Close fail with
+// ErrJournalClosed. Idempotent.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	if err := j.Sync(); err != nil && !errors.Is(err, ErrJournalClosed) {
+		j.closeFile()
+		return err
+	}
+	return j.closeFile()
+}
+
+func (j *Journal) closeFile() error {
+	j.syncMu.Lock()
+	defer j.syncMu.Unlock()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	return j.f.Close()
+}
+
+// RecordSubmit journals an accepted submission; it returns only after the
+// record is durable, so a 202 acknowledgement implies the job survives any
+// later crash.
+func (j *Journal) RecordSubmit(id string, t TableDoc, p Params) error {
+	return j.append(journalRecord{Kind: recSubmit, ID: id, Table: &t, Params: &p}, true)
+}
+
+// RecordStart journals a job entering execution. Unsynced: losing it to a
+// crash merely replays the job as queued, which is safe — and cheaper than
+// an fsync per job start.
+func (j *Journal) RecordStart(id string) error {
+	return j.append(journalRecord{Kind: recStart, ID: id}, false)
+}
+
+// RecordEnd journals a terminal transition with the result document, synced
+// so the result is retrievable after a restart.
+func (j *Journal) RecordEnd(doc ResultDoc) error {
+	return j.append(journalRecord{
+		Kind: recEnd, ID: doc.ID, State: doc.State,
+		Error: doc.Error, Stack: doc.Stack, Report: doc.Report,
+	}, true)
+}
+
+// recordEndAsync is RecordEnd without the fsync — used by mass-cancel paths
+// (Close) that issue one Sync at the end instead of one per job.
+func (j *Journal) recordEndAsync(doc ResultDoc) error {
+	return j.append(journalRecord{
+		Kind: recEnd, ID: doc.ID, State: doc.State,
+		Error: doc.Error, Stack: doc.Stack, Report: doc.Report,
+	}, false)
+}

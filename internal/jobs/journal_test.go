@@ -1,0 +1,307 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// openJournal is a test helper that fails fast on open errors.
+func openJournal(t *testing.T, dir string) (*Journal, *Replay) {
+	t.Helper()
+	j, rep, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatalf("OpenJournal(%s): %v", dir, err)
+	}
+	return j, rep
+}
+
+// sampleTable is a tiny valid TableDoc for journal-level tests.
+func sampleTable() TableDoc {
+	return TableDoc{Name: "t", Columns: []string{"A", "B"}, Rows: [][]string{{"x", "y"}, {"u", "v"}}}
+}
+
+// sampleEnd builds a terminal record with a non-trivial report document, so
+// round-trip tests exercise the full nested encoding.
+func sampleEnd(id string, state State) ResultDoc {
+	return ResultDoc{
+		ID:    id,
+		State: state,
+		Report: &ReportDoc{
+			Pattern:        "P(person, nationality)",
+			PatternScore:   0.75,
+			QuestionsAsked: 3,
+			Summary:        SummaryDoc{ValidatedByKB: 1, Erroneous: 1},
+			Annotations: []AnnotationDoc{
+				{Row: 0, Label: "validated-by-kb"},
+				{Row: 1, Label: "erroneous"},
+			},
+			Repairs: []RepairRowDoc{{
+				Row: 1,
+				Options: []RepairOptionDoc{{
+					Cost:    1,
+					Changes: []ChangeDoc{{Col: 1, From: "v", To: "w"}},
+				}},
+			}},
+		},
+	}
+}
+
+// TestJournalRoundTrip: every lifecycle record survives a close/reopen, a
+// terminal job's result document comes back byte-identical, and the ID
+// sequence and boot count replay correctly.
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, rep := openJournal(t, dir)
+	if len(rep.Jobs) != 0 || rep.Boots != 0 || rep.MaxID != 0 || rep.TruncatedBytes != 0 {
+		t.Fatalf("fresh journal replay = %+v, want empty", rep)
+	}
+
+	end := sampleEnd("j1", StateDone)
+	if err := j.RecordSubmit("j1", sampleTable(), Params{Shards: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.RecordStart("j1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.RecordEnd(end); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.RecordSubmit("j7", sampleTable(), Params{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.RecordStart("j7"); err != ErrJournalClosed {
+		t.Fatalf("append after close = %v, want ErrJournalClosed", err)
+	}
+
+	j2, rep2 := openJournal(t, dir)
+	defer j2.Close()
+	if rep2.Boots != 1 {
+		t.Fatalf("Boots = %d, want 1", rep2.Boots)
+	}
+	if rep2.MaxID != 7 {
+		t.Fatalf("MaxID = %d, want 7", rep2.MaxID)
+	}
+	if rep2.TruncatedBytes != 0 {
+		t.Fatalf("TruncatedBytes = %d, want 0", rep2.TruncatedBytes)
+	}
+	if len(rep2.Jobs) != 2 {
+		t.Fatalf("replayed %d jobs, want 2: %+v", len(rep2.Jobs), rep2.Jobs)
+	}
+	j1 := rep2.Jobs[0]
+	if j1.ID != "j1" || j1.State != StateDone || j1.Starts != 0 {
+		t.Fatalf("j1 replayed as %+v", j1)
+	}
+	wantDoc, _ := json.Marshal(end)
+	gotDoc, _ := json.Marshal(ResultDoc{ID: j1.ID, State: j1.State, Error: j1.Error, Stack: j1.Stack, Report: j1.Report})
+	if !bytes.Equal(wantDoc, gotDoc) {
+		t.Fatalf("terminal doc not byte-identical after replay:\nwant %s\ngot  %s", wantDoc, gotDoc)
+	}
+	if q := rep2.Jobs[1]; q.ID != "j7" || q.State != StateQueued || q.Table.Name != "t" || len(q.Table.Rows) != 2 {
+		t.Fatalf("j7 replayed as %+v, want queued with full table", q)
+	}
+}
+
+// TestJournalTornTail: a crash mid-append leaves a partial frame; replay
+// recovers every record before the tear and reports the dropped bytes.
+func TestJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openJournal(t, dir)
+	if err := j.RecordSubmit("j1", sampleTable(), Params{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.RecordSubmit("j2", sampleTable(), Params{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the tail: append half a frame (header promising more bytes than
+	// exist), as a crash mid-write would.
+	paths, _, err := journalFiles(dir)
+	if err != nil || len(paths) != 1 {
+		t.Fatalf("journalFiles = %v, %v", paths, err)
+	}
+	torn := encodeFrame([]byte(`{"kind":"submit","id":"j3"}`))[:11]
+	f, err := os.OpenFile(paths[0], os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, rep := openJournal(t, dir)
+	defer j2.Close()
+	if rep.TruncatedBytes != int64(len(torn)) {
+		t.Fatalf("TruncatedBytes = %d, want %d", rep.TruncatedBytes, len(torn))
+	}
+	if len(rep.Jobs) != 2 || rep.Jobs[0].ID != "j1" || rep.Jobs[1].ID != "j2" {
+		t.Fatalf("replayed %+v, want j1 and j2 intact", rep.Jobs)
+	}
+}
+
+// TestJournalCorruptTail: flipping a payload byte breaks the CRC; replay
+// stops there instead of applying the corrupted record.
+func TestJournalCorruptTail(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openJournal(t, dir)
+	if err := j.RecordSubmit("j1", sampleTable(), Params{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.RecordEnd(ResultDoc{ID: "j1", State: StateDone}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	paths, _, _ := journalFiles(dir)
+	data, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff // corrupt the last record's payload
+	if err := os.WriteFile(paths[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, rep := openJournal(t, dir)
+	defer j2.Close()
+	if rep.TruncatedBytes == 0 {
+		t.Fatal("TruncatedBytes = 0, want > 0 for a corrupted tail")
+	}
+	if len(rep.Jobs) != 1 || rep.Jobs[0].State != StateQueued {
+		t.Fatalf("replayed %+v, want j1 back to queued (end record corrupted away)", rep.Jobs)
+	}
+}
+
+// TestJournalCompaction: every reopen folds the surviving state into one
+// fresh checkpoint file and deletes the old files, so the directory never
+// accumulates more than one boot's worth of log.
+func TestJournalCompaction(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openJournal(t, dir)
+	if err := j.RecordSubmit("j1", sampleTable(), Params{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.RecordEnd(sampleEnd("j1", StateDone)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	for boot := 2; boot <= 4; boot++ {
+		jn, rep := openJournal(t, dir)
+		paths, seqs, err := journalFiles(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(paths) != 1 {
+			t.Fatalf("boot %d: %d journal files %v, want 1 (compaction)", boot, len(paths), paths)
+		}
+		if seqs[0] != boot {
+			t.Fatalf("boot %d: file seq = %d, want %d", boot, seqs[0], boot)
+		}
+		if len(rep.Jobs) != 1 || rep.Jobs[0].ID != "j1" || rep.Jobs[0].State != StateDone {
+			t.Fatalf("boot %d: state lost across compaction: %+v", boot, rep.Jobs)
+		}
+		// Boots resets at each compaction: the checkpoint swallows history,
+		// the fresh boot record is the only one left for the next replay.
+		if rep.Boots != 1 {
+			t.Fatalf("boot %d: Boots = %d, want 1 (post-compaction)", boot, rep.Boots)
+		}
+		jn.Close()
+	}
+}
+
+// TestJournalPoisonStarts: an unterminated start record per boot accumulates
+// in Starts across reopenings — the crash-loop signal the manager quarantines
+// on — and a terminal record resets it.
+func TestJournalPoisonStarts(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openJournal(t, dir)
+	if err := j.RecordSubmit("j1", sampleTable(), Params{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.RecordStart("j1"); err != nil {
+		t.Fatal(err)
+	}
+	j.Close() // crash #1: running, no end record
+
+	j2, rep := openJournal(t, dir)
+	if len(rep.Jobs) != 1 || rep.Jobs[0].Starts != 1 || rep.Jobs[0].State != StateRunning {
+		t.Fatalf("after crash 1: %+v, want Starts=1 running", rep.Jobs)
+	}
+	if err := j2.RecordStart("j1"); err != nil { // boot 2 re-runs it...
+		t.Fatal(err)
+	}
+	j2.Close() // ...and crash #2
+
+	j3, rep2 := openJournal(t, dir)
+	if len(rep2.Jobs) != 1 || rep2.Jobs[0].Starts != 2 {
+		t.Fatalf("after crash 2: %+v, want Starts=2 (poison threshold)", rep2.Jobs)
+	}
+	// A terminal record clears the count: the job is no longer suspect.
+	if err := j3.RecordEnd(ResultDoc{ID: "j1", State: StateFailed, Error: "poisoned"}); err != nil {
+		t.Fatal(err)
+	}
+	j3.Close()
+	j4, rep3 := openJournal(t, dir)
+	defer j4.Close()
+	if len(rep3.Jobs) != 1 || rep3.Jobs[0].Starts != 0 || rep3.Jobs[0].State != StateFailed {
+		t.Fatalf("after quarantine: %+v, want terminal failed with Starts=0", rep3.Jobs)
+	}
+}
+
+// FuzzJournalReplay: replay must never panic on arbitrary bytes, and — the
+// metamorphic half — whatever valid prefix an input contains must replay to
+// the same state when a garbage tail is appended: corruption can only
+// truncate, never rewrite history.
+func FuzzJournalReplay(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("not a journal at all"))
+	var valid []byte
+	for _, payload := range []string{
+		`{"kind":"boot"}`,
+		`{"kind":"submit","id":"j1","table":{"name":"t","columns":["A"],"rows":[["x"]]}}`,
+		`{"kind":"start","id":"j1"}`,
+		`{"kind":"end","id":"j1","state":"done"}`,
+		`{"kind":"checkpoint","jobs":[{"id":"j2","table":{"name":"u"},"state":"queued"}]}`,
+	} {
+		valid = append(valid, encodeFrame([]byte(payload))...)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3]) // torn tail
+	f.Add(append(append([]byte{}, valid...), 0xde, 0xad, 0xbe))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st := newReplayState()
+		tail := replayStream(data, st) // must not panic
+		if tail < 0 || tail > int64(len(data)) {
+			t.Fatalf("tail = %d out of range [0, %d]", tail, len(data))
+		}
+		rep := st.replay()
+
+		// Metamorphic: the fully-framed prefix plus a garbage tail (too
+		// short to ever frame) replays to the identical state with exactly
+		// the garbage truncated.
+		prefix := data[:int64(len(data))-tail]
+		garbage := []byte{0xde, 0xad, 0xbe}
+		st2 := newReplayState()
+		tail2 := replayStream(append(append([]byte{}, prefix...), garbage...), st2)
+		if tail2 != int64(len(garbage)) {
+			t.Fatalf("prefix+garbage tail = %d, want %d", tail2, len(garbage))
+		}
+		a, _ := json.Marshal(rep.Jobs)
+		b, _ := json.Marshal(st2.replay().Jobs)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("prefix+garbage replayed differently:\nfull    %s\nprefix  %s", a, b)
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -34,17 +35,29 @@ var (
 	ErrQueueFull = errors.New("jobs: queue full")
 	// ErrClosed rejects submissions after Close.
 	ErrClosed = errors.New("jobs: manager closed")
+	// ErrDraining rejects submissions while the daemon is draining for a
+	// graceful shutdown — clients should retry against the restarted
+	// daemon (the HTTP layer maps this to 503 + Retry-After).
+	ErrDraining = errors.New("jobs: draining for shutdown")
 	// ErrUnknownJob reports a job ID the manager has never issued.
 	ErrUnknownJob = errors.New("jobs: unknown job")
 )
 
+// poisonedError marks a job quarantined by crash-loop detection.
+const poisonedError = "poisoned: job was running across two daemon crashes"
+
 // Job is one submitted cleaning run. All mutable fields are guarded by the
 // owning Manager's mutex; callers observe jobs through Manager.Status and
-// Manager.Report.
+// Manager.Result.
 type Job struct {
-	id     string
-	table  *katara.Table
-	params Params
+	id string
+	// table is the parsed table for jobs that will run in this boot; it is
+	// nil for journal-recovered terminal jobs, so status/result paths must
+	// use tableName/rows instead.
+	table     *katara.Table
+	tableName string
+	rows      int
+	params    Params
 	// pipe is the job's private telemetry pipeline: progress reads it live,
 	// /metrics merges it (exactly once after the job finishes, via the
 	// manager's aggregate).
@@ -58,11 +71,17 @@ type Job struct {
 	state           State
 	report          *katara.Report
 	err             error
+	stack           string // captured panic stack, if the job panicked
 	cancelRequested bool
 	absorbed        bool
-	submitted       time.Time
-	started         time.Time
-	finished        time.Time
+	// resultDoc pins the served result document. For journal-recovered
+	// terminal jobs it is the replayed document (byte-identical to what the
+	// pre-crash daemon served); for jobs finished in this boot it caches
+	// the deterministic projection built at finalize time.
+	resultDoc *ResultDoc
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
 }
 
 // RunFunc executes one job and returns its report. The manager cancels ctx
@@ -85,31 +104,67 @@ type Config struct {
 	MaxQueue int
 	// Run overrides the job runner (tests); nil uses the real pipeline.
 	Run RunFunc
+	// Journal, when non-nil, records every lifecycle transition durably: a
+	// submission is fsynced before it is acknowledged, so an accepted job
+	// survives any crash.
+	Journal *Journal
+	// Replay, when non-nil, is journal state from a previous boot: terminal
+	// jobs are restored retrievable, queued/running jobs are re-queued, and
+	// jobs that were running across two consecutive crashes are quarantined
+	// as failed (poisoned) instead of re-entering the crash loop.
+	Replay *Replay
+}
+
+// RecoveryStats summarizes what journal replay did at boot.
+type RecoveryStats struct {
+	// Terminal counts jobs restored already-finished (results retrievable).
+	Terminal int
+	// Requeued counts jobs re-queued for execution (queued or interrupted
+	// mid-run at crash time).
+	Requeued int
+	// Poisoned counts jobs quarantined by crash-loop detection.
+	Poisoned int
+	// Boots counts prior daemon starts seen in the journal.
+	Boots int
+	// TruncatedBytes counts journal bytes dropped from torn tails.
+	TruncatedBytes int64
 }
 
 // Manager owns the job table, the bounded queue and the worker pool, and
 // keeps the monotone metrics aggregate the /metrics endpoint serves.
 type Manager struct {
-	cfg   Config
-	queue chan *Job
-	wg    sync.WaitGroup
+	cfg      Config
+	journal  *Journal
+	queue    chan *Job
+	maxQueue int
+	wg       sync.WaitGroup
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
 	order  []string // submission order, for stable listings
 	nextID int
 	closed bool
+	// draining stops admission while letting running jobs finish; queued
+	// jobs are deliberately left unexecuted (their journal entries have no
+	// terminal record, so the next boot re-queues them).
+	draining bool
+	// pendingEnq reserves queue slots for submissions that have been
+	// admitted (and journaled) but not yet placed on the channel, keeping
+	// the MaxQueue bound exact without holding the mutex across the fsync.
+	pendingEnq int
 	// aggregate absorbs each finished job's pipeline exactly once, so a
 	// /metrics scrape = aggregate + still-live pipelines is monotone: a
 	// job's counters move from the live term to the absorbed term without
 	// ever being counted twice or dropped.
 	aggregate *telemetry.Pipeline
+	recovery  RecoveryStats
 
 	submitted, completed, failed, cancelled, rejected int64
+	panics, requeued, poisoned                        int64
 	running                                           int64
 }
 
-// NewManager starts the worker pool and returns the manager.
+// NewManager replays any recovered journal state and starts the worker pool.
 func NewManager(cfg Config) *Manager {
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = 4
@@ -122,15 +177,111 @@ func NewManager(cfg Config) *Manager {
 	}
 	m := &Manager{
 		cfg:       cfg,
-		queue:     make(chan *Job, cfg.MaxQueue),
+		journal:   cfg.Journal,
+		maxQueue:  cfg.MaxQueue,
 		jobs:      make(map[string]*Job),
 		aggregate: telemetry.New(),
 	}
+	requeue, endDocs := m.recover(cfg.Replay)
+	// The channel is sized past MaxQueue when recovery re-queues more jobs
+	// than the admission bound; Submit enforces MaxQueue itself, so the
+	// extra capacity only ever holds recovered work.
+	m.queue = make(chan *Job, cfg.MaxQueue+len(requeue))
+	for _, job := range requeue {
+		m.queue <- job
+	}
+	// Journal quarantine decisions so the next boot sees them terminal
+	// (one batched sync covers them all).
+	for _, doc := range endDocs {
+		_ = m.journal.recordEndAsync(doc)
+	}
+	_ = m.journal.Sync()
 	for i := 0; i < cfg.MaxConcurrent; i++ {
 		m.wg.Add(1)
 		go m.worker()
 	}
 	return m
+}
+
+// recover rebuilds the job table from replayed journal state, returning the
+// jobs to re-queue and the terminal records to journal (quarantines).
+func (m *Manager) recover(rep *Replay) (requeue []*Job, endDocs []ResultDoc) {
+	if rep == nil {
+		return nil, nil
+	}
+	m.nextID = rep.MaxID
+	m.recovery.Boots = rep.Boots
+	m.recovery.TruncatedBytes = rep.TruncatedBytes
+	for i := range rep.Jobs {
+		rj := &rep.Jobs[i]
+		job := &Job{
+			id:        rj.ID,
+			tableName: rj.Table.Name,
+			rows:      len(rj.Table.Rows),
+			params:    rj.Params,
+			pipe:      telemetry.New(),
+			done:      make(chan struct{}),
+			submitted: time.Now(),
+		}
+		if job.tableName == "" {
+			job.tableName = "table"
+		}
+		quarantine := func(doc ResultDoc) {
+			job.state = doc.State
+			job.err = errors.New(doc.Error)
+			job.resultDoc = &doc
+			job.absorbed = true
+			close(job.done)
+			endDocs = append(endDocs, doc)
+		}
+		switch {
+		case rj.State.Terminal():
+			doc := ResultDoc{ID: rj.ID, State: rj.State, Error: rj.Error, Stack: rj.Stack, Report: rj.Report}
+			job.state = rj.State
+			job.resultDoc = &doc
+			if rj.Error != "" {
+				job.err = errors.New(rj.Error)
+			}
+			job.absorbed = true
+			close(job.done)
+			m.recovery.Terminal++
+		case rj.Starts >= 2:
+			// The job was running when two consecutive boots died: break
+			// the crash loop instead of re-queuing it a third time.
+			quarantine(ResultDoc{ID: rj.ID, State: StateFailed, Error: poisonedError})
+			m.poisoned++
+			m.recovery.Poisoned++
+		default:
+			tbl, err := rj.Table.Table()
+			if err != nil {
+				// A submit record that replays but no longer parses —
+				// quarantine rather than crash or silently drop.
+				quarantine(ResultDoc{ID: rj.ID, State: StateFailed, Error: "journal replay: " + err.Error()})
+				m.recovery.Poisoned++
+				break
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			job.table = tbl
+			job.ctx = ctx
+			job.cancel = cancel
+			job.state = StateQueued
+			requeue = append(requeue, job)
+			m.submitted++
+			m.requeued++
+			m.recovery.Requeued++
+		}
+		m.jobs[job.id] = job
+		m.order = append(m.order, job.id)
+	}
+	return requeue, endDocs
+}
+
+// Recovery returns what journal replay did at boot (zero-valued without a
+// journal).
+func (m *Manager) Recovery() RecoveryStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.recovery
 }
 
 // runClean is the real runner: clone the pristine KB (per-job enrichment
@@ -150,8 +301,10 @@ func runClean(ctx context.Context, kb *katara.KB, tbl *katara.Table, p Params, p
 	return cleaner.CleanContext(ctx, tbl)
 }
 
-// Submit validates, registers and enqueues a job. It fails fast with a
-// *ValidationError, ErrQueueFull or ErrClosed; it never blocks.
+// Submit validates, registers, durably journals and enqueues a job. It
+// fails fast with a *ValidationError, ErrQueueFull, ErrDraining or
+// ErrClosed; it never blocks on a full queue. When it returns an ID the
+// submission is on stable storage: the job survives any subsequent crash.
 func (m *Manager) Submit(tbl *katara.Table, p Params) (string, error) {
 	if err := p.Validate(); err != nil {
 		return "", err
@@ -159,9 +312,45 @@ func (m *Manager) Submit(tbl *katara.Table, p Params) (string, error) {
 	if tbl == nil || tbl.NumRows() == 0 {
 		return "", &ValidationError{Problems: []string{"table must have at least one row"}}
 	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return "", ErrClosed
+	}
+	if m.draining {
+		m.mu.Unlock()
+		return "", ErrDraining
+	}
+	if len(m.queue)+m.pendingEnq >= m.maxQueue {
+		m.rejected++
+		m.mu.Unlock()
+		return "", ErrQueueFull
+	}
+	// Reserve a queue slot and the ID, then journal outside the lock: the
+	// fsync must not serialize every other manager operation, and the
+	// reservation keeps the MaxQueue bound exact while we're off-lock.
+	m.pendingEnq++
+	m.nextID++
+	id := fmt.Sprintf("j%d", m.nextID)
+	m.mu.Unlock()
+
+	// Durable before acknowledged: the submit record is fsynced (group
+	// commit amortizes concurrent submissions into one sync) before the
+	// client ever learns the ID.
+	if err := m.journal.RecordSubmit(id, TableDoc{Name: tbl.Name, Columns: tbl.Columns, Rows: tbl.Rows}, p); err != nil {
+		m.mu.Lock()
+		m.pendingEnq--
+		m.mu.Unlock()
+		return "", fmt.Errorf("jobs: journal submit: %w", err)
+	}
+
 	ctx, cancel := context.WithCancel(context.Background())
 	job := &Job{
+		id:        id,
 		table:     tbl,
+		tableName: tbl.Name,
+		rows:      tbl.NumRows(),
 		params:    p,
 		pipe:      telemetry.New(),
 		ctx:       ctx,
@@ -172,26 +361,28 @@ func (m *Manager) Submit(tbl *katara.Table, p Params) (string, error) {
 	}
 
 	m.mu.Lock()
-	if m.closed {
+	m.pendingEnq--
+	if m.closed || m.draining {
+		// Shut down between journaling and enqueueing: void the journaled
+		// submission so the next boot doesn't resurrect a job the client
+		// was told failed.
+		err := ErrClosed
+		if !m.closed {
+			err = ErrDraining
+		}
 		m.mu.Unlock()
 		cancel()
-		return "", ErrClosed
+		_ = m.journal.RecordEnd(ResultDoc{ID: id, State: StateCancelled, Error: err.Error()})
+		return "", err
 	}
-	m.nextID++
-	job.id = fmt.Sprintf("j%d", m.nextID)
-	select {
-	case m.queue <- job:
-		m.jobs[job.id] = job
-		m.order = append(m.order, job.id)
-		m.submitted++
-		m.mu.Unlock()
-		return job.id, nil
-	default:
-		m.rejected++
-		m.mu.Unlock()
-		cancel()
-		return "", ErrQueueFull
-	}
+	m.jobs[id] = job
+	m.order = append(m.order, id)
+	m.submitted++
+	// Non-blocking by construction: the reservation guaranteed a slot, and
+	// the channel is never smaller than MaxQueue.
+	m.queue <- job
+	m.mu.Unlock()
+	return id, nil
 }
 
 // worker drains the queue until Close closes it.
@@ -204,12 +395,22 @@ func (m *Manager) worker() {
 			m.mu.Unlock()
 			continue
 		}
+		if m.draining {
+			// Leave the job queued: its journal entry has no terminal
+			// record, so the next boot re-queues and runs it.
+			m.mu.Unlock()
+			continue
+		}
 		job.state = StateRunning
 		job.started = time.Now()
 		m.running++
 		m.mu.Unlock()
+		// Unsynced on purpose: losing a start record to a crash merely
+		// replays the job as queued, which is exactly what re-queueing
+		// does anyway.
+		_ = m.journal.RecordStart(job.id)
 
-		rep, err := m.cfg.Run(job.ctx, m.cfg.KB, job.table, job.params, job.pipe)
+		rep, err := m.runJob(job)
 
 		m.mu.Lock()
 		m.running--
@@ -228,10 +429,41 @@ func (m *Manager) worker() {
 		}
 		m.absorbLocked(job)
 		job.finished = time.Now()
+		doc := m.buildResultLocked(job)
+		job.resultDoc = &doc
 		job.cancel()
 		close(job.done)
 		m.mu.Unlock()
+		// The terminal record is synced so the result survives a restart;
+		// losing the race against a crash only means the job re-runs, and
+		// results are deterministic.
+		_ = m.journal.RecordEnd(doc)
 	}
+}
+
+// runJob executes the job with panic isolation: a panic anywhere in the run
+// — including one re-raised from a shard goroutine — becomes a failed job
+// with the stack preserved in its result, never a dead daemon.
+func (m *Manager) runJob(job *Job) (rep *katara.Report, err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		stack := string(debug.Stack())
+		if pe, ok := r.(*katara.PanicError); ok {
+			// The shard barrier already captured the original goroutine's
+			// stack; prefer it over this recovery frame's.
+			stack = pe.Stack
+		}
+		m.mu.Lock()
+		m.panics++
+		job.stack = stack
+		m.mu.Unlock()
+		rep = nil
+		err = fmt.Errorf("panic: %v", r)
+	}()
+	return m.cfg.Run(job.ctx, m.cfg.KB, job.table, job.params, job.pipe)
 }
 
 // absorbLocked folds a finished job's pipeline into the aggregate, exactly
@@ -244,6 +476,21 @@ func (m *Manager) absorbLocked(job *Job) {
 	m.aggregate.Merge(job.pipe)
 }
 
+// buildResultLocked projects the job's terminal state into its result
+// document, reusing the pinned document when one exists (recovered jobs).
+// Callers hold m.mu.
+func (m *Manager) buildResultLocked(job *Job) ResultDoc {
+	if job.resultDoc != nil {
+		return *job.resultDoc
+	}
+	doc := BuildResult(job.id, job.state, job.report)
+	if job.err != nil {
+		doc.Error = job.err.Error()
+	}
+	doc.Stack = job.stack
+	return doc
+}
+
 // Cancel requests cancellation. A queued job is finalized immediately; a
 // running job has its context cancelled and finishes as StateCancelled
 // (typically with a degraded report — the pipeline honours context
@@ -251,24 +498,64 @@ func (m *Manager) absorbLocked(job *Job) {
 // harmless no-op.
 func (m *Manager) Cancel(id string) error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	job, ok := m.jobs[id]
 	if !ok {
+		m.mu.Unlock()
 		return ErrUnknownJob
 	}
 	if job.state.Terminal() {
+		m.mu.Unlock()
 		return nil
 	}
 	job.cancelRequested = true
 	job.cancel()
+	var doc *ResultDoc
 	if job.state == StateQueued {
 		job.state = StateCancelled
 		m.cancelled++
 		m.absorbLocked(job)
 		job.finished = time.Now()
+		d := m.buildResultLocked(job)
+		job.resultDoc = &d
+		doc = &d
 		close(job.done)
 	}
+	m.mu.Unlock()
+	if doc != nil {
+		_ = m.journal.RecordEnd(*doc)
+	}
 	return nil
+}
+
+// StartDraining stops admission: subsequent submissions fail with
+// ErrDraining while running jobs continue. Queued jobs are deliberately not
+// started — their journal entries stay non-terminal, so a restarted daemon
+// re-queues them.
+func (m *Manager) StartDraining() {
+	m.mu.Lock()
+	m.draining = true
+	m.mu.Unlock()
+}
+
+// Drain waits for running jobs to finish, up to timeout, and reports
+// whether the daemon is fully quiesced. Call StartDraining first. The
+// journal is synced either way, so everything that happened is durable.
+func (m *Manager) Drain(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		m.mu.Lock()
+		running := m.running
+		m.mu.Unlock()
+		if running == 0 {
+			_ = m.journal.Sync()
+			return true
+		}
+		if time.Now().After(deadline) {
+			_ = m.journal.Sync()
+			return false
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 }
 
 // JobStatus is the wire representation of one job's state and live
@@ -294,8 +581,8 @@ type JobStatus struct {
 func (m *Manager) statusLocked(job *Job) JobStatus {
 	st := JobStatus{
 		ID:          job.id,
-		Table:       job.table.Name,
-		Rows:        job.table.NumRows(),
+		Table:       job.tableName,
+		Rows:        job.rows,
 		State:       job.state,
 		Params:      job.params,
 		SubmittedAt: job.submitted,
@@ -314,7 +601,7 @@ func (m *Manager) statusLocked(job *Job) JobStatus {
 	st.Progress = telemetry.Progress{
 		Stage:                    job.pipe.CurrentStage(),
 		TuplesAnnotated:          job.pipe.Get(telemetry.TuplesAnnotated),
-		TuplesTotal:              int64(job.table.NumRows()),
+		TuplesTotal:              int64(job.rows),
 		CrowdQuestions:           job.pipe.Get(telemetry.CrowdQuestions),
 		BudgetQuestionsRemaining: -1,
 		Done:                     job.state.Terminal(),
@@ -351,9 +638,9 @@ func (m *Manager) List() []JobStatus {
 	return out
 }
 
-// Report returns a terminal job's report (possibly nil for a failed or
-// early-cancelled job) and its final state. Non-terminal jobs return
-// ok=false: the result is not ready yet.
+// Report returns a terminal job's report (possibly nil for a failed,
+// early-cancelled or journal-recovered job) and its final state.
+// Non-terminal jobs return ok=false: the result is not ready yet.
 func (m *Manager) Report(id string) (rep *katara.Report, state State, ok bool, err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -365,6 +652,22 @@ func (m *Manager) Report(id string) (rep *katara.Report, state State, ok bool, e
 		return nil, job.state, false, nil
 	}
 	return job.report, job.state, true, nil
+}
+
+// Result returns a terminal job's result document — the exact bytes-stable
+// projection the HTTP layer serves, identical across restarts for
+// journal-recovered jobs. Non-terminal jobs return ok=false.
+func (m *Manager) Result(id string) (doc ResultDoc, state State, ok bool, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	job, found := m.jobs[id]
+	if !found {
+		return ResultDoc{}, "", false, ErrUnknownJob
+	}
+	if !job.state.Terminal() {
+		return ResultDoc{}, job.state, false, nil
+	}
+	return m.buildResultLocked(job), job.state, true, nil
 }
 
 // Wait blocks until the job reaches a terminal state or ctx is done.
@@ -384,7 +687,9 @@ func (m *Manager) Wait(ctx context.Context, id string) error {
 }
 
 // Close stops accepting submissions, cancels queued and running jobs, and
-// waits for the workers to drain. Idempotent.
+// waits for the workers to drain. Idempotent. For a graceful shutdown that
+// preserves queued jobs for the next boot, use StartDraining + Drain
+// instead.
 func (m *Manager) Close() {
 	m.mu.Lock()
 	if m.closed {
@@ -393,6 +698,7 @@ func (m *Manager) Close() {
 		return
 	}
 	m.closed = true
+	var docs []ResultDoc
 	for _, id := range m.order {
 		job := m.jobs[id]
 		if job.state.Terminal() {
@@ -405,11 +711,20 @@ func (m *Manager) Close() {
 			m.cancelled++
 			m.absorbLocked(job)
 			job.finished = time.Now()
+			d := m.buildResultLocked(job)
+			job.resultDoc = &d
+			docs = append(docs, d)
 			close(job.done)
 		}
 	}
 	close(m.queue)
 	m.mu.Unlock()
+	// One batched sync covers the whole mass-cancel instead of an fsync
+	// per job.
+	for _, d := range docs {
+		_ = m.journal.recordEndAsync(d)
+	}
+	_ = m.journal.Sync()
 	m.wg.Wait()
 }
 
@@ -428,7 +743,12 @@ func (m *Manager) WriteMetrics(w io.Writer) error {
 	}
 	submitted, completed, failed := m.submitted, m.completed, m.failed
 	cancelled, rejected, running := m.cancelled, m.rejected, m.running
+	panics, requeued, poisoned := m.panics, m.requeued, m.poisoned
 	queued := int64(len(m.queue))
+	var draining int64
+	if m.draining {
+		draining = 1
+	}
 	m.mu.Unlock()
 
 	if err := merged.Snapshot().WriteProm(w); err != nil {
@@ -445,7 +765,11 @@ func (m *Manager) WriteMetrics(w io.Writer) error {
 	counter("katarad_jobs_failed_total", "Jobs finished with an error.", failed)
 	counter("katarad_jobs_cancelled_total", "Jobs cancelled before or during execution.", cancelled)
 	counter("katarad_jobs_rejected_total", "Submissions rejected because the queue was full.", rejected)
+	counter("katarad_jobs_panics_total", "Job panics converted into failed jobs instead of daemon crashes.", panics)
+	counter("katarad_jobs_requeued_total", "Jobs re-queued from the journal at boot.", requeued)
+	counter("katarad_jobs_poisoned_total", "Jobs quarantined at boot after crashing the daemon twice.", poisoned)
 	gauge("katarad_jobs_running", "Jobs currently executing.", running)
 	gauge("katarad_jobs_queued", "Jobs waiting in the queue.", queued)
+	gauge("katarad_draining", "1 while the daemon is draining for graceful shutdown.", draining)
 	return nil
 }

@@ -13,8 +13,13 @@ import (
 // byte-identical Report JSON. cmd/kload leans on this: any two differing
 // report bodies for identical jobs is report corruption.
 type ResultDoc struct {
-	ID     string     `json:"id"`
-	State  State      `json:"state"`
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	// Error carries a failed job's error; Stack preserves the goroutine
+	// stack when the failure was a recovered panic. Both survive journal
+	// replay, so a post-restart fetch sees the same diagnosis.
+	Error  string     `json:"error,omitempty"`
+	Stack  string     `json:"stack,omitempty"`
 	Report *ReportDoc `json:"report,omitempty"`
 }
 

@@ -66,9 +66,13 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorDoc{Error: err.Error()})
 }
 
+// maxSubmitBytes caps a POST /jobs body; larger bodies get 413.
+const maxSubmitBytes = 64 << 20
+
 // NewHandler mounts the job API for a manager:
 //
-//	POST /jobs              submit a job (202; 400 invalid, 429 queue full)
+//	POST /jobs              submit a job (202; 400 invalid, 413 oversized,
+//	                        429 queue full + Retry-After, 503 draining)
 //	GET  /jobs              list all jobs
 //	GET  /jobs/{id}         one job's status and live progress
 //	GET  /jobs/{id}/result  the finished job's report (409 until terminal)
@@ -76,6 +80,12 @@ func writeError(w http.ResponseWriter, status int, err error) {
 //	GET  /healthz           liveness probe
 //	GET  /metrics           daemon-wide Prometheus exposition
 func NewHandler(m *Manager) http.Handler {
+	return newHandler(m, maxSubmitBytes)
+}
+
+// newHandler exposes the body cap for tests (a 64MB body in a unit test is
+// pure waste).
+func newHandler(m *Manager, maxBody int64) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -87,8 +97,14 @@ func NewHandler(m *Manager) http.Handler {
 	})
 	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
 		var req SubmitRequest
-		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
 		if err := dec.Decode(&req); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeError(w, http.StatusRequestEntityTooLarge,
+					fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+				return
+			}
 			writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
 			return
 		}
@@ -102,7 +118,15 @@ func NewHandler(m *Manager) http.Handler {
 		case err == nil:
 			writeJSON(w, http.StatusAccepted, SubmitResponse{ID: id, State: StateQueued})
 		case errors.Is(err, ErrQueueFull):
+			// Backpressure, not failure: tell well-behaved clients when to
+			// come back.
+			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrDraining):
+			// The daemon is going down gracefully; a replacement boot will
+			// accept the retry.
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, err)
 		case errors.Is(err, ErrClosed):
 			writeError(w, http.StatusServiceUnavailable, err)
 		default:
@@ -122,7 +146,7 @@ func NewHandler(m *Manager) http.Handler {
 	})
 	mux.HandleFunc("GET /jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
-		rep, state, done, err := m.Report(id)
+		doc, state, done, err := m.Result(id)
 		if err != nil {
 			writeError(w, http.StatusNotFound, err)
 			return
@@ -131,7 +155,7 @@ func NewHandler(m *Manager) http.Handler {
 			writeError(w, http.StatusConflict, fmt.Errorf("job %s is %s; result not ready", id, state))
 			return
 		}
-		writeJSON(w, http.StatusOK, BuildResult(id, state, rep))
+		writeJSON(w, http.StatusOK, doc)
 	})
 	mux.HandleFunc("POST /jobs/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")

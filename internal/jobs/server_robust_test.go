@@ -1,0 +1,119 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"katara"
+	"katara/internal/table"
+	"katara/internal/telemetry"
+)
+
+// rawPost submits the request and returns the full response so tests can
+// inspect headers (the plain do() helper discards them).
+func rawPost(t *testing.T, ts *httptest.Server, path string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+path, "application/json", strings.NewReader(string(b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf [4096]byte
+	n, _ := resp.Body.Read(buf[:])
+	return resp, buf[:n]
+}
+
+// TestHTTPBodyTooLarge: a submission past the body cap gets 413 with a JSON
+// error naming the limit — not a generic 400 — and the daemon stays up.
+func TestHTTPBodyTooLarge(t *testing.T) {
+	m := NewManager(Config{Run: func(context.Context, *katara.KB, *katara.Table, Params, *telemetry.Pipeline) (*katara.Report, error) {
+		return &katara.Report{}, nil
+	}, MaxConcurrent: 1})
+	defer m.Close()
+	ts := httptest.NewServer(newHandler(m, 256)) // tiny cap: no 64MB bodies in unit tests
+	defer ts.Close()
+
+	big := table.New("big", "A")
+	for i := 0; i < 64; i++ {
+		big.Append(strings.Repeat("x", 32))
+	}
+	resp, body := rawPost(t, ts, "/jobs", SubmitRequest{Table: tableDoc(big)})
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized submit = %d %s, want 413", resp.StatusCode, body)
+	}
+	var doc struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil || !strings.Contains(doc.Error, "exceeds 256 bytes") {
+		t.Fatalf("413 body = %s (err %v), want JSON error naming the cap", body, err)
+	}
+
+	// A small body on the same server still goes through.
+	small := table.New("t", "A")
+	small.Append("x")
+	if resp, body := rawPost(t, ts, "/jobs", SubmitRequest{Table: tableDoc(small)}); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("small submit after 413 = %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestHTTPRetryAfter: both backpressure rejections — 429 (queue full) and
+// 503 (draining) — carry a Retry-After header so clients know the condition
+// is transient.
+func TestHTTPRetryAfter(t *testing.T) {
+	block := make(chan struct{})
+	entered := make(chan struct{})
+	run := func(ctx context.Context, _ *katara.KB, _ *katara.Table, _ Params, _ *telemetry.Pipeline) (*katara.Report, error) {
+		close(entered)
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return &katara.Report{}, nil
+	}
+	m := NewManager(Config{Run: run, MaxConcurrent: 1, MaxQueue: 1})
+	defer m.Close()
+	defer close(block)
+	ts := httptest.NewServer(NewHandler(m))
+	defer ts.Close()
+
+	tbl := table.New("t", "A")
+	tbl.Append("x")
+	req := SubmitRequest{Table: tableDoc(tbl)}
+	if resp, body := rawPost(t, ts, "/jobs", req); resp.StatusCode != 202 {
+		t.Fatalf("submit 1 = %d %s", resp.StatusCode, body)
+	}
+	<-entered
+	if resp, body := rawPost(t, ts, "/jobs", req); resp.StatusCode != 202 {
+		t.Fatalf("submit 2 = %d %s", resp.StatusCode, body)
+	}
+	resp, body := rawPost(t, ts, "/jobs", req)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("full-queue submit = %d %s, want 429", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+
+	m.StartDraining()
+	resp, body = rawPost(t, ts, "/jobs", req)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining submit = %d %s, want 503", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After header")
+	}
+	var doc struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil || !strings.Contains(doc.Error, "draining") {
+		t.Fatalf("503 body = %s (err %v)", body, err)
+	}
+}

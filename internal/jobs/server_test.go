@@ -8,7 +8,6 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
-	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -220,7 +219,7 @@ func TestHTTPConcurrentSubmissions(t *testing.T) {
 				scrapeErr <- fmt.Errorf("scrape lint: %w", err)
 				return
 			}
-			if err := checkMonotone(prev, body); err != nil {
+			if err := telemetry.CheckMonotone(prev, body); err != nil {
 				scrapeErr <- err
 				return
 			}
@@ -288,38 +287,6 @@ func TestHTTPConcurrentSubmissions(t *testing.T) {
 	if !strings.Contains(string(body), fmt.Sprintf("katarad_jobs_completed_total %d", n)) {
 		t.Fatalf("final metrics: completed != %d:\n%s", n, grepLine(string(body), "katarad_jobs_completed_total"))
 	}
-}
-
-// checkMonotone verifies no cumulative series ever decreases between
-// scrapes, updating prev in place.
-func checkMonotone(prev map[string]float64, body []byte) error {
-	for _, line := range strings.Split(string(body), "\n") {
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		sp := strings.LastIndexByte(line, ' ')
-		if sp < 0 {
-			continue
-		}
-		series, valStr := line[:sp], line[sp+1:]
-		base := series
-		if i := strings.IndexByte(series, '{'); i >= 0 {
-			base = series[:i]
-		}
-		if !strings.HasSuffix(base, "_total") && !strings.HasSuffix(base, "_count") &&
-			!strings.HasSuffix(base, "_sum") && !strings.HasSuffix(base, "_bucket") {
-			continue // gauges may go down
-		}
-		v, err := strconv.ParseFloat(valStr, 64)
-		if err != nil {
-			return fmt.Errorf("series %s: bad value %q", series, valStr)
-		}
-		if last, ok := prev[series]; ok && v < last {
-			return fmt.Errorf("series %s went backwards: %v -> %v", series, last, v)
-		}
-		prev[series] = v
-	}
-	return nil
 }
 
 func grepLine(body, needle string) string {

@@ -222,6 +222,15 @@ func RunSeed(seed int64) (*SeedResult, error) {
 		}
 	}
 
+	// Crash/replay differential: a journaled job interrupted mid-run and
+	// re-executed from replay — then served from a further restart without
+	// re-running — must match the crash-free oracle byte-for-byte. Runs for
+	// ErrNoPattern scenarios too: a failed job's document must also survive
+	// replay unchanged.
+	if err := checkJournalReplay(sc); err != nil {
+		return res, fmt.Errorf("journal replay: %w", err)
+	}
+
 	if res.NoPattern {
 		return res, nil
 	}

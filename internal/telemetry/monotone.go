@@ -1,0 +1,45 @@
+package telemetry
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// CheckMonotone verifies that no cumulative Prometheus series in body ever
+// decreases relative to prev, updating prev in place with the new values.
+// Cumulative series are recognized by the exposition-format suffixes
+// (_total, _count, _sum, _bucket); gauges may move in either direction and
+// are skipped. Callers scrape repeatedly with the same prev map — the load
+// driver (kload) and the chaos harness (kchaos) both lean on this to prove
+// that /metrics never goes backwards within one daemon boot, no matter how
+// jobs churn through the manager's absorb-once aggregate.
+func CheckMonotone(prev map[string]float64, body []byte) error {
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		series, valStr := line[:sp], line[sp+1:]
+		base := series
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			base = series[:i]
+		}
+		if !strings.HasSuffix(base, "_total") && !strings.HasSuffix(base, "_count") &&
+			!strings.HasSuffix(base, "_sum") && !strings.HasSuffix(base, "_bucket") {
+			continue // gauges may go down
+		}
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return fmt.Errorf("series %s: unparseable value %q", series, valStr)
+		}
+		if last, ok := prev[series]; ok && v < last {
+			return fmt.Errorf("series %s went backwards: %v -> %v", series, last, v)
+		}
+		prev[series] = v
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckMonotone(t *testing.T) {
+	prev := map[string]float64{}
+	scrape1 := []byte(`# HELP foo_total Things.
+# TYPE foo_total counter
+foo_total 5
+foo_bucket{le="1"} 2
+foo_count 3
+foo_sum 1.5
+bar_gauge 10
+`)
+	if err := CheckMonotone(prev, scrape1); err != nil {
+		t.Fatalf("first scrape: %v", err)
+	}
+
+	// Counters grow, the gauge drops: both fine.
+	scrape2 := []byte("foo_total 6\nfoo_bucket{le=\"1\"} 2\nfoo_count 4\nfoo_sum 1.5\nbar_gauge 1\n")
+	if err := CheckMonotone(prev, scrape2); err != nil {
+		t.Fatalf("second scrape: %v", err)
+	}
+
+	// A cumulative series going backwards is the violation.
+	if err := CheckMonotone(prev, []byte("foo_total 4\n")); err == nil || !strings.Contains(err.Error(), "backwards") {
+		t.Fatalf("regressing counter: err = %v, want backwards error", err)
+	}
+
+	// Labeled series are tracked per label set.
+	prev2 := map[string]float64{}
+	if err := CheckMonotone(prev2, []byte("h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 9\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckMonotone(prev2, []byte("h_bucket{le=\"1\"} 4\nh_bucket{le=\"2\"} 9\n")); err == nil {
+		t.Fatal("per-label regression not caught")
+	}
+
+	// Unparseable cumulative values are an error, not a skip.
+	if err := CheckMonotone(map[string]float64{}, []byte("x_total oops\n")); err == nil {
+		t.Fatal("unparseable value not caught")
+	}
+}

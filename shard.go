@@ -27,6 +27,7 @@ package katara
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -37,6 +38,49 @@ import (
 	"katara/internal/repair"
 	"katara/internal/telemetry"
 )
+
+// PanicError is a panic recovered from a shard goroutine, carrying the
+// original goroutine's stack. The orchestrator re-raises it on the calling
+// goroutine after the fan-out barrier joins — so a panic in one shard never
+// leaks a goroutine or deadlocks the merge, and callers that isolate panics
+// (the job server) can preserve the true origin stack instead of the
+// re-raise site's.
+type PanicError struct {
+	Value any
+	Stack string
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic in shard worker: %v", e.Value)
+}
+
+// ShardPanicHook is a test seam: when non-nil it runs at the top of every
+// shard goroutine with the shard index, letting tests inject a panic inside
+// a real shard worker. Exported because the job-server tests live in a
+// package that cannot be imported from here; never set outside tests.
+var ShardPanicHook func(shard int)
+
+// runShardGuarded runs one shard's work with panic capture: the first
+// panicking shard parks a *PanicError in first, the rest are dropped, and
+// the goroutine returns normally so the WaitGroup barrier always joins.
+func runShardGuarded(first *atomic.Pointer[PanicError], shard int, f func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			first.CompareAndSwap(nil, &PanicError{Value: r, Stack: string(debug.Stack())})
+		}
+	}()
+	if h := ShardPanicHook; h != nil {
+		h(shard)
+	}
+	f()
+}
+
+// rethrow re-raises a captured shard panic on the caller, after the barrier.
+func rethrow(first *atomic.Pointer[PanicError]) {
+	if pe := first.Load(); pe != nil {
+		panic(pe)
+	}
+}
 
 // CleanSharded is Clean with annotation coverage and repair retrieval fanned
 // out across shards row-range shards (0 or 1 = unsharded, negative =
@@ -216,14 +260,18 @@ func (c *Cleaner) annotateSharded(ctx context.Context, t *Table, p *Pattern, tel
 	ranges := shardRanges(n, shards)
 	children := shardPipelines(tel, len(ranges))
 	var wg sync.WaitGroup
+	var panicked atomic.Pointer[PanicError]
 	for i, rg := range ranges {
 		wg.Add(1)
-		go func(rg shardRange, child *telemetry.Pipeline) {
+		go func(shard int, rg shardRange, child *telemetry.Pipeline) {
 			defer wg.Done()
-			ann.EvaluateCoverage(t, rg.Lo, rg.Hi, matches, child)
-		}(rg, children[i])
+			runShardGuarded(&panicked, shard, func() {
+				ann.EvaluateCoverage(t, rg.Lo, rg.Hi, matches, child)
+			})
+		}(i, rg, children[i])
 	}
 	wg.Wait()
+	rethrow(&panicked)
 	for _, child := range children {
 		tel.Merge(child)
 	}
@@ -260,19 +308,23 @@ func (c *Cleaner) repairsSharded(t *Table, p *Pattern, rows []int, tel *telemetr
 		ranges := shardRanges(len(rows), shards)
 		children := shardPipelines(tel, len(ranges))
 		var wg sync.WaitGroup
+		var panicked atomic.Pointer[PanicError]
 		for i, rg := range ranges {
 			wg.Add(1)
-			go func(rg shardRange, child *telemetry.Pipeline) {
+			go func(shard int, rg shardRange, child *telemetry.Pipeline) {
 				defer wg.Done()
-				ixs := ix.WithTelemetry(child)
-				for i := rg.Lo; i < rg.Hi; i++ {
-					if row := rows[i]; row >= 0 && row < t.NumRows() {
-						perRow[i] = ixs.TopK(t.Rows[row], c.opts.RepairK)
+				runShardGuarded(&panicked, shard, func() {
+					ixs := ix.WithTelemetry(child)
+					for i := rg.Lo; i < rg.Hi; i++ {
+						if row := rows[i]; row >= 0 && row < t.NumRows() {
+							perRow[i] = ixs.TopK(t.Rows[row], c.opts.RepairK)
+						}
 					}
-				}
-			}(rg, children[i])
+				})
+			}(i, rg, children[i])
 		}
 		wg.Wait()
+		rethrow(&panicked)
 		for _, child := range children {
 			tel.Merge(child)
 		}
@@ -281,22 +333,26 @@ func (c *Cleaner) repairsSharded(t *Table, p *Pattern, rows []int, tel *telemetr
 		// work-steal across the worker pool, keyed by row index.
 		var next atomic.Int64
 		var wg sync.WaitGroup
+		var panicked atomic.Pointer[PanicError]
 		for w := 0; w < c.opts.Workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(worker int) {
 				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= len(rows) {
-						return
+				runShardGuarded(&panicked, worker, func() {
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= len(rows) {
+							return
+						}
+						if row := rows[i]; row >= 0 && row < t.NumRows() {
+							perRow[i] = ix.TopK(t.Rows[row], c.opts.RepairK)
+						}
 					}
-					if row := rows[i]; row >= 0 && row < t.NumRows() {
-						perRow[i] = ix.TopK(t.Rows[row], c.opts.RepairK)
-					}
-				}
-			}()
+				})
+			}(w)
 		}
 		wg.Wait()
+		rethrow(&panicked)
 	default:
 		for i, row := range rows {
 			if row < 0 || row >= t.NumRows() {
