@@ -5,8 +5,13 @@ GO ?= go
 
 # Snapshot knobs for bench-save: where the snapshot lands and how long each
 # benchmark runs. Longer BENCH_TIME gives steadier numbers.
-BENCH_OUT ?= BENCH_3.json
+BENCH_OUT ?= BENCH_8.json
 BENCH_TIME ?= 200ms
+
+# Generous wall-clock ceiling for the full-paper-scale smoke assertion:
+# BenchmarkPersonFullScale runs ~3s/op on a modest dev box; 120s means only a
+# pathological regression (dedup silently off, per-row KB scans) trips it.
+FULLSCALE_CEILING ?= 120s
 
 # Fuzz budget per target for fuzz-smoke, and where the coverage profile lands.
 FUZZTIME ?= 30s
@@ -33,8 +38,13 @@ bench:
 	$(GO) test -run '^$$' -bench=. -benchmem ./...
 
 # One iteration per benchmark: proves they still compile and run (CI gate).
+# The full-scale benchmark additionally runs under a -timeout ceiling, so a
+# scaling regression (anything super-linear in rows) fails loudly instead of
+# merely slowing the job down.
 bench-smoke:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
+	$(GO) test -run '^$$' -bench '^BenchmarkPersonFullScale$$' -benchtime=1x \
+		-timeout $(FULLSCALE_CEILING) .
 
 # Record the benchmark trajectory point: parse `go test -json` output into
 # $(BENCH_OUT) (see DESIGN.md §10 for how to read it).

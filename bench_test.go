@@ -500,3 +500,76 @@ func BenchmarkEndToEndClean(b *testing.B) {
 		b.ReportMetric(float64(h.Quantile(0.99)), "topk-p99-ns/op")
 	}
 }
+
+// --- Full paper scale: Person at 316K rows (§7 Table 1) ---
+
+var (
+	fullScaleOnce sync.Once
+	fullScaleSpec *workload.TableSpec
+)
+
+// fullScaleTable builds the paper-sized dirty Person spec once: 316K rows
+// sampled with replacement from the environment's person pool (the paper's
+// redundancy), 10% injected errors in the pattern-covered columns (§7.4).
+func fullScaleTable(b *testing.B) *workload.TableSpec {
+	b.Helper()
+	e := env(b)
+	fullScaleOnce.Do(func() {
+		spec := workload.PersonTable(e.World, 308, workload.PaperPersonRows)
+		table.InjectErrors(spec.Table, []int{1, 2, 3}, 0.10, newRand(309))
+		fullScaleSpec = spec
+	})
+	return fullScaleSpec
+}
+
+// BenchmarkPersonFullScale is the tentpole measurement: the end-to-end
+// pipeline over the full 316K-row Person table on one machine, dedup on.
+// Alongside time/op and allocs/op it reports the process's peak memory
+// footprint, the table's distinct-signature count, and the crowd question
+// counts with and without distinct-signature execution (the dedup-off
+// reference run happens outside the timer); the run fails unless dedup asks
+// strictly fewer questions.
+func BenchmarkPersonFullScale(b *testing.B) {
+	e := env(b)
+	spec := fullScaleTable(b)
+	dirty := spec.Table
+	// Enrichment mutates the KB, and Store.Clone does not preserve term IDs
+	// (the oracles translate through them), so every run rebuilds the same
+	// deterministic KB cmd/katara -paper-scale uses — DBpedia-shaped, seed 7,
+	// modelling every relation the Person pattern needs. The rebuild is ~2K
+	// triples, noise next to the clean itself, and bench and CLI end up
+	// measuring the identical workload.
+	runOnce := func(dedup bool) *Report {
+		kb := workload.DBpediaLike(e.World, 7)
+		d := dedup
+		r, err := NewCleaner(kb.Store, crowd.Perfect(3), Options{
+			FactOracle:       workload.WorldOracle{W: e.World, KB: kb},
+			ValidationOracle: workload.SpecOracle{Spec: spec, KB: kb},
+			Workers:          -1,
+			Shards:           -1,
+			MaxRows:          500, // cap discovery sampling; patterns saturate long before 316K rows
+			Dedup:            &d,
+		}).Clean(dirty)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return r
+	}
+	offRep := runOnce(false)
+	var rep *Report
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep = runOnce(true)
+	}
+	b.StopTimer()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	b.ReportMetric(float64(m.Sys), "peak-bytes/op")
+	b.ReportMetric(float64(dirty.Interned().NumGroups()), "distinct-signatures/op")
+	b.ReportMetric(float64(rep.QuestionsAsked), "questions-dedup/op")
+	b.ReportMetric(float64(offRep.QuestionsAsked), "questions-nodedup/op")
+	if rep.QuestionsAsked >= offRep.QuestionsAsked {
+		b.Fatalf("dedup asked %d questions, no-dedup asked %d; dedup must be strictly lower at full scale",
+			rep.QuestionsAsked, offRep.QuestionsAsked)
+	}
+}

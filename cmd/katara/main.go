@@ -7,8 +7,15 @@
 //
 //	katara -kb yago.nt -in dirty.csv [-out cleaned.csv] [-k 3]
 //	       [-assume trust|skeptic] [-facts new-facts.nt] [-v]
-//	       [-workers N] [-shards N] [-stats]
+//	       [-workers N] [-shards N] [-stats] [-dedup=false]
 //	       [-fault-rate 0.3] [-budget 100] [-deadline 30s] [-degrade trust|unknown]
+//	katara -paper-scale [-workers -1] [-shards -1]
+//
+// -paper-scale is a self-contained reproduction of the paper's headline
+// workload: it generates the synthetic world, a DBpedia-shaped KB and the
+// full 316K-row dirty Person table, cleans it end to end, and prints an
+// aggregate summary (rows, distinct signatures, questions, wall-clock, peak
+// memory) instead of per-row repairs.
 //
 // Without a crowd to consult, the -assume policy decides how to treat data
 // the KB does not cover: "trust" (default) treats it as KB incompleteness
@@ -106,6 +113,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		statsAll = fs.Bool("stats-verbose", false, "include zero-valued counters and empty histograms in -stats output")
 		workers  = fs.Int("workers", 0, "worker pool size for the parallel stages (0 or 1 = serial, -1 = GOMAXPROCS)")
 		shards   = fs.Int("shards", 0, "row-range shards for annotation coverage and repair retrieval (0 or 1 = unsharded, -1 = GOMAXPROCS)")
+		dedup    = fs.Bool("dedup", true, "distinct-signature execution: compute coverage, crowd questions and repairs once per distinct row signature (-dedup=false disables)")
+
+		paperScale = fs.Bool("paper-scale", false, "run the self-contained full-paper-scale workload (316K-row Person table against a generated KB) and print an aggregate summary; -kb and -in are not required")
 
 		statsJSON = fs.String("stats-json", "", "write the full telemetry snapshot as JSON to this file (- = stdout)")
 		tracePath = fs.String("trace", "", "write a JSONL span journal of the run to this file")
@@ -123,7 +133,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *kbPath == "" || *inPath == "" {
+	if !*paperScale && (*kbPath == "" || *inPath == "") {
 		fs.Usage()
 		return 2
 	}
@@ -138,6 +148,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		DeadlineMS: deadline.Milliseconds(),
 		FaultRate:  *faultRate,
 		Degrade:    *degrade,
+		DedupOff:   !*dedup,
 	}
 	if *deadline > 0 && *deadline < time.Millisecond {
 		// Sub-millisecond deadlines survive the ms conversion above.
@@ -152,6 +163,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	default:
 		fmt.Fprintf(stderr, "katara: unknown -assume %q\n", *assume)
 		return 2
+	}
+	if *paperScale {
+		if err := runPaperScale(params, *dedup, stdout); err != nil {
+			fmt.Fprintln(stderr, "katara:", err)
+			return 1
+		}
+		return 0
 	}
 
 	err := clean(cleanConfig{

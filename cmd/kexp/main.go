@@ -43,6 +43,7 @@ func main() {
 		expList    = flag.String("exp", "all", "comma-separated experiments to run (all|table1..table7|fig6|fig7|fig8|fig11|fig12|patterns|stats)")
 		seed       = flag.Int64("seed", 2015, "master random seed")
 		scale      = flag.Float64("scale", 0.2, "RelationalTables scale factor (1.0 = Person 5000 rows)")
+		paperScale = flag.Bool("paper-scale", false, "build RelationalTables at the paper's exact row counts (Person 316K) regardless of -scale")
 		size       = flag.String("size", "default", "world size: small|default|large")
 		maxK       = flag.Int("maxk", 10, "maximum k for top-k curves")
 		maxQ       = flag.Int("maxq", 7, "maximum questions-per-variable for validation curves")
@@ -134,7 +135,7 @@ func main() {
 		defer srv.Close()
 	}
 
-	cfg := experiments.Config{Seed: *seed, Scale: *scale}
+	cfg := experiments.Config{Seed: *seed, Scale: *scale, PaperScale: *paperScale}
 	switch *size {
 	case "small":
 		cfg.World = world.Config{Persons: 150, Players: 80, Clubs: 16, Universities: 40, Films: 40, Books: 40}
@@ -157,7 +158,7 @@ func main() {
 	all := want["all"]
 	sel := func(name string) bool { return all || want[name] }
 
-	fmt.Printf("# KATARA experiment driver (seed=%d scale=%.2f size=%s)\n", *seed, *scale, *size)
+	fmt.Printf("# KATARA experiment driver (seed=%d scale=%.2f size=%s paper-scale=%v)\n", *seed, *scale, *size, *paperScale)
 	start := time.Now()
 	env := experiments.NewEnv(cfg)
 	fmt.Printf("# environment built in %v\n", time.Since(start).Round(time.Millisecond))

@@ -4,8 +4,8 @@
 //
 //   - every job reaches a terminal state (queue-full rejections are
 //     retried with backoff — backpressure, not failure);
-//   - all report documents are byte-identical (any divergence between
-//     identical jobs is report corruption);
+//   - report documents are byte-identical within each table-size bucket
+//     (any divergence between identical jobs is report corruption);
 //   - /metrics stays promlint-clean on every scrape, and every cumulative
 //     series (_total, _count, _sum, _bucket) is monotone non-decreasing
 //     across scrapes.
@@ -14,6 +14,10 @@
 //
 //	kload -addr 127.0.0.1:8080 -in dirty.csv [-jobs 120] [-concurrency 100]
 //	      [-shards 4] [-scrape 50ms]
+//
+// Jobs are spread over three table-size buckets (full, half and quarter
+// row-prefixes of -in) and per-bucket p50/p95 job latency is reported, so
+// one burst also shows how service latency scales with table size.
 //
 // Exit status 0 means the run sustained the load with all invariants
 // intact; any violation prints the cause and exits 1.
@@ -27,6 +31,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -84,11 +89,11 @@ func run(args []string, stdout, stderr *os.File) int {
 
 	base := "http://" + *addr
 	client := &http.Client{Timeout: 30 * time.Second}
-	submit := jobs.SubmitRequest{
-		Table:  jobs.TableDoc{Name: tbl.Name, Columns: tbl.Columns, Rows: tbl.Rows},
-		Params: jobs.Params{Shards: *shards, Workers: *workers},
-	}
-	payload, err := json.Marshal(submit)
+	// Jobs are spread round-robin over table-size buckets — the full table
+	// plus half and quarter row-prefixes — so one burst measures how job
+	// latency scales with table size. Reports are byte-compared within each
+	// bucket (different sizes legitimately produce different reports).
+	buckets, err := makeBuckets(tbl, jobs.Params{Shards: *shards, Workers: *workers})
 	if err != nil {
 		fmt.Fprintln(stderr, "kload:", err)
 		return 1
@@ -97,12 +102,10 @@ func run(args []string, stdout, stderr *os.File) int {
 	start := time.Now()
 	deadline := start.Add(*timeout)
 	var (
-		inFlight, peak  atomic.Int64
-		rejections      atomic.Int64
-		violations      atomic.Int64
-		mu              sync.Mutex
-		reference       []byte
-		referenceFromID string
+		inFlight, peak atomic.Int64
+		rejections     atomic.Int64
+		violations     atomic.Int64
+		mu             sync.Mutex
 	)
 	fail := func(format string, args ...any) {
 		violations.Add(1)
@@ -163,8 +166,10 @@ func run(args []string, stdout, stderr *os.File) int {
 					break
 				}
 			}
+			bk := buckets[i%len(buckets)]
 
-			id, err := submitJob(client, base, payload, deadline, &rejections)
+			jobStart := time.Now()
+			id, err := submitJob(client, base, bk.payload, deadline, &rejections)
 			if err != nil {
 				fail("job %d: %v", i, err)
 				return
@@ -174,12 +179,14 @@ func run(args []string, stdout, stderr *os.File) int {
 				fail("job %d (%s): %v", i, id, err)
 				return
 			}
+			latency := time.Since(jobStart)
 			mu.Lock()
 			defer mu.Unlock()
-			if reference == nil {
-				reference, referenceFromID = doc, id
-			} else if !bytes.Equal(reference, doc) {
-				fail("job %d (%s): report differs from %s — corruption", i, id, referenceFromID)
+			bk.latencies = append(bk.latencies, latency)
+			if bk.reference == nil {
+				bk.reference, bk.referenceFromID = doc, id
+			} else if !bytes.Equal(bk.reference, doc) {
+				fail("job %d (%s): report differs from %s — corruption", i, id, bk.referenceFromID)
 			}
 		}(i)
 	}
@@ -189,12 +196,66 @@ func run(args []string, stdout, stderr *os.File) int {
 
 	fmt.Fprintf(stdout, "kload: %d jobs in %.2fs, peak in-flight %d, %d queue-full retries\n",
 		*nJobs, time.Since(start).Seconds(), peak.Load(), rejections.Load())
+	for _, bk := range buckets {
+		if len(bk.latencies) == 0 {
+			continue
+		}
+		fmt.Fprintf(stdout, "kload: bucket %-7s (%d rows): %d jobs, latency p50=%s p95=%s\n",
+			bk.name, bk.rows, len(bk.latencies),
+			quantile(bk.latencies, 0.50).Round(time.Millisecond),
+			quantile(bk.latencies, 0.95).Round(time.Millisecond))
+	}
 	if violations.Load() > 0 {
 		fmt.Fprintf(stderr, "kload: FAIL (%d violations)\n", violations.Load())
 		return 1
 	}
 	fmt.Fprintln(stdout, "kload: PASS — zero report corruption, metrics clean")
 	return 0
+}
+
+// bucket is one table-size class of the burst: a row-prefix payload with its
+// own reference report and latency samples.
+type bucket struct {
+	name            string
+	rows            int
+	payload         []byte
+	latencies       []time.Duration
+	reference       []byte
+	referenceFromID string
+}
+
+// makeBuckets builds the full/half/quarter row-prefix payloads. Prefixes
+// (not samples) keep each bucket deterministic; tiny tables may collapse to
+// equal sizes, which is harmless — buckets are still compared independently.
+func makeBuckets(tbl *table.Table, params jobs.Params) ([]*bucket, error) {
+	sizes := []struct {
+		name string
+		div  int
+	}{{"full", 1}, {"half", 2}, {"quarter", 4}}
+	out := make([]*bucket, 0, len(sizes))
+	for _, s := range sizes {
+		n := len(tbl.Rows) / s.div
+		if n < 1 {
+			n = 1
+		}
+		payload, err := json.Marshal(jobs.SubmitRequest{
+			Table:  jobs.TableDoc{Name: tbl.Name, Columns: tbl.Columns, Rows: tbl.Rows[:n]},
+			Params: params,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &bucket{name: s.name, rows: n, payload: payload})
+	}
+	return out, nil
+}
+
+// quantile returns the q-th latency quantile (nearest-rank on the sorted
+// samples). The caller owns the slice; sorting in place is fine post-burst.
+func quantile(d []time.Duration, q float64) time.Duration {
+	sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+	idx := int(q * float64(len(d)-1))
+	return d[idx]
 }
 
 // submitJob POSTs the job, retrying 429 (queue full) with backoff until

@@ -198,6 +198,27 @@ type Annotator struct {
 	// are picked up through the store's label generation, so cached coverage
 	// stays consistent with direct evaluation.
 	Resolver pattern.LabelSource
+	// Interned, when non-nil, is the distinct-signature view of the table
+	// being annotated (it must have been built from the same rows). Step-1
+	// KB coverage is then evaluated once per distinct signature and fanned
+	// out to duplicate rows, and crowd questions are memoized so one
+	// question answers every duplicate. Annotation outcomes are identical
+	// with or without it; only the question count (and therefore crowd cost)
+	// drops. The memo lives for one Annotate/AnnotateWith call.
+	Interned *table.Interned
+
+	// qmemo caches crowd answers within one AnnotateWith pass (dedup mode
+	// only). Keyed by prompt AND ground truth: two distinct KB terms can
+	// share a display label, yielding identical prompts with different
+	// truths. Degraded (unanswered) outcomes are never memoized — budget
+	// and deadline exhaustion are transient, not properties of the question.
+	qmemo map[questionKey]bool
+}
+
+// questionKey identifies one crowd check for the dedup memo.
+type questionKey struct {
+	prompt string
+	holds  bool
 }
 
 // labels returns the label-resolution source: the shared resolver when
@@ -241,6 +262,33 @@ func (a *Annotator) EvaluateCoverage(tbl *table.Table, lo, hi int, out []*patter
 	}
 }
 
+// EvaluateCoverageGroups is EvaluateCoverage over distinct-signature groups:
+// groups [lo, hi) of the interned view's group list are evaluated once via
+// their representative row and the resulting Match fanned out to every
+// member row of out (which must have length tbl.NumRows()). Coverage is a
+// pure function of the tuple's values, so duplicate rows share the verdict —
+// and safely share the *pattern.Match itself, which every consumer treats as
+// read-only. Disjoint group ranges may run concurrently, exactly like
+// EvaluateCoverage's row ranges.
+func (a *Annotator) EvaluateCoverageGroups(tbl *table.Table, groups []table.Group, lo, hi int, out []*pattern.Match, tel *telemetry.Pipeline) {
+	threshold := a.Threshold
+	if threshold == 0 {
+		threshold = similarity.DefaultThreshold
+	}
+	labels := a.labels()
+	if hi > len(groups) {
+		hi = len(groups)
+	}
+	for g := lo; g < hi; g++ {
+		gr := groups[g]
+		tel.Inc(telemetry.KBLookups)
+		m := pattern.EvaluateWith(a.Pattern, a.KB, labels, tbl.Rows[gr.Rep], threshold)
+		for _, row := range gr.Rows {
+			out[row] = m
+		}
+	}
+}
+
 // AnnotateWith labels every tuple of tbl, with the step-1 KB coverage
 // optionally precomputed in matches (nil = evaluate inline per row; the
 // coverage of row i, when present, must be matches[i]). Step 2 — crowd
@@ -258,6 +306,21 @@ func (a *Annotator) AnnotateWith(tbl *table.Table, matches []*pattern.Match) *Re
 	res := &Result{}
 	seenFacts := map[string]bool{}
 	enriched := false // KB mutated: precomputed coverage is stale
+	// Dedup mode: coverage memoized per distinct signature (invalidated
+	// whenever enrichment mutates the KB — a changed KB can change any
+	// signature's coverage) and crowd answers memoized per question for the
+	// duration of the pass. Outcomes are identical either way; only the
+	// question count drops.
+	in := a.Interned
+	if in != nil && in.NumRows() != tbl.NumRows() {
+		in = nil // view built from different rows: ignore it
+	}
+	var covMemo []*pattern.Match
+	if in != nil {
+		covMemo = make([]*pattern.Match, in.NumGroups())
+		a.qmemo = make(map[questionKey]bool)
+		defer func() { a.qmemo = nil }()
+	}
 	for row := range tbl.Rows {
 		// One scoped span per tuple: the crowd-question spans issued inside
 		// annotateTuple (serially, on this goroutine) attach as its children.
@@ -267,12 +330,24 @@ func (a *Annotator) AnnotateWith(tbl *table.Table, matches []*pattern.Match) *Re
 		if matches != nil && !enriched {
 			m = matches[row]
 		}
+		gi := -1
+		if m == nil && in != nil {
+			gi = in.GroupOf(row)
+			m = covMemo[gi]
+		}
 		if m == nil {
 			a.Telemetry.Inc(telemetry.KBLookups)
 			m = pattern.EvaluateWith(a.Pattern, a.KB, a.labels(), tbl.Rows[row], threshold)
+			if gi >= 0 {
+				covMemo[gi] = m
+			}
 		}
 		ta, applied := a.annotateTuple(tbl, row, m)
-		enriched = enriched || applied
+		if applied {
+			enriched = true
+			// The KB changed: every memoized coverage verdict is stale.
+			clear(covMemo)
+		}
 		tSpan.SetInt("row", int64(row))
 		tSpan.SetStr("label", ta.Label.String())
 		tSpan.End()
@@ -344,10 +419,25 @@ func (a *Annotator) ctx() context.Context {
 // crowd was unreachable (budget or deadline exhausted): under
 // DegradeTrustKB the check counts as confirmed (but unverified), under
 // DegradeMarkUnknown the caller must mark the tuple Unknown.
+//
+// In dedup mode (qmemo active) a repeated question — a duplicate row's
+// identical check — is answered from the memo without consuming crowd
+// budget. Only answers the crowd actually delivered are memoized; a
+// degraded outcome is a property of the run's remaining budget, not of the
+// question, so it is re-attempted every time.
 func (a *Annotator) ask(prompt string, holds bool) (confirmed, degraded bool) {
+	if a.qmemo != nil {
+		if ans, ok := a.qmemo[questionKey{prompt, holds}]; ok {
+			a.Telemetry.Inc(telemetry.CrowdQuestionsDeduped)
+			return ans, false
+		}
+	}
 	yes, err := a.Crowd.AskBooleanContext(a.ctx(), prompt, holds)
 	if err != nil {
 		return a.Degrade == DegradeTrustKB, true
+	}
+	if a.qmemo != nil {
+		a.qmemo[questionKey{prompt, holds}] = yes
 	}
 	return yes, false
 }
@@ -370,7 +460,18 @@ func factKey(f Fact) string {
 // analogue of kbstats.Stats.Prewarm).
 func (a *Annotator) precomputeMatches(tbl *table.Table, threshold float64) []*pattern.Match {
 	n := tbl.NumRows()
-	if a.Workers <= 1 || n < 2*a.Workers {
+	in := a.Interned
+	if in != nil && in.NumRows() != n {
+		in = nil
+	}
+	// Under dedup the work unit is the distinct signature, not the row:
+	// a heavily duplicated table with few signatures is not worth a pool
+	// (AnnotateWith's per-signature memo covers it serially).
+	units := n
+	if in != nil {
+		units = in.NumGroups()
+	}
+	if a.Workers <= 1 || units < 2*a.Workers {
 		return nil
 	}
 	a.KB.WarmClosures()
@@ -384,11 +485,19 @@ func (a *Annotator) precomputeMatches(tbl *table.Table, threshold float64) []*pa
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= n {
+				if i >= units {
 					return
 				}
 				a.Telemetry.Inc(telemetry.KBLookups)
-				matches[i] = pattern.EvaluateWith(a.Pattern, a.KB, labels, tbl.Rows[i], threshold)
+				if in != nil {
+					gr := in.Group(i)
+					m := pattern.EvaluateWith(a.Pattern, a.KB, labels, tbl.Rows[gr.Rep], threshold)
+					for _, row := range gr.Rows {
+						matches[row] = m
+					}
+				} else {
+					matches[i] = pattern.EvaluateWith(a.Pattern, a.KB, labels, tbl.Rows[i], threshold)
+				}
 			}
 		}()
 	}

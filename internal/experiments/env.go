@@ -29,6 +29,11 @@ type Config struct {
 	// Scale multiplies the RelationalTables row counts (default 0.2 — fast
 	// single-machine runs; 1.0 for the full-size tables).
 	Scale float64
+	// PaperScale overrides Scale for RelationalTables with exactly the
+	// paper's §7 Table 1 row counts — Person at the full 316K rows.
+	// Distinct-signature execution (katara.Options.Dedup) is what makes
+	// this tractable on one machine; see BenchmarkPersonFullScale.
+	PaperScale bool
 	// K is the top-k pattern budget for discovery (default 10).
 	K int
 	// MaxCandidates caps ranked candidate lists (default 8).
@@ -91,6 +96,10 @@ func NewEnv(cfg Config) *Env {
 	w := world.New(cfg.Seed, cfg.World)
 	yago := workload.YagoLike(w, cfg.Seed+101)
 	dbp := workload.DBpediaLike(w, cfg.Seed+102)
+	relational := workload.RelationalTables(w, cfg.Seed+203, cfg.Scale)
+	if cfg.PaperScale {
+		relational = workload.RelationalTablesPaper(w, cfg.Seed+203)
+	}
 	env := &Env{
 		Cfg:   cfg,
 		World: w,
@@ -102,7 +111,7 @@ func NewEnv(cfg Config) *Env {
 		Datasets: []*workload.Dataset{
 			workload.WikiTables(w, cfg.Seed+201),
 			workload.WebTables(w, cfg.Seed+202),
-			workload.RelationalTables(w, cfg.Seed+203, cfg.Scale),
+			relational,
 		},
 	}
 	return env

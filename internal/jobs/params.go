@@ -46,6 +46,11 @@ type Params struct {
 	// Degrade picks the policy for tuples unanswered after budget/deadline
 	// exhaustion: "" or "trust" = trust the KB, "unknown" = mark unknown.
 	Degrade string `json:"degrade,omitempty"`
+	// DedupOff disables distinct-signature execution (katara.Options.Dedup;
+	// on by default — the zero value keeps it on). Mainly a measurement
+	// knob: annotations and repairs are identical either way, only crowd
+	// question counts differ on tables with duplicate rows.
+	DedupOff bool `json:"dedup_off,omitempty"`
 }
 
 // ValidationError aggregates every rejected parameter so a caller fixes one
@@ -121,6 +126,10 @@ func (p Params) Options() katara.Options {
 		opts.Degrade = katara.DegradeMarkUnknown
 	} else {
 		opts.Degrade = katara.DegradeTrustKB
+	}
+	if p.DedupOff {
+		f := false
+		opts.Dedup = &f
 	}
 	return opts
 }

@@ -22,6 +22,18 @@ import (
 // store, and Clone preserves IDs, so IDs are comparable across runs of one
 // scenario.
 func Canonical(rep *katara.Report) []byte {
+	return canonical(rep, true)
+}
+
+// CanonicalSemantic is Canonical minus the question count. The dedup
+// differential compares runs whose whole point is asking fewer questions
+// (one per distinct signature instead of one per row), so question counts
+// legitimately differ while every annotation, fact and repair must not.
+func CanonicalSemantic(rep *katara.Report) []byte {
+	return canonical(rep, false)
+}
+
+func canonical(rep *katara.Report, includeQuestions bool) []byte {
 	var b bytes.Buffer
 	if rep == nil {
 		return b.Bytes()
@@ -29,7 +41,9 @@ func Canonical(rep *katara.Report) []byte {
 	if rep.Pattern != nil {
 		fmt.Fprintf(&b, "pattern %s score %.9f\n", rep.Pattern.Key(), rep.Pattern.Score)
 	}
-	fmt.Fprintf(&b, "questions %d\n", rep.QuestionsAsked)
+	if includeQuestions {
+		fmt.Fprintf(&b, "questions %d\n", rep.QuestionsAsked)
+	}
 	fmt.Fprintf(&b, "degraded fallback=%v tuples=%d repairs_skipped=%v\n",
 		rep.Degraded.PatternFallback, rep.Degraded.Tuples, rep.Degraded.RepairsSkipped)
 

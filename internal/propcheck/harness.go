@@ -36,6 +36,13 @@ type RunConfig struct {
 	// the degradation paths; Degrade picks the policy.
 	BudgetQuestions int
 	Degrade         katara.DegradePolicy
+	// DedupOff disables distinct-signature execution (katara.Options.Dedup),
+	// forcing per-row coverage evaluation, per-row crowd questions and
+	// per-row repair ranking. Dedup-off runs are compared against the
+	// dedup-on baseline on CanonicalSemantic — identical annotations, facts
+	// and repairs, question counts excluded (dedup's whole point is asking
+	// fewer) — plus the question-count inequality dedup <= no-dedup.
+	DedupOff bool
 }
 
 func (c RunConfig) String() string {
@@ -45,6 +52,9 @@ func (c RunConfig) String() string {
 	}
 	if c.BudgetQuestions > 0 {
 		s += fmt.Sprintf(" budget=%d degrade=%v", c.BudgetQuestions, c.Degrade)
+	}
+	if c.DedupOff {
+		s += " dedup=off"
 	}
 	return s
 }
@@ -158,6 +168,10 @@ func (s *Scenario) Run(cfg RunConfig) (*katara.Report, *rdf.Store, error) {
 		opts.Budget = cfg.BudgetQuestions
 		opts.Degrade = cfg.Degrade
 	}
+	if cfg.DedupOff {
+		f := false
+		opts.Dedup = &f
+	}
 
 	cl := katara.NewCleaner(store, cr, opts)
 	rep, err := cl.Clean(s.Dirty)
@@ -182,6 +196,11 @@ type SeedResult struct {
 	// the KB covered — measured, not asserted (see DESIGN.md §12 on why
 	// type coverage alone is not evidence of cell correctness).
 	KBCoveredRewrites int
+	// Questions / QuestionsNoDedup are the crowd question counts of the
+	// dedup-on baseline and the dedup-off differential run — the dedup
+	// invariant requires Questions <= QuestionsNoDedup.
+	Questions        int
+	QuestionsNoDedup int
 }
 
 // RunSeed generates the scenario for seed and checks the full invariant
@@ -220,6 +239,45 @@ func RunSeed(seed int64) (*SeedResult, error) {
 		if got := Canonical(r); !bytes.Equal(want, got) {
 			return res, fmt.Errorf("config %s: canonical report differs from baseline\n%s", cfg, canonicalDiff(want, got))
 		}
+	}
+
+	// Dedup differential: distinct-signature execution (the matrix above
+	// runs with the dedup default ON) must change nothing but the question
+	// count. Every dedup-off cell must match the baseline on
+	// CanonicalSemantic — identical annotations, facts, repairs and
+	// degradation — while asking at least as many questions as the deduped
+	// baseline; and the dedup-off cells must agree with each other
+	// byte-identically on the full Canonical, question count included.
+	semWant := CanonicalSemantic(rep)
+	var wantOff []byte
+	for _, cfg := range []RunConfig{
+		{Workers: 1, DedupOff: true},
+		{Workers: 4, Faults: true, Telemetry: true, DedupOff: true},
+		{Workers: 1, Shards: 4, Telemetry: true, DedupOff: true},
+	} {
+		res.Configs++
+		r, _, rerr := sc.Run(cfg)
+		if err := sameOutcome(rep, err, r, rerr); err != nil {
+			return res, fmt.Errorf("config %s diverged from baseline: %w", cfg, err)
+		}
+		if got := CanonicalSemantic(r); !bytes.Equal(semWant, got) {
+			return res, fmt.Errorf("config %s: semantic report differs from dedup-on baseline\n%s", cfg, canonicalDiff(semWant, got))
+		}
+		if full := Canonical(r); wantOff == nil {
+			wantOff = full
+		} else if !bytes.Equal(wantOff, full) {
+			return res, fmt.Errorf("config %s: dedup-off cells disagree\n%s", cfg, canonicalDiff(wantOff, full))
+		}
+		if rep != nil && r != nil {
+			if rep.QuestionsAsked > r.QuestionsAsked {
+				return res, fmt.Errorf("config %s: dedup-on asked more questions (%d) than dedup-off (%d)",
+					cfg, rep.QuestionsAsked, r.QuestionsAsked)
+			}
+			res.QuestionsNoDedup = r.QuestionsAsked
+		}
+	}
+	if rep != nil {
+		res.Questions = rep.QuestionsAsked
 	}
 
 	// Crash/replay differential: a journaled job interrupted mid-run and

@@ -42,9 +42,10 @@ func runSeed(t *testing.T, seed int64) {
 		t.Fatalf("seed %d (%s/%s, %d rows): %v\nreplay: go test ./internal/propcheck -run TestProperties -seed %d -v",
 			seed, res.Kind, res.KBName, res.Rows, err, seed)
 	}
-	t.Logf("seed %d: %s/%s rows=%d configs=%d erroneous=%d kb-covered-rewrites=%d exhaustive-skipped=%v no-pattern=%v",
+	t.Logf("seed %d: %s/%s rows=%d configs=%d erroneous=%d kb-covered-rewrites=%d questions=%d/%d(no-dedup) exhaustive-skipped=%v no-pattern=%v",
 		seed, res.Kind, res.KBName, res.Rows, res.Configs, res.Erroneous,
-		res.KBCoveredRewrites, res.ExhaustiveSkipped, res.NoPattern)
+		res.KBCoveredRewrites, res.Questions, res.QuestionsNoDedup,
+		res.ExhaustiveSkipped, res.NoPattern)
 }
 
 // TestGenerateDeterministic pins the generator itself: the same seed must

@@ -51,6 +51,13 @@ func (s *Store) ResourcesLabeled(value string) []ID {
 	return s.labelIndex[similarity.Normalize(value)]
 }
 
+// ResourcesLabeledNorm is ResourcesLabeled for an already-normalised value —
+// for callers that hold a Normalize result (the resolve cache keys on one)
+// and must not recompute it per probe. Shared slice; read-only.
+func (s *Store) ResourcesLabeledNorm(norm string) []ID {
+	return s.labelIndex[norm]
+}
+
 // LabelMatch is a fuzzy label resolution hit.
 type LabelMatch struct {
 	Resource ID
@@ -60,7 +67,14 @@ type LabelMatch struct {
 // MatchLabel resolves value to resources whose label is similar at or above
 // threshold, best match first. Exact matches score 1.
 func (s *Store) MatchLabel(value string, threshold float64) []LabelMatch {
-	cands := s.fuzzy.Lookup(value, threshold)
+	return s.MatchLabelNorm(similarity.Normalize(value), threshold)
+}
+
+// MatchLabelNorm is MatchLabel for an already-normalised value. The resolve
+// cache keys its memo on Normalize(value) and used to pay for a second
+// normalisation inside the miss path; this entry point reuses its result.
+func (s *Store) MatchLabelNorm(norm string, threshold float64) []LabelMatch {
+	cands := s.fuzzy.LookupNormalized(norm, threshold)
 	if len(cands) == 0 {
 		return nil
 	}

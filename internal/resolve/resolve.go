@@ -107,15 +107,16 @@ func (c *Cache) Resolve(value string) []rdf.LabelMatch {
 		return matches
 	}
 	c.misses.Add(1)
-	// MatchLabel normalizes internally, so resolving the key resolves the
-	// value; memoizing under the key collapses all spellings that normalize
-	// alike ("S. Africa", "s africa") into one entry. Only misses are
-	// observed: a hit is a map read, and timing it would drown the histogram
-	// in nanosecond samples that say nothing about KB lookup cost.
+	// The memo key IS the normalized value, so the miss path hands it to
+	// MatchLabelNorm directly instead of having MatchLabel re-normalize it;
+	// memoizing under the key collapses all spellings that normalize alike
+	// ("S. Africa", "s africa") into one entry. Only misses are observed: a
+	// hit is a map read, and timing it would drown the histogram in
+	// nanosecond samples that say nothing about KB lookup cost.
 	tel := c.tel.Load()
 	mStart := tel.StartTimer()
 	mSpan := tel.StartSpan("resolve-miss")
-	matches = c.kb.MatchLabel(key, c.threshold)
+	matches = c.kb.MatchLabelNorm(key, c.threshold)
 	mSpan.SetInt("matches", int64(len(matches)))
 	mSpan.End()
 	tel.ObserveSince(telemetry.HistResolverLookup, mStart)

@@ -117,11 +117,15 @@ type Candidate struct {
 // Safe for concurrent use while the index is quiescent (no Add in flight),
 // matching the store-wide single-writer contract.
 func (ix *Index) Lookup(q string, threshold float64) []Candidate {
-	n := Normalize(q)
-	var out []Candidate
-	for _, id := range ix.exact[n] {
-		out = append(out, Candidate{ID: id, Score: 1})
-	}
+	return ix.LookupNormalized(Normalize(q), threshold)
+}
+
+// LookupNormalized is Lookup for a query that is already normalised —
+// the entry point for callers that hold a Normalize result (the resolve
+// cache keys on it) and must not pay for recomputing it. Normalize is
+// idempotent (pinned by FuzzSimilarityLookup), so
+// Lookup(q) ≡ LookupNormalized(Normalize(q)) exactly.
+func (ix *Index) LookupNormalized(n string, threshold float64) []Candidate {
 	sc := ix.pool.Get().(*scratch)
 	// Count shared distinct trigrams per candidate; a candidate matching at
 	// Jaccard threshold t over a query trigram set of size Q must share at
@@ -144,6 +148,17 @@ func (ix *Index) Lookup(q string, threshold float64) []Candidate {
 			}
 			sc.counts[id]++
 		}
+	}
+	// The counting pass bounds the result exactly: every hit is an exact
+	// match or a touched candidate, so one right-sized allocation serves the
+	// whole result (and a miss allocates nothing).
+	exact := ix.exact[n]
+	var out []Candidate
+	if len(exact)+len(sc.touched) > 0 {
+		out = make([]Candidate, 0, len(exact)+len(sc.touched))
+	}
+	for _, id := range exact {
+		out = append(out, Candidate{ID: id, Score: 1})
 	}
 	minShared := qGrams / 4
 	if minShared < 1 {

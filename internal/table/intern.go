@@ -1,0 +1,187 @@
+// Interned columnar backing: per-column string dictionaries plus int32 cell
+// codes, grouped by distinct row signature. Dirty tables repeat a small set
+// of distinct values (the paper's 316K-row Person table aggregates extracted
+// bios, so the same person recurs thousands of times), so the cleaning
+// pipeline wants equality to be an int compare and per-row work to collapse
+// onto per-distinct-signature work. The Interned view is derived from the
+// Table and never replaces it — .Rows stays the API — and it is built fresh
+// by each consumer (Rows may be mutated directly, e.g. by InjectErrors, so a
+// cached view would have no invalidation hook).
+package table
+
+import (
+	"encoding/binary"
+)
+
+// Dict is one column's string dictionary: a bijection between the column's
+// distinct cell values and dense int32 codes in first-occurrence order.
+type Dict struct {
+	byVal map[string]int32
+	vals  []string
+}
+
+func newDict() *Dict {
+	return &Dict{byVal: make(map[string]int32)}
+}
+
+// intern returns v's code, assigning the next free code on first sight.
+func (d *Dict) intern(v string) int32 {
+	if c, ok := d.byVal[v]; ok {
+		return c
+	}
+	c := int32(len(d.vals))
+	d.byVal[v] = c
+	d.vals = append(d.vals, v)
+	return c
+}
+
+// Len returns the number of distinct values.
+func (d *Dict) Len() int { return len(d.vals) }
+
+// Value returns the canonical string stored under code.
+func (d *Dict) Value(code int32) string { return d.vals[code] }
+
+// Code returns the code of v, or -1 when v never occurred in the column.
+func (d *Dict) Code(v string) int32 {
+	if c, ok := d.byVal[v]; ok {
+		return c
+	}
+	return -1
+}
+
+// Group is one distinct row signature: the representative row (first
+// occurrence) plus every row sharing the signature, in ascending row order.
+type Group struct {
+	Rep  int
+	Rows []int
+}
+
+// Interned is the columnar dictionary view of a Table: per-column Dicts,
+// row-major cell codes, and the rows grouped by signature (the tuple of
+// column codes) in first-occurrence order. Two rows are duplicates exactly
+// when they share a group; all per-row work that is a pure function of the
+// tuple values can then run once per group and fan out.
+//
+// The view is immutable and safe for concurrent readers. It snapshots the
+// Table at construction time: mutate Rows and the view is stale — rebuild it.
+type Interned struct {
+	cols    int
+	rows    int
+	dicts   []*Dict
+	codes   []int32 // row-major: codes[row*cols+col]
+	groupOf []int32
+	groups  []Group
+}
+
+// Interned builds the columnar dictionary view of t. Cost is one map probe
+// per cell plus one per row; memory is 4 bytes per cell plus the dictionaries
+// of distinct values.
+func (t *Table) Interned() *Interned {
+	cols := t.NumCols()
+	in := &Interned{
+		cols:    cols,
+		rows:    len(t.Rows),
+		dicts:   make([]*Dict, cols),
+		codes:   make([]int32, len(t.Rows)*cols),
+		groupOf: make([]int32, len(t.Rows)),
+	}
+	for j := range in.dicts {
+		in.dicts[j] = newDict()
+	}
+	sig := make([]byte, 4*cols)
+	byKey := make(map[string]int32)
+	var sizes []int32 // group -> member count, filled in pass 1
+	for i, row := range t.Rows {
+		base := i * cols
+		for j := 0; j < cols && j < len(row); j++ {
+			code := in.dicts[j].intern(row[j])
+			in.codes[base+j] = code
+			binary.LittleEndian.PutUint32(sig[4*j:], uint32(code))
+		}
+		// string(sig) in the map read does not allocate; the insert path
+		// copies the key once per distinct signature only.
+		g, ok := byKey[string(sig)]
+		if !ok {
+			g = int32(len(sizes))
+			byKey[string(sig)] = g
+			sizes = append(sizes, 0)
+		}
+		in.groupOf[i] = g
+		sizes[g]++
+	}
+	// Pass 2: carve every group's member list out of one flat allocation —
+	// the build stays distinct-bounded instead of paying append growth per
+	// group (pinned by TestInternedAllocationLean).
+	flat := make([]int, len(t.Rows))
+	in.groups = make([]Group, len(sizes))
+	off := 0
+	for g, n := range sizes {
+		in.groups[g].Rows = flat[off : off : off+int(n)]
+		off += int(n)
+	}
+	for i := range t.Rows {
+		g := in.groupOf[i]
+		in.groups[g].Rows = append(in.groups[g].Rows, i)
+		if len(in.groups[g].Rows) == 1 {
+			in.groups[g].Rep = i
+		}
+	}
+	return in
+}
+
+// NumRows returns the number of rows the view covers.
+func (in *Interned) NumRows() int { return in.rows }
+
+// NumCols returns the number of columns.
+func (in *Interned) NumCols() int { return in.cols }
+
+// NumGroups returns the number of distinct row signatures.
+func (in *Interned) NumGroups() int { return len(in.groups) }
+
+// Groups returns the signature groups in first-occurrence order. Shared
+// slice; read-only.
+func (in *Interned) Groups() []Group { return in.groups }
+
+// Group returns the i-th signature group.
+func (in *Interned) Group(i int) Group { return in.groups[i] }
+
+// GroupOf returns the signature-group index of row.
+func (in *Interned) GroupOf(row int) int { return int(in.groupOf[row]) }
+
+// Code returns the dictionary code of cell (row, col).
+func (in *Interned) Code(row, col int) int32 { return in.codes[row*in.cols+col] }
+
+// Dict returns column col's dictionary.
+func (in *Interned) Dict(col int) *Dict { return in.dicts[col] }
+
+// RowsEqual reports whether rows i and j hold identical tuples — an int
+// compare, no string comparison.
+func (in *Interned) RowsEqual(i, j int) bool { return in.groupOf[i] == in.groupOf[j] }
+
+// Compact rebuilds t's row storage in place into a single flat cell arena
+// with every repeated cell value sharing one canonical string instance.
+// Semantically a no-op (cell values are unchanged); the point is memory: a
+// 316K-row table built from decoded JSON or CSV holds one string header per
+// cell and often one backing array each, where the compacted table holds one
+// []string arena and one backing string per distinct value. Returns t.
+func (t *Table) Compact() *Table {
+	cols := t.NumCols()
+	arena := make([]string, 0, len(t.Rows)*cols)
+	canon := make(map[string]string)
+	rows := make([][]string, len(t.Rows))
+	for i, row := range t.Rows {
+		base := len(arena)
+		for _, v := range row {
+			cv, ok := canon[v]
+			if !ok {
+				canon[v] = v
+				cv = v
+			}
+			arena = append(arena, cv)
+		}
+		rows[i] = arena[base:len(arena):len(arena)]
+	}
+	t.Rows = rows
+	t.arena = arena[:len(arena):len(arena)]
+	return t
+}

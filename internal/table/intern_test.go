@@ -1,0 +1,195 @@
+package table
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomCell draws a cell value biased toward the pathologies the interner
+// must survive: empty strings, repeated values, near-duplicates differing by
+// one character edit (the shape workload.InjectLabelCollisions uses for its
+// decoy labels), and unicode.
+func randomCell(rng *rand.Rand, pool []string) string {
+	switch rng.Intn(10) {
+	case 0:
+		return ""
+	case 1, 2, 3, 4:
+		return pool[rng.Intn(len(pool))]
+	case 5:
+		// Near-duplicate: mutate one character of a pool value.
+		s := []rune(pool[rng.Intn(len(pool))])
+		if len(s) == 0 {
+			return "x"
+		}
+		s[rng.Intn(len(s))] = rune('a' + rng.Intn(26))
+		return string(s)
+	case 6:
+		return "Ångström-" + pool[rng.Intn(len(pool))]
+	default:
+		return fmt.Sprintf("v%d", rng.Intn(1<<20))
+	}
+}
+
+// TestInternedRoundTrip is the interner's property test: for arbitrary cell
+// values — empty strings, duplicates, near-duplicate labels, unicode — the
+// columnar backing must reproduce every cell exactly, group rows if and only
+// if their tuples are equal, and keep per-column dictionaries bijective.
+func TestInternedRoundTrip(t *testing.T) {
+	pool := []string{"Rome", "Rome ", "rome", "Madrid", "Madr1d", "", "São Paulo", "a"}
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cols := 1 + rng.Intn(5)
+		rows := rng.Intn(400)
+		tb := New("t", opaqueCols(cols)...)
+		tb.Grow(rows)
+		for i := 0; i < rows; i++ {
+			row := make([]string, cols)
+			for j := range row {
+				row[j] = randomCell(rng, pool)
+			}
+			tb.Append(row...)
+		}
+
+		in := tb.Interned()
+		if in.NumRows() != rows || in.NumCols() != cols {
+			t.Fatalf("seed %d: shape %dx%d, want %dx%d", seed, in.NumRows(), in.NumCols(), rows, cols)
+		}
+		// Round trip: every cell decodes to exactly the original string, and
+		// the dictionary maps it back to the same code.
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				code := in.Code(i, j)
+				if got := in.Dict(j).Value(code); got != tb.Rows[i][j] {
+					t.Fatalf("seed %d: cell (%d,%d) decoded %q, want %q", seed, i, j, got, tb.Rows[i][j])
+				}
+				if back := in.Dict(j).Code(tb.Rows[i][j]); back != code {
+					t.Fatalf("seed %d: cell (%d,%d) re-encoded %d, want %d", seed, i, j, back, code)
+				}
+			}
+		}
+		// Grouping: rows share a group exactly when their tuples are equal.
+		for i := 0; i < rows; i++ {
+			for k := i + 1; k < rows; k++ {
+				equal := true
+				for j := 0; j < cols; j++ {
+					if tb.Rows[i][j] != tb.Rows[k][j] {
+						equal = false
+						break
+					}
+				}
+				if got := in.RowsEqual(i, k); got != equal {
+					t.Fatalf("seed %d: RowsEqual(%d,%d)=%v, want %v", seed, i, k, got, equal)
+				}
+			}
+		}
+		// Groups partition the rows in first-occurrence order, each group's
+		// Rep being its first member.
+		seen := 0
+		for g, gr := range in.Groups() {
+			if len(gr.Rows) == 0 {
+				t.Fatalf("seed %d: group %d empty", seed, g)
+			}
+			if gr.Rep != gr.Rows[0] {
+				t.Fatalf("seed %d: group %d rep %d != first member %d", seed, g, gr.Rep, gr.Rows[0])
+			}
+			for _, row := range gr.Rows {
+				if in.GroupOf(row) != g {
+					t.Fatalf("seed %d: row %d in group %d but GroupOf says %d", seed, row, g, in.GroupOf(row))
+				}
+				seen++
+			}
+		}
+		if seen != rows {
+			t.Fatalf("seed %d: groups cover %d rows, want %d", seed, seen, rows)
+		}
+	}
+}
+
+func opaqueCols(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = string(rune('A' + i))
+	}
+	return out
+}
+
+// TestInternedAllocationLean is the interner's allocation-budget test (the
+// analogue of similarity's TestLookupAllocationLean): interning a table of R
+// rows must stay within a small per-table budget — the fixed backing arrays
+// plus one map entry per DISTINCT value/signature — never O(cells)
+// allocations. A heavily duplicated 512x4 table has 32 distinct rows, so
+// ~15 allocations (4 dicts + their map growth, codes, groupOf, signature
+// key copies amortised) is generous; a per-cell or per-row allocation would
+// blow through it by two orders of magnitude.
+func TestInternedAllocationLean(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; counts are only meaningful without -race")
+	}
+	tb := New("t", "A", "B", "C", "D")
+	tb.Grow(512)
+	for i := 0; i < 512; i++ {
+		d := i % 32
+		tb.Append(fmt.Sprintf("p%d", d), fmt.Sprintf("c%d", d%8), "cap", "lang")
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		tb.Interned()
+	})
+	// Budget: the Interned struct, codes, groupOf, groups, 4 dicts with
+	// their value slices and maps, the signature map and its 32 key copies.
+	// All size with DISTINCT counts except codes/groupOf (one allocation
+	// each regardless of row count).
+	if allocs > 120 {
+		t.Errorf("Interned() allocates %.0f per table, want <= 120 (distinct-bounded)", allocs)
+	}
+}
+
+// TestAppendArena pins the arena fast path: after Grow, appended rows carve
+// out of one shared backing array (capacity-clamped so rows cannot bleed
+// into each other) and appending allocates nothing per row.
+func TestAppendArena(t *testing.T) {
+	tb := New("t", "A", "B")
+	tb.Grow(3)
+	tb.Append("a1", "b1")
+	tb.Append("a2", "b2")
+	// The three-index cap must prevent an append to row 0's slice from
+	// clobbering row 1's first cell.
+	r0 := append(tb.Rows[0], "overflow")
+	if tb.Rows[1][0] != "a2" {
+		t.Fatalf("append to row 0 clobbered row 1: %v", tb.Rows[1])
+	}
+	_ = r0
+	if raceEnabled {
+		return
+	}
+	big := New("t", "A", "B")
+	big.Grow(1200)
+	// Reuse one argument slice: a literal at the call site would itself
+	// allocate per call (variadic args escape into the fallback path).
+	row := []string{"x", "y"}
+	allocs := testing.AllocsPerRun(1000, func() {
+		big.Append(row...)
+	})
+	if allocs > 0.1 {
+		t.Errorf("arena Append allocates %.2f per row, want 0", allocs)
+	}
+}
+
+// TestCompactPreservesCells pins Compact as a semantic no-op that canonises
+// duplicate strings onto shared instances.
+func TestCompactPreservesCells(t *testing.T) {
+	tb := New("t", "A", "B")
+	// Build values that are equal but distinct instances.
+	v1 := "du" + "plicate"
+	v2 := "dupli" + "cate"
+	tb.Append(v1, "x")
+	tb.Append(v2, "y")
+	orig := tb.Clone()
+	if tb.Compact() != tb {
+		t.Fatal("Compact must return its receiver")
+	}
+	diff, err := tb.Diff(orig)
+	if err != nil || len(diff) != 0 {
+		t.Fatalf("Compact changed cells: diff=%v err=%v", diff, err)
+	}
+}

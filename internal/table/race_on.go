@@ -1,0 +1,7 @@
+//go:build race
+
+package table
+
+// raceEnabled reports whether the race detector is active; its
+// instrumentation adds per-call allocations that break allocation tests.
+const raceEnabled = true

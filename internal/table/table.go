@@ -17,6 +17,12 @@ type Table struct {
 	Name    string
 	Columns []string
 	Rows    [][]string
+
+	// arena, when non-nil, is a flat cell store that Append carves rows out
+	// of: one allocation for many rows instead of one []string per row. It
+	// is populated by Grow and Compact; tables built without them behave
+	// exactly as before.
+	arena []string
 }
 
 // New returns an empty table with the given columns.
@@ -30,11 +36,35 @@ func (t *Table) NumRows() int { return len(t.Rows) }
 // NumCols returns the number of attributes.
 func (t *Table) NumCols() int { return len(t.Columns) }
 
+// Grow pre-allocates room for n more rows: the row-pointer slice plus a flat
+// cell arena that subsequent Appends carve full-capacity sub-slices out of.
+// Purely an allocation hint — semantics are unchanged either way.
+func (t *Table) Grow(n int) {
+	if n <= 0 || len(t.Columns) == 0 {
+		return
+	}
+	if cap(t.Rows)-len(t.Rows) < n {
+		rows := make([][]string, len(t.Rows), len(t.Rows)+n)
+		copy(rows, t.Rows)
+		t.Rows = rows
+	}
+	if cap(t.arena)-len(t.arena) < n*len(t.Columns) {
+		t.arena = make([]string, 0, n*len(t.Columns))
+	}
+}
+
 // Append adds a tuple. It panics if the arity is wrong — a programming
 // error, not an input error.
 func (t *Table) Append(row ...string) {
 	if len(row) != len(t.Columns) {
 		panic(fmt.Sprintf("table %s: row arity %d != %d", t.Name, len(row), len(t.Columns)))
+	}
+	if cap(t.arena)-len(t.arena) >= len(row) {
+		base := len(t.arena)
+		t.arena = append(t.arena, row...)
+		// Full three-index cap: appends to one row can never spill into the
+		// next row's cells.
+		row = t.arena[base:len(t.arena):len(t.arena)]
 	}
 	t.Rows = append(t.Rows, row)
 }
@@ -52,13 +82,22 @@ func (t *Table) Column(name string) int {
 	return -1
 }
 
-// Clone deep-copies the table.
+// Clone deep-copies the table. The copy is arena-backed: all cells live in
+// one flat allocation rather than one slice per row.
 func (t *Table) Clone() *Table {
 	nt := &Table{Name: t.Name, Columns: append([]string(nil), t.Columns...)}
 	nt.Rows = make([][]string, len(t.Rows))
-	for i, r := range t.Rows {
-		nt.Rows[i] = append([]string(nil), r...)
+	var cells int
+	for _, r := range t.Rows {
+		cells += len(r)
 	}
+	arena := make([]string, 0, cells)
+	for i, r := range t.Rows {
+		base := len(arena)
+		arena = append(arena, r...)
+		nt.Rows[i] = arena[base:len(arena):len(arena)]
+	}
+	nt.arena = arena[:len(arena):len(arena)]
 	return nt
 }
 

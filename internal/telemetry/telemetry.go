@@ -70,6 +70,10 @@ const (
 	// ResolverMisses counts label resolutions the cache had to compute
 	// against the KB (first sight of a value, or post-enrichment flush).
 	ResolverMisses
+	// CrowdQuestionsDeduped counts crowd questions answered from the
+	// distinct-signature memo instead of being issued: a duplicate row's
+	// check reuses the answer its signature's first occurrence obtained.
+	CrowdQuestionsDeduped
 
 	numCounters
 )
@@ -103,6 +107,8 @@ func (c Counter) String() string {
 		return "resolver-hits"
 	case ResolverMisses:
 		return "resolver-misses"
+	case CrowdQuestionsDeduped:
+		return "crowd-questions-deduped"
 	default:
 		return fmt.Sprintf("counter-%d", int(c))
 	}

@@ -97,6 +97,7 @@ func opaque(n int) []string {
 func PersonTable(w *world.World, seed int64, rows int) *TableSpec {
 	rng := rand.New(rand.NewSource(seed))
 	t := table.New("Person", opaque(4)...)
+	t.Grow(rows)
 	poolSize := rows / 4
 	if poolSize < 1 {
 		poolSize = 1
@@ -128,6 +129,7 @@ func PersonTable(w *world.World, seed int64, rows int) *TableSpec {
 func SoccerTable(w *world.World, seed int64, rows int) *TableSpec {
 	rng := rand.New(rand.NewSource(seed))
 	t := table.New("Soccer", opaque(4)...)
+	t.Grow(rows)
 	perm := rng.Perm(len(w.Players))
 	for i := 0; i < rows; i++ {
 		p := w.Players[perm[i%len(perm)]]
@@ -152,6 +154,7 @@ func SoccerTable(w *world.World, seed int64, rows int) *TableSpec {
 func UniversityTable(w *world.World, seed int64, rows int) *TableSpec {
 	rng := rand.New(rand.NewSource(seed))
 	t := table.New("University", opaque(3)...)
+	t.Grow(rows)
 	perm := rng.Perm(len(w.Universities))
 	for i := 0; i < rows; i++ {
 		u := w.Universities[perm[i%len(perm)]]
@@ -168,10 +171,20 @@ func UniversityTable(w *world.World, seed int64, rows int) *TableSpec {
 	}
 }
 
+// The paper's RelationalTables sizes (§7 Table 1): Person aggregates 316K
+// extracted bios; Soccer and University are unique scrapes.
+const (
+	PaperPersonRows     = 316000
+	PaperSoccerRows     = 1625
+	PaperUniversityRows = 1357
+)
+
 // RelationalTables bundles the three relational specs at the given scale.
-// The paper's sizes are Person 316K / Soccer 1625 / University 1357; scale
-// 1.0 yields 5000/1625/1357 (Person is clamped for a single machine — the
-// paper needed a 30-machine cluster purely for wall-clock).
+// Scale 1.0 yields 5000/1625/1357 — Person's convenient single-machine
+// operating point, a clamp of the paper's 316K (which the paper itself
+// cleaned on a 30-machine cluster purely for wall-clock). The scale is not
+// capped: ~63.2 reaches the full 316K, and RelationalTablesPaper is the
+// shorthand for exactly the paper's sizes.
 func RelationalTables(w *world.World, seed int64, scale float64) *Dataset {
 	if scale <= 0 {
 		scale = 1
@@ -189,6 +202,21 @@ func RelationalTables(w *world.World, seed int64, scale float64) *Dataset {
 			PersonTable(w, seed+1, n(5000)),
 			SoccerTable(w, seed+2, n(1625)),
 			UniversityTable(w, seed+3, n(1357)),
+		},
+	}
+}
+
+// RelationalTablesPaper builds the three relational specs at exactly the
+// paper's row counts — Person at the full 316K rows (§7 Table 1), Soccer
+// and University at their natural sizes. Same seeds as RelationalTables so
+// Soccer/University are identical to a scale-1.0 dataset.
+func RelationalTablesPaper(w *world.World, seed int64) *Dataset {
+	return &Dataset{
+		Name: "RelationalTables",
+		Specs: []*TableSpec{
+			PersonTable(w, seed+1, PaperPersonRows),
+			SoccerTable(w, seed+2, PaperSoccerRows),
+			UniversityTable(w, seed+3, PaperUniversityRows),
 		},
 	}
 }

@@ -167,6 +167,15 @@ type Options struct {
 	TuplesPerQuestion    int
 	// Enrich adds crowd-confirmed facts to the KB (default true).
 	Enrich *bool
+	// Dedup enables distinct-signature execution (default true): the run
+	// interns the table into per-column dictionaries, computes KB coverage
+	// once per distinct row signature (fanning the verdict out to duplicate
+	// rows), memoizes crowd questions so one question answers every
+	// duplicate, and ranks repair candidates once per distinct erroneous
+	// signature. Reports are byte-identical with dedup on or off except for
+	// crowd accounting: dedup asks strictly fewer questions on tables with
+	// duplicate rows (the propcheck dedup differential pins this down).
+	Dedup *bool
 	// MaxCandidates / MaxRows / MinSupport tune candidate generation; see
 	// the discovery package. Zero values take the engine defaults.
 	MaxCandidates int
@@ -268,6 +277,10 @@ func (o Options) withDefaults() Options {
 	if o.Enrich == nil {
 		t := true
 		o.Enrich = &t
+	}
+	if o.Dedup == nil {
+		t := true
+		o.Dedup = &t
 	}
 	if o.Seed == 0 {
 		o.Seed = 1

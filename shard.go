@@ -36,6 +36,7 @@ import (
 	"katara/internal/discovery"
 	"katara/internal/pattern"
 	"katara/internal/repair"
+	"katara/internal/table"
 	"katara/internal/telemetry"
 )
 
@@ -138,6 +139,16 @@ func (c *Cleaner) runClean(ctx context.Context, t *Table, shards int) (*Report, 
 	root.SetInt("rows", int64(t.NumRows()))
 	root.SetInt("shards", int64(shards))
 
+	// Distinct-signature view (Options.Dedup, default on): built fresh per
+	// run — never cached on the Table, whose Rows callers mutate directly
+	// (InjectErrors) with no invalidation hook. Annotation coverage, crowd
+	// questions and repair ranking all collapse onto distinct signatures.
+	var in *table.Interned
+	if *c.opts.Dedup {
+		in = t.Interned()
+		root.SetInt("signatures", int64(in.NumGroups()))
+	}
+
 	start := tel.StartStage(telemetry.StageDiscover)
 	cands := c.generate(t, tel)
 	candidates := discovery.TopK(cands, c.opts.TopK)
@@ -160,7 +171,7 @@ func (c *Cleaner) runClean(ctx context.Context, t *Table, shards int) (*Report, 
 	}
 	tel.EndStage(telemetry.StageValidate, start)
 	start = tel.StartStage(telemetry.StageAnnotate)
-	res := c.annotateSharded(ctx, t, p, tel, shards)
+	res := c.annotateSharded(ctx, t, p, tel, shards, in)
 	tel.EndStage(telemetry.StageAnnotate, start)
 	rep.Pattern = p
 	rep.Annotations = res.Tuples
@@ -172,7 +183,7 @@ func (c *Cleaner) runClean(ctx context.Context, t *Table, shards int) (*Report, 
 		tel.Inc(telemetry.DegradedDecisions)
 	} else {
 		start = tel.StartStage(telemetry.StageRepair)
-		rep.Repairs = c.repairsSharded(t, p, res.Errors(), tel, shards)
+		rep.Repairs = c.repairsShardedDedup(t, p, res.Errors(), tel, shards, in)
 		tel.EndStage(telemetry.StageRepair, start)
 	}
 	rep.Crowd = c.crowd.Stats()
@@ -243,21 +254,29 @@ func shardPipelines(tel *telemetry.Pipeline, n int) []*telemetry.Pipeline {
 }
 
 // annotateSharded is the sharded §6.1 stage: step-1 KB coverage fans out
-// across contiguous row-range shards (each with its own telemetry pipeline,
-// merged after the join), then the crowd-serial step 2 consumes the
-// precomputed coverage in global row order. For shards <= 1 it falls back
-// to the unsharded annotator (whose Workers pool remains available).
-func (c *Cleaner) annotateSharded(ctx context.Context, t *Table, p *Pattern, tel *telemetry.Pipeline, shards int) *annotation.Result {
+// across contiguous shards (each with its own telemetry pipeline, merged
+// after the join), then the crowd-serial step 2 consumes the precomputed
+// coverage in global row order. With an interned view the shard unit is the
+// distinct signature group — each group's representative is evaluated once
+// and the Match fanned out to every duplicate row — otherwise it is the raw
+// row range. For shards <= 1 it falls back to the unsharded annotator
+// (whose Workers pool remains available, itself group-aware under dedup).
+func (c *Cleaner) annotateSharded(ctx context.Context, t *Table, p *Pattern, tel *telemetry.Pipeline, shards int, in *table.Interned) *annotation.Result {
 	ann := c.annotator(ctx, p, tel)
+	ann.Interned = in
 	n := t.NumRows()
-	if shards <= 1 || n < 2*shards {
+	units := n
+	if in != nil {
+		units = in.NumGroups()
+	}
+	if shards <= 1 || units < 2*shards {
 		return ann.Annotate(t)
 	}
 	// Coverage workers only read the KB: force the lazily-memoised
 	// hierarchy closures before the fan-out.
 	c.kb.WarmClosures()
 	matches := make([]*pattern.Match, n)
-	ranges := shardRanges(n, shards)
+	ranges := shardRanges(units, shards)
 	children := shardPipelines(tel, len(ranges))
 	var wg sync.WaitGroup
 	var panicked atomic.Pointer[PanicError]
@@ -266,7 +285,11 @@ func (c *Cleaner) annotateSharded(ctx context.Context, t *Table, p *Pattern, tel
 		go func(shard int, rg shardRange, child *telemetry.Pipeline) {
 			defer wg.Done()
 			runShardGuarded(&panicked, shard, func() {
-				ann.EvaluateCoverage(t, rg.Lo, rg.Hi, matches, child)
+				if in != nil {
+					ann.EvaluateCoverageGroups(t, in.Groups(), rg.Lo, rg.Hi, matches, child)
+				} else {
+					ann.EvaluateCoverage(t, rg.Lo, rg.Hi, matches, child)
+				}
 			})
 		}(i, rg, children[i])
 	}
@@ -278,12 +301,22 @@ func (c *Cleaner) annotateSharded(ctx context.Context, t *Table, p *Pattern, tel
 	return ann.AnnotateWith(t, matches)
 }
 
-// repairsSharded is the sharded §6.2 stage: the index is built once
-// (deterministic for every worker and shard count), then per-row top-k
-// retrieval fans out across row-range shards of the erroneous-row list,
-// each shard recording into its own telemetry pipeline through a shallow
-// index view. The merge is a map fill keyed by row — order-free.
+// repairsSharded is repairsShardedDedup without an interned view — the
+// public Repairs sub-API path, which takes caller-chosen row lists and
+// never dedups.
 func (c *Cleaner) repairsSharded(t *Table, p *Pattern, rows []int, tel *telemetry.Pipeline, shards int) map[int][]Repair {
+	return c.repairsShardedDedup(t, p, rows, tel, shards, nil)
+}
+
+// repairsShardedDedup is the sharded §6.2 stage: the index is built once
+// (deterministic for every worker and shard count), then top-k retrieval
+// fans out across shards of the erroneous-row list, each shard recording
+// into its own telemetry pipeline through a shallow index view. With an
+// interned view, duplicate erroneous rows collapse onto one representative
+// per distinct signature — TopK is a pure function of the tuple's values
+// and the read-only index, so the ranked list is computed once and shared
+// by every duplicate. The merge is a map fill keyed by row — order-free.
+func (c *Cleaner) repairsShardedDedup(t *Table, p *Pattern, rows []int, tel *telemetry.Pipeline, shards int, in *table.Interned) map[int][]Repair {
 	if len(p.Edges) == 0 {
 		return nil // no relationships: repairs are undefined (§7.4)
 	}
@@ -302,10 +335,44 @@ func (c *Cleaner) repairsSharded(t *Table, p *Pattern, rows []int, tel *telemetr
 		Telemetry: tel,
 	})
 	tel.EndStage(telemetry.StageBuildIndex, start)
-	perRow := make([][]Repair, len(rows))
+
+	// lookup holds the rows actually ranked (one representative per distinct
+	// signature under dedup, every in-range row otherwise, first-occurrence
+	// order either way); slot maps each input row to its lookup index, -1
+	// for out-of-range rows.
+	lookup := make([]int, 0, len(rows))
+	slot := make([]int, len(rows))
+	if in != nil && in.NumRows() == t.NumRows() {
+		seen := make(map[int]int)
+		for i, row := range rows {
+			if row < 0 || row >= t.NumRows() {
+				slot[i] = -1
+				continue
+			}
+			g := in.GroupOf(row)
+			li, ok := seen[g]
+			if !ok {
+				li = len(lookup)
+				seen[g] = li
+				lookup = append(lookup, row)
+			}
+			slot[i] = li
+		}
+	} else {
+		for i, row := range rows {
+			if row < 0 || row >= t.NumRows() {
+				slot[i] = -1
+				continue
+			}
+			slot[i] = len(lookup)
+			lookup = append(lookup, row)
+		}
+	}
+
+	perRow := make([][]Repair, len(lookup))
 	switch {
-	case shards > 1 && len(rows) >= 2:
-		ranges := shardRanges(len(rows), shards)
+	case shards > 1 && len(lookup) >= 2:
+		ranges := shardRanges(len(lookup), shards)
 		children := shardPipelines(tel, len(ranges))
 		var wg sync.WaitGroup
 		var panicked atomic.Pointer[PanicError]
@@ -316,9 +383,7 @@ func (c *Cleaner) repairsSharded(t *Table, p *Pattern, rows []int, tel *telemetr
 				runShardGuarded(&panicked, shard, func() {
 					ixs := ix.WithTelemetry(child)
 					for i := rg.Lo; i < rg.Hi; i++ {
-						if row := rows[i]; row >= 0 && row < t.NumRows() {
-							perRow[i] = ixs.TopK(t.Rows[row], c.opts.RepairK)
-						}
+						perRow[i] = ixs.TopK(t.Rows[lookup[i]], c.opts.RepairK)
 					}
 				})
 			}(i, rg, children[i])
@@ -328,9 +393,9 @@ func (c *Cleaner) repairsSharded(t *Table, p *Pattern, rows []int, tel *telemetr
 		for _, child := range children {
 			tel.Merge(child)
 		}
-	case c.opts.Workers > 1 && len(rows) >= 2*c.opts.Workers:
+	case c.opts.Workers > 1 && len(lookup) >= 2*c.opts.Workers:
 		// Per-row retrieval is independent and the index is read-only:
-		// work-steal across the worker pool, keyed by row index.
+		// work-steal across the worker pool, keyed by lookup index.
 		var next atomic.Int64
 		var wg sync.WaitGroup
 		var panicked atomic.Pointer[PanicError]
@@ -341,12 +406,10 @@ func (c *Cleaner) repairsSharded(t *Table, p *Pattern, rows []int, tel *telemetr
 				runShardGuarded(&panicked, worker, func() {
 					for {
 						i := int(next.Add(1)) - 1
-						if i >= len(rows) {
+						if i >= len(lookup) {
 							return
 						}
-						if row := rows[i]; row >= 0 && row < t.NumRows() {
-							perRow[i] = ix.TopK(t.Rows[row], c.opts.RepairK)
-						}
+						perRow[i] = ix.TopK(t.Rows[lookup[i]], c.opts.RepairK)
 					}
 				})
 			}(w)
@@ -354,16 +417,13 @@ func (c *Cleaner) repairsSharded(t *Table, p *Pattern, rows []int, tel *telemetr
 		wg.Wait()
 		rethrow(&panicked)
 	default:
-		for i, row := range rows {
-			if row < 0 || row >= t.NumRows() {
-				continue
-			}
+		for i, row := range lookup {
 			perRow[i] = ix.TopK(t.Rows[row], c.opts.RepairK)
 		}
 	}
 	for i, row := range rows {
-		if row >= 0 && row < t.NumRows() {
-			out[row] = perRow[i]
+		if slot[i] >= 0 {
+			out[row] = perRow[slot[i]]
 		}
 	}
 	return out
