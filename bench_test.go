@@ -473,6 +473,43 @@ func BenchmarkDisabledInstrumentation(b *testing.B) {
 	}
 }
 
+// BenchmarkDisabledProvenance asserts the acceptance criterion that the
+// disabled (nil-*Recorder) path of every provenance primitive is
+// allocation-free: a run without -provenance/-explain must pay nothing for
+// the lineage layer. The explicit AllocsPerRun check fails the benchmark
+// outright on any regression.
+func BenchmarkDisabledProvenance(b *testing.B) {
+	var rec *ProvenanceRecorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if rec.Enabled() {
+			b.Fatal("nil recorder reports enabled")
+		}
+		rec.RecordPattern("p", 1.0, true)
+		rec.RecordValidationStep("type(0)", 0.5, 2, "city", false)
+		rec.SetRowUnits(nil, false)
+		_ = rec.UnitOf(i)
+		_ = rec.BeginTuple(i)
+		rec.RecordCheck(i, "node", "kb", nil, "", 0, true)
+		rec.RecordVerdict(i, "validated_by_kb", false, false)
+		rec.RecordRepair(i, 3, nil)
+		_ = rec.StartQuestion("bool", "", nil)
+		rec.AddVote(1, 0, 0, 1.0)
+		rec.FinishQuestion(1, 0, 0, 0, 0, 0, "")
+		_ = rec.LastQuestionID()
+		_ = rec.Child()
+		rec.Merge(nil)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		_ = rec.BeginTuple(1)
+		rec.RecordCheck(1, "edge", "crowd", nil, "", 2, false)
+		rec.RecordVerdict(1, "erroneous", false, false)
+		rec.RecordRepair(1, 5, nil)
+	}); allocs != 0 {
+		b.Fatalf("disabled provenance allocates %.1f per op", allocs)
+	}
+}
+
 // BenchmarkEndToEndClean measures the full public-API pipeline. Latency
 // percentiles from the run's own telemetry ride along as custom metrics, so
 // benchsave snapshots carry distributional data, not just ns/op.

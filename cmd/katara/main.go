@@ -9,7 +9,16 @@
 //	       [-assume trust|skeptic] [-facts new-facts.nt] [-v]
 //	       [-workers N] [-shards N] [-stats] [-dedup=false]
 //	       [-fault-rate 0.3] [-budget 100] [-deadline 30s] [-degrade trust|unknown]
-//	katara -paper-scale [-workers -1] [-shards -1]
+//	       [-provenance lineage.jsonl] [-explain ROW,COL]
+//	       [-log-level info] [-log-json]
+//	katara -paper-scale [-workers -1] [-shards -1] [-explain ROW,COL]
+//
+// -provenance records the run's full decision lineage — pattern scores,
+// validation steps, per-tuple KB and crowd evidence, repair candidates with
+// costs — as a JSONL journal. -explain ROW,COL prints the human-readable
+// evidence chain behind one cell after the run; either flag enables the
+// recorder. Diagnostics are structured logs (log/slog); -log-level and
+// -log-json control verbosity and format.
 //
 // -paper-scale is a self-contained reproduction of the paper's headline
 // workload: it generates the synthetic world, a DBpedia-shaped KB and the
@@ -35,14 +44,17 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
 	"katara"
 	"katara/internal/jobs"
+	"katara/internal/logging"
 	"katara/internal/rdf"
 	"katara/internal/telemetry"
 )
@@ -127,11 +139,31 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		deadline  = fs.Duration("deadline", 0, "wall-clock bound for the run, e.g. 30s (0 = none)")
 		degrade   = fs.String("degrade", "trust", "policy for tuples unanswered after budget/deadline exhaustion: trust|unknown")
 
+		provPath    = fs.String("provenance", "", "write the decision-provenance journal as JSONL to this file (- = stdout)")
+		explainFlag = fs.String("explain", "", "print the evidence chain behind cell ROW,COL after the run (e.g. -explain 12,2)")
+		logLevel    = fs.String("log-level", "info", "log verbosity: debug, info, warn or error")
+		logJSON     = fs.Bool("log-json", false, "emit structured logs as JSON instead of text")
+
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	level, lerr := logging.ParseLevel(*logLevel)
+	if lerr != nil {
+		fmt.Fprintln(stderr, "katara:", lerr)
+		return 2
+	}
+	log := logging.New(stdout, stderr, level, *logJSON)
+	var explain *cellRef
+	if *explainFlag != "" {
+		c, cerr := parseCell(*explainFlag)
+		if cerr != nil {
+			fmt.Fprintln(stderr, "katara:", cerr)
+			return 2
+		}
+		explain = &c
 	}
 	if !*paperScale && (*kbPath == "" || *inPath == "") {
 		fs.Usage()
@@ -165,8 +197,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 2
 	}
 	if *paperScale {
-		if err := runPaperScale(params, *dedup, stdout); err != nil {
-			fmt.Fprintln(stderr, "katara:", err)
+		if err := runPaperScale(params, *dedup, *provPath, explain, stdout); err != nil {
+			log.Error("paper-scale run failed", "error", err.Error())
 			return 1
 		}
 		return 0
@@ -179,12 +211,31 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		tracePath: *tracePath, listen: *listen, linger: *linger,
 		cpuProfile: *cpuProfile, memProfile: *memProfile,
 		deadline: *deadline, params: params,
+		provPath: *provPath, explain: explain, log: log,
 	}, stdin, stdout, stderr)
 	if err != nil {
-		fmt.Fprintln(stderr, "katara:", err)
+		log.Error("run failed", "error", err.Error())
 		return 1
 	}
 	return 0
+}
+
+// cellRef names one table cell for -explain.
+type cellRef struct {
+	row, col int
+}
+
+// parseCell parses the -explain argument "ROW,COL".
+func parseCell(s string) (cellRef, error) {
+	rs, cs, ok := strings.Cut(s, ",")
+	if ok {
+		row, err1 := strconv.Atoi(strings.TrimSpace(rs))
+		col, err2 := strconv.Atoi(strings.TrimSpace(cs))
+		if err1 == nil && err2 == nil && row >= 0 && col >= 0 {
+			return cellRef{row: row, col: col}, nil
+		}
+	}
+	return cellRef{}, fmt.Errorf("-explain wants ROW,COL (non-negative integers), got %q", s)
 }
 
 // cleanConfig carries the parsed flags into clean.
@@ -197,6 +248,9 @@ type cleanConfig struct {
 	cpuProfile, memProfile                     string
 	deadline                                   time.Duration
 	params                                     jobs.Params
+	provPath                                   string
+	explain                                    *cellRef
+	log                                        *slog.Logger
 }
 
 // clean runs the pipeline. Every cleanup — profile stop, journal flush,
@@ -220,19 +274,19 @@ func clean(cfg cleanConfig, stdin io.Reader, stdout, stderr io.Writer) (err erro
 		defer func() {
 			f, merr := os.Create(cfg.memProfile)
 			if merr != nil {
-				fmt.Fprintln(stderr, "katara: -memprofile:", merr)
+				cfg.log.Error("-memprofile write failed", "error", merr.Error())
 				return
 			}
 			defer f.Close()
 			runtime.GC() // materialise live-heap stats before the snapshot
 			if merr := pprof.WriteHeapProfile(f); merr != nil {
-				fmt.Fprintln(stderr, "katara: -memprofile:", merr)
+				cfg.log.Error("-memprofile write failed", "error", merr.Error())
 			}
 		}()
 	}
 
 	kb := katara.NewKB()
-	if err := loadKB(kb, cfg.kbPath, stdout); err != nil {
+	if err := loadKB(kb, cfg.kbPath, cfg.log); err != nil {
 		return err
 	}
 	in, err := os.Open(cfg.inPath)
@@ -249,6 +303,15 @@ func clean(cfg cleanConfig, stdin io.Reader, stdout, stderr io.Writer) (err erro
 	opts.DiscoverPaths = cfg.paths
 	opts.Telemetry = cfg.stats
 	opts.Deadline = cfg.deadline
+
+	// Either provenance flag — the journal or a single-cell explanation —
+	// enables the recorder; with neither, the pipeline keeps its zero-cost
+	// disabled path.
+	var rec *katara.ProvenanceRecorder
+	if cfg.provPath != "" || cfg.explain != nil {
+		rec = katara.NewProvenance()
+		opts.Provenance = rec
+	}
 
 	// Any observability consumer — text stats, JSON stats, span journal, or
 	// the HTTP endpoints — needs the caller-owned pipeline so it can watch
@@ -405,6 +468,15 @@ func clean(cfg cleanConfig, stdin io.Reader, stdout, stderr io.Writer) (err erro
 	if cfg.tracePath != "" {
 		fmt.Fprintf(stdout, "span journal (%d spans) written to %s\n", pipe.Journal().Spans(), cfg.tracePath)
 	}
+	if cfg.provPath != "" {
+		if err := writeProvenance(rec, cfg.provPath, stdout); err != nil {
+			return err
+		}
+	}
+	if cfg.explain != nil {
+		fmt.Fprintln(stdout)
+		rec.Explain(cfg.explain.row, cfg.explain.col).WriteText(stdout)
+	}
 	if srv != nil && cfg.linger > 0 {
 		fmt.Fprintf(stdout, "run complete; serving for another %s\n", cfg.linger)
 		time.Sleep(cfg.linger)
@@ -430,7 +502,33 @@ func writeStatsJSON(snap *katara.Timings, path string) error {
 	return os.WriteFile(path, data, 0o644)
 }
 
-func loadKB(kb *katara.KB, path string, stdout io.Writer) error {
+// writeProvenance dumps the recorder's JSONL journal to path ("-" =
+// stdout), confirming the write like the other artifact flags do.
+func writeProvenance(rec *katara.ProvenanceRecorder, path string, stdout io.Writer) error {
+	if path == "-" {
+		return rec.WriteJournal(stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := rec.WriteJournal(w); err != nil {
+		f.Close()
+		return fmt.Errorf("-provenance: %w", err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("-provenance: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("-provenance: %w", err)
+	}
+	fmt.Fprintf(stdout, "provenance journal written to %s\n", path)
+	return nil
+}
+
+func loadKB(kb *katara.KB, path string, log *slog.Logger) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -448,7 +546,7 @@ func loadKB(kb *katara.KB, path string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "loaded %d triples from %s\n", n, path)
+	log.Info("loaded knowledge base", "triples", n, "path", path)
 	return nil
 }
 

@@ -161,3 +161,99 @@ func TestRunRejectsBadParams(t *testing.T) {
 		t.Fatal("pipeline ran despite invalid parameters")
 	}
 }
+
+// runProv runs the CLI with -provenance into dir and returns the journal
+// bytes and captured stdout.
+func runProv(t *testing.T, dir, kbPath, csvPath, name string, extra ...string) ([]byte, string) {
+	t.Helper()
+	provPath := filepath.Join(dir, name)
+	args := append([]string{
+		"-kb", kbPath, "-in", csvPath, "-shards", "3", "-provenance", provPath,
+	}, extra...)
+	var stdout, stderr bytes.Buffer
+	if code := run(args, strings.NewReader(""), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, stderr %q", code, stderr.String())
+	}
+	data, err := os.ReadFile(provPath)
+	if err != nil {
+		t.Fatalf("provenance journal missing: %v", err)
+	}
+	return data, stdout.String()
+}
+
+// TestRunProvenanceJournal: -provenance writes a JSONL lineage journal —
+// every line valid JSON, lint-clean — and two runs over the same inputs
+// produce byte-identical journals (decision provenance is deterministic).
+func TestRunProvenanceJournal(t *testing.T) {
+	dir := t.TempDir()
+	kbPath, csvPath := writeEnv(t, dir)
+
+	first, out := runProv(t, dir, kbPath, csvPath, "prov1.jsonl")
+	if !strings.Contains(out, "provenance journal written") {
+		t.Fatalf("stdout missing provenance confirmation: %q", out)
+	}
+	if len(first) == 0 {
+		t.Fatal("provenance journal is empty")
+	}
+	for i, line := range bytes.Split(bytes.TrimRight(first, "\n"), []byte("\n")) {
+		var v map[string]any
+		if err := json.Unmarshal(line, &v); err != nil {
+			t.Fatalf("journal line %d is not JSON: %v\n%s", i+1, err, line)
+		}
+	}
+
+	second, _ := runProv(t, dir, kbPath, csvPath, "prov2.jsonl")
+	if !bytes.Equal(first, second) {
+		t.Fatal("same inputs produced different provenance journals")
+	}
+}
+
+// TestRunExplainCell: -explain prints a human-readable evidence chain for
+// the requested cell after the run.
+func TestRunExplainCell(t *testing.T) {
+	dir := t.TempDir()
+	kbPath, csvPath := writeEnv(t, dir)
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-kb", kbPath, "-in", csvPath, "-explain", "0,1",
+	}, strings.NewReader(""), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr %q", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "cell (row 0, col 1)") {
+		t.Fatalf("stdout missing explanation header: %q", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "verdict:") {
+		t.Fatalf("explanation has no verdict: %q", stdout.String())
+	}
+}
+
+// TestRunRejectsBadExplain: a malformed -explain argument is a usage error.
+func TestRunRejectsBadExplain(t *testing.T) {
+	dir := t.TempDir()
+	kbPath, csvPath := writeEnv(t, dir)
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-kb", kbPath, "-in", csvPath, "-explain", "banana",
+	}, strings.NewReader(""), &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "-explain") {
+		t.Fatalf("stderr does not explain the -explain format: %q", stderr.String())
+	}
+}
+
+// TestRunRejectsBadLogLevel: an unknown -log-level is a usage error.
+func TestRunRejectsBadLogLevel(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-log-level", "chatty"}, strings.NewReader(""), &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "chatty") {
+		t.Fatalf("stderr does not name the bad level: %q", stderr.String())
+	}
+}

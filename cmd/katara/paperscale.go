@@ -21,7 +21,12 @@ import (
 // errors in the pattern-covered columns, §7.4), runs the end-to-end
 // pipeline, and prints an aggregate summary only: at this scale the per-row
 // repair listing of the normal mode would be ~30K lines of noise.
-func runPaperScale(params jobs.Params, dedup bool, stdout io.Writer) error {
+//
+// With -provenance or -explain the recorder rides along, the run
+// cross-checks that every repaired cell is explainable (non-empty evidence
+// chain whose top-ranked candidate replays the applied repair), and the
+// journal / per-cell explanation is emitted after the summary.
+func runPaperScale(params jobs.Params, dedup bool, provPath string, explain *cellRef, stdout io.Writer) error {
 	w := world.New(7, world.Config{
 		Persons: 150, Players: 80, Clubs: 16, Universities: 40,
 		Films: 40, Books: 40,
@@ -41,6 +46,11 @@ func runPaperScale(params jobs.Params, dedup bool, stdout io.Writer) error {
 	opts.ValidationOracle = workload.SpecOracle{Spec: spec, KB: kb}
 	if opts.MaxRows == 0 {
 		opts.MaxRows = 500 // discovery sampling cap; patterns saturate long before 316K rows
+	}
+	var rec *katara.ProvenanceRecorder
+	if provPath != "" || explain != nil {
+		rec = katara.NewProvenance()
+		opts.Provenance = rec
 	}
 
 	start := time.Now()
@@ -79,5 +89,45 @@ func runPaperScale(params jobs.Params, dedup bool, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "crowd questions asked: %d (dedup %v)\n", report.QuestionsAsked, dedup)
 	fmt.Fprintf(stdout, "wall-clock: %s, peak memory: %d MiB\n",
 		elapsed.Round(time.Millisecond), m.Sys/(1<<20))
+	if rec != nil {
+		verified, err := verifyExplainable(rec, report)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "provenance: every repaired cell explainable (%d cells verified)\n", verified)
+		if provPath != "" {
+			if err := writeProvenance(rec, provPath, stdout); err != nil {
+				return err
+			}
+		}
+		if explain != nil {
+			fmt.Fprintln(stdout)
+			rec.Explain(explain.row, explain.col).WriteText(stdout)
+		}
+	}
 	return nil
+}
+
+// verifyExplainable cross-checks the provenance layer's core guarantee on a
+// live run: every cell the pipeline repaired must have a non-empty evidence
+// chain, and the chain's top-ranked candidate must replay to the change the
+// pipeline actually applied. Returns the number of cells checked.
+func verifyExplainable(rec *katara.ProvenanceRecorder, report *katara.Report) (int, error) {
+	verified := 0
+	for row, reps := range report.Repairs {
+		if len(reps) == 0 {
+			continue
+		}
+		for _, ch := range reps[0].Changes {
+			e := rec.Explain(row, ch.Col)
+			if e.Empty() || e.Repair == nil || len(e.Repair.Candidates) == 0 {
+				return verified, fmt.Errorf("provenance: repaired cell (%d,%d) has no evidence chain", row, ch.Col)
+			}
+			if e.Change == nil || e.Change.From != ch.From || e.Change.To != ch.To {
+				return verified, fmt.Errorf("provenance: recorded winner for cell (%d,%d) does not replay the applied repair", row, ch.Col)
+			}
+			verified++
+		}
+	}
+	return verified, nil
 }

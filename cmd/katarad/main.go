@@ -8,16 +8,25 @@
 //
 //	katarad -kb yago.nt [-listen :8080] [-max-concurrent 4] [-max-queue 64]
 //	        [-journal-dir /var/lib/katarad] [-drain-timeout 30s]
+//	        [-log-level info] [-log-json]
 //
 // Endpoints:
 //
-//	POST /jobs              submit {"table": {...}, "params": {...}}
-//	GET  /jobs              list jobs
-//	GET  /jobs/{id}         status + live progress
-//	GET  /jobs/{id}/result  final report (409 until the job finishes)
-//	POST /jobs/{id}/cancel  cancel a queued or running job
-//	GET  /healthz           liveness probe
-//	GET  /metrics           Prometheus exposition (all jobs merged, monotone)
+//	POST /jobs               submit {"table": {...}, "params": {...}}
+//	GET  /jobs               list jobs
+//	GET  /jobs/{id}          status + live progress
+//	GET  /jobs/{id}/result   final report (409 until the job finishes)
+//	GET  /jobs/{id}/progress live progress; SSE with Accept: text/event-stream
+//	GET  /jobs/{id}/explain  per-cell evidence chain (?row=R&col=C)
+//	POST /jobs/{id}/cancel   cancel a queued or running job
+//	GET  /healthz            liveness probe
+//	GET  /version            build metadata (module, version, VCS revision)
+//	GET  /metrics            Prometheus exposition (all jobs merged, monotone)
+//
+// Logs are structured (log/slog): text by default, JSON with -log-json.
+// Lifecycle events go to stdout, errors to stderr; every request is logged
+// with its method, path, status, duration, and — for job routes — the job
+// ID and shard count.
 //
 // With -journal-dir, every job transition is recorded in a crash-safe
 // write-ahead log: a submission is fsynced before it is acknowledged, so an
@@ -47,6 +56,7 @@ import (
 
 	"katara"
 	"katara/internal/jobs"
+	"katara/internal/logging"
 )
 
 func main() {
@@ -65,10 +75,18 @@ func run(args []string, stdout, stderr *os.File) int {
 		maxQueue      = fs.Int("max-queue", 64, "jobs waiting in the queue before submissions are rejected")
 		journalDir    = fs.String("journal-dir", "", "durable job journal directory (empty: job state does not survive restarts)")
 		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "how long SIGTERM lets running jobs finish before exiting")
+		logLevel      = fs.String("log-level", "info", "log verbosity: debug, info, warn or error")
+		logJSON       = fs.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	level, err := logging.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(stderr, "katarad:", err)
+		return 2
+	}
+	log := logging.New(stdout, stderr, level, *logJSON)
 	if *kbPath == "" {
 		fmt.Fprintln(stderr, "katarad: -kb is required")
 		fs.Usage()
@@ -82,10 +100,10 @@ func run(args []string, stdout, stderr *os.File) int {
 	kb := katara.NewKB()
 	n, err := loadKB(kb, *kbPath)
 	if err != nil {
-		fmt.Fprintln(stderr, "katarad:", err)
+		log.Error("knowledge base load failed", "path", *kbPath, "error", err.Error())
 		return 1
 	}
-	fmt.Fprintf(stdout, "katarad: loaded %d triples from %s\n", n, *kbPath)
+	log.Info("loaded knowledge base", "triples", n, "path", *kbPath)
 
 	var (
 		journal *jobs.Journal
@@ -94,7 +112,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	if *journalDir != "" {
 		journal, replay, err = jobs.OpenJournal(*journalDir)
 		if err != nil {
-			fmt.Fprintln(stderr, "katarad:", err)
+			log.Error("journal open failed", "dir", *journalDir, "error", err.Error())
 			return 1
 		}
 		defer journal.Close()
@@ -118,21 +136,24 @@ func run(args []string, stdout, stderr *os.File) int {
 	}()
 	if replay != nil {
 		rs := m.Recovery()
-		fmt.Fprintf(stdout,
-			"katarad: journal replayed: %d finished, %d requeued, %d poisoned (boots=%d truncated=%dB)\n",
-			rs.Terminal, rs.Requeued, rs.Poisoned, rs.Boots, rs.TruncatedBytes)
+		log.Info("journal replayed",
+			"finished", rs.Terminal, "requeued", rs.Requeued, "poisoned", rs.Poisoned,
+			"boots", rs.Boots, "truncated_bytes", rs.TruncatedBytes)
 	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
-		fmt.Fprintln(stderr, "katarad:", err)
+		log.Error("listen failed", "addr", *listen, "error", err.Error())
 		return 1
 	}
-	srv := &http.Server{Handler: jobs.NewHandler(m), ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{
+		Handler:           m.LogRequests(log, jobs.NewHandler(m)),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
-	fmt.Fprintf(stdout, "katarad: serving job API on http://%s (max-concurrent=%d max-queue=%d)\n",
-		ln.Addr(), *maxConcurrent, *maxQueue)
+	log.Info("serving job API", "addr", ln.Addr().String(),
+		"max_concurrent", *maxConcurrent, "max_queue", *maxQueue)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -141,19 +162,19 @@ func run(args []string, stdout, stderr *os.File) int {
 		if s == syscall.SIGTERM {
 			// Graceful drain: refuse new work while the API stays up, so
 			// clients can keep polling results of jobs that finish.
-			fmt.Fprintf(stdout, "katarad: SIGTERM, draining (timeout %s)\n", *drainTimeout)
+			log.Info("SIGTERM received, draining", "timeout", drainTimeout.String())
 			m.StartDraining()
 			if m.Drain(*drainTimeout) {
-				fmt.Fprintln(stdout, "katarad: drained: no jobs running")
+				log.Info("drained: no jobs running")
 			} else {
-				fmt.Fprintln(stdout, "katarad: drain timeout: unfinished jobs left journaled for restart")
+				log.Warn("drain timeout: unfinished jobs left journaled for restart")
 			}
 			closeManager = false
 		} else {
-			fmt.Fprintf(stdout, "katarad: %s, shutting down\n", s)
+			log.Info("signal received, shutting down", "signal", s.String())
 		}
 	case err := <-serveErr:
-		fmt.Fprintln(stderr, "katarad: serve:", err)
+		log.Error("serve failed", "error", err.Error())
 		return 1
 	}
 
@@ -166,10 +187,10 @@ func run(args []string, stdout, stderr *os.File) int {
 		_ = srv.Close()
 	}
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintln(stderr, "katarad: serve:", err)
+		log.Error("serve failed", "error", err.Error())
 		return 1
 	}
-	fmt.Fprintln(stdout, "katarad: bye")
+	log.Info("bye")
 	return 0
 }
 

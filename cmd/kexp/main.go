@@ -13,6 +13,8 @@
 //
 // -stats (or -exp stats) times the end-to-end pipeline per stage with the
 // telemetry layer; -workers sizes the worker pool of the parallel stages.
+// Diagnostics are structured logs (log/slog); -log-level and -log-json
+// control verbosity and format, matching katara and katarad.
 package main
 
 import (
@@ -32,6 +34,7 @@ import (
 	"katara/internal/experiments"
 	"katara/internal/jobs"
 	"katara/internal/kbstats"
+	"katara/internal/logging"
 	"katara/internal/table"
 	"katara/internal/telemetry"
 	"katara/internal/workload"
@@ -58,8 +61,17 @@ func main() {
 		linger     = flag.Duration("linger", 0, "keep the -listen server up this long after the experiments complete")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		logLevel   = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+		logJSON    = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	)
 	flag.Parse()
+
+	level, lerr := logging.ParseLevel(*logLevel)
+	if lerr != nil {
+		fmt.Fprintln(os.Stderr, "kexp:", lerr)
+		os.Exit(2)
+	}
+	log := logging.New(os.Stdout, os.Stderr, level, *logJSON)
 
 	// Same parameter validator as cmd/katara and katarad's submit handler:
 	// a fractional-but-negative scale or an impossible worker count is a
@@ -77,11 +89,11 @@ func main() {
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "kexp: -cpuprofile: %v\n", err)
+			log.Error("-cpuprofile failed", "error", err.Error())
 			os.Exit(1)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "kexp: -cpuprofile: %v\n", err)
+			log.Error("-cpuprofile failed", "error", err.Error())
 			os.Exit(1)
 		}
 		defer func() {
@@ -93,13 +105,13 @@ func main() {
 		defer func() {
 			f, err := os.Create(*memProfile)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "kexp: -memprofile: %v\n", err)
+				log.Error("-memprofile write failed", "error", err.Error())
 				return
 			}
 			defer f.Close()
 			runtime.GC() // materialise live-heap stats before the snapshot
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(os.Stderr, "kexp: -memprofile: %v\n", err)
+				log.Error("-memprofile write failed", "error", err.Error())
 			}
 		}()
 	}
@@ -117,7 +129,7 @@ func main() {
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "kexp: -trace: %v\n", err)
+			log.Error("-trace journal failed", "error", err.Error())
 			os.Exit(1)
 		}
 		journalF, journalW = f, bufio.NewWriter(f)
@@ -128,7 +140,7 @@ func main() {
 		srv = telemetry.NewServer(pipe)
 		addr, err := srv.Start(*listen)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "kexp: -listen: %v\n", err)
+			log.Error("-listen failed", "error", err.Error())
 			os.Exit(1)
 		}
 		fmt.Printf("# observability endpoints on http://%s (/metrics /healthz /progress /debug/pprof/)\n", addr)
@@ -241,21 +253,21 @@ func main() {
 	srv.MarkDone()
 	if *statsJSON != "" {
 		if err := writeStatsJSON(pipe, *statsJSON); err != nil {
-			fmt.Fprintf(os.Stderr, "kexp: -stats-json: %v\n", err)
+			log.Error("-stats-json write failed", "error", err.Error())
 			os.Exit(1)
 		}
 	}
 	if journalW != nil {
 		if err := journalW.Flush(); err != nil {
-			fmt.Fprintf(os.Stderr, "kexp: -trace: %v\n", err)
+			log.Error("-trace journal failed", "error", err.Error())
 			os.Exit(1)
 		}
 		if err := journalF.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "kexp: -trace: %v\n", err)
+			log.Error("-trace journal failed", "error", err.Error())
 			os.Exit(1)
 		}
 		if err := pipe.Journal().Err(); err != nil {
-			fmt.Fprintf(os.Stderr, "kexp: -trace: %v\n", err)
+			log.Error("-trace journal failed", "error", err.Error())
 			os.Exit(1)
 		}
 		fmt.Printf("# span journal (%d spans) written to %s\n", pipe.Journal().Spans(), *tracePath)

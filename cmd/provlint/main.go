@@ -1,0 +1,45 @@
+// Command provlint validates a decision-provenance journal (the JSONL file
+// katara -provenance writes) read from stdin or a file, using the same
+// strict schema checks the provenance tests run. The CI observability smoke
+// job pipes a freshly written journal through it:
+//
+//	go run ./cmd/provlint lineage.jsonl
+//
+// Exit status 0 means every record parsed, the meta header carries the
+// current schema version, question IDs are strictly increasing, and every
+// check's question reference resolves; 1 means it did not, with the first
+// violation on stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"katara/internal/provenance"
+)
+
+func main() {
+	flag.Parse()
+	var in io.Reader = os.Stdin
+	name := "<stdin>"
+	if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "usage: provlint [file]")
+		os.Exit(2)
+	}
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "provlint:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in, name = f, flag.Arg(0)
+	}
+	if err := provenance.LintJournal(in); err != nil {
+		fmt.Fprintf(os.Stderr, "provlint: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	fmt.Println("provlint: ok")
+}

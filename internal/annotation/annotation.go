@@ -13,6 +13,7 @@ import (
 
 	"katara/internal/crowd"
 	"katara/internal/pattern"
+	"katara/internal/provenance"
 	"katara/internal/rdf"
 	"katara/internal/similarity"
 	"katara/internal/table"
@@ -207,18 +208,37 @@ type Annotator struct {
 	// drops. The memo lives for one Annotate/AnnotateWith call.
 	Interned *table.Interned
 
+	// Prov records each tuple's evidence lineage — the KB facts that
+	// matched, the crowd checks issued and their question IDs, the verdict;
+	// nil disables. Evidence is recorded per decision unit (the signature
+	// group under dedup, the row otherwise) and fanned out on read.
+	Prov *provenance.Recorder
+
 	// qmemo caches crowd answers within one AnnotateWith pass (dedup mode
 	// only). Keyed by prompt AND ground truth: two distinct KB terms can
 	// share a display label, yielding identical prompts with different
 	// truths. Degraded (unanswered) outcomes are never memoized — budget
 	// and deadline exhaustion are transient, not properties of the question.
-	qmemo map[questionKey]bool
+	qmemo map[questionKey]memoAnswer
+
+	// provUnit is the decision unit the current tuple's evidence is
+	// recorded under; negative while recording is off (disabled recorder,
+	// or a duplicate row whose unit already carries a settled record).
+	provUnit int
 }
 
 // questionKey identifies one crowd check for the dedup memo.
 type questionKey struct {
 	prompt string
 	holds  bool
+}
+
+// memoAnswer is one memoized crowd answer plus the provenance ID of the
+// question that produced it, so duplicate rows' evidence chains reference
+// the original question.
+type memoAnswer struct {
+	yes bool
+	qid int64
 }
 
 // labels returns the label-resolution source: the shared resolver when
@@ -318,9 +338,10 @@ func (a *Annotator) AnnotateWith(tbl *table.Table, matches []*pattern.Match) *Re
 	var covMemo []*pattern.Match
 	if in != nil {
 		covMemo = make([]*pattern.Match, in.NumGroups())
-		a.qmemo = make(map[questionKey]bool)
+		a.qmemo = make(map[questionKey]memoAnswer)
 		defer func() { a.qmemo = nil }()
 	}
+	a.provUnit = -1
 	for row := range tbl.Rows {
 		// One scoped span per tuple: the crowd-question spans issued inside
 		// annotateTuple (serially, on this goroutine) attach as its children.
@@ -342,7 +363,24 @@ func (a *Annotator) AnnotateWith(tbl *table.Table, matches []*pattern.Match) *Re
 				covMemo[gi] = m
 			}
 		}
+		// Provenance is recorded once per decision unit: the first row of a
+		// signature group writes the unit's evidence, duplicates share it on
+		// read. A degraded record is retried — degradation is a property of
+		// the run's remaining budget, not of the signature.
+		a.provUnit = -1
+		if a.Prov.Enabled() {
+			unit := row
+			if in != nil {
+				unit = in.GroupOf(row)
+			}
+			if a.Prov.BeginTuple(unit) {
+				a.provUnit = unit
+			}
+		}
 		ta, applied := a.annotateTuple(tbl, row, m)
+		if a.provUnit >= 0 {
+			a.Prov.RecordVerdict(a.provUnit, ta.Label.String(), ta.Degraded, m.Full)
+		}
 		if applied {
 			enriched = true
 			// The KB changed: every memoized coverage verdict is stale.
@@ -425,21 +463,68 @@ func (a *Annotator) ctx() context.Context {
 // budget. Only answers the crowd actually delivered are memoized; a
 // degraded outcome is a property of the run's remaining budget, not of the
 // question, so it is re-attempted every time.
-func (a *Annotator) ask(prompt string, holds bool) (confirmed, degraded bool) {
+// qid is the provenance ID of the question that decided the check (the
+// memoized original on a memo hit; 0 when provenance is disabled) and memo
+// reports a memo hit.
+func (a *Annotator) ask(prompt string, holds bool) (confirmed, degraded bool, qid int64, memo bool) {
 	if a.qmemo != nil {
 		if ans, ok := a.qmemo[questionKey{prompt, holds}]; ok {
 			a.Telemetry.Inc(telemetry.CrowdQuestionsDeduped)
-			return ans, false
+			return ans.yes, false, ans.qid, true
 		}
 	}
 	yes, err := a.Crowd.AskBooleanContext(a.ctx(), prompt, holds)
+	qid = a.Prov.LastQuestionID()
 	if err != nil {
-		return a.Degrade == DegradeTrustKB, true
+		return a.Degrade == DegradeTrustKB, true, qid, false
 	}
 	if a.qmemo != nil {
-		a.qmemo[questionKey{prompt, holds}] = yes
+		a.qmemo[questionKey{prompt, holds}] = memoAnswer{yes: yes, qid: qid}
 	}
-	return yes, false
+	return yes, false, qid, false
+}
+
+// recordCheck records one evidence check for the current decision unit.
+// c1/c2 are the concerned columns (-1 = absent).
+func (a *Annotator) recordCheck(kind string, c1, c2 int, desc string, qid int64, source string, confirmed bool) {
+	if a.provUnit < 0 || !a.Prov.Enabled() {
+		return
+	}
+	var cols []int
+	if c1 >= 0 {
+		cols = append(cols, c1)
+	}
+	if c2 >= 0 {
+		cols = append(cols, c2)
+	}
+	a.Prov.RecordCheck(a.provUnit, kind, source, cols, desc, qid, confirmed)
+}
+
+// recordKBEvidence records the pattern pieces the KB itself covered for the
+// current tuple — the "validated by KB" half of the evidence chain.
+func (a *Annotator) recordKBEvidence(tuple []string, m *pattern.Match) {
+	for _, n := range a.Pattern.Nodes {
+		if n.Type == rdf.NoID || !m.NodeOK[n.Column] || n.Column >= len(tuple) {
+			continue
+		}
+		desc := fmt.Sprintf("%q is a %s", tuple[n.Column], a.KB.LabelOf(n.Type))
+		a.recordCheck("node", n.Column, -1, desc, 0, "kb", true)
+	}
+	for i, e := range a.Pattern.Edges {
+		if !m.EdgeOK[i] || e.From >= len(tuple) || e.To >= len(tuple) {
+			continue
+		}
+		desc := fmt.Sprintf("%q %s %q", tuple[e.From], a.KB.LabelOf(e.Prop), tuple[e.To])
+		a.recordCheck("edge", e.From, e.To, desc, 0, "kb", true)
+	}
+	for i, pe := range a.Pattern.Paths {
+		if !m.PathOK[i] || pe.From >= len(tuple) || pe.To >= len(tuple) {
+			continue
+		}
+		desc := fmt.Sprintf("%q relates to %q through %s",
+			tuple[pe.From], tuple[pe.To], pathLabel(a.KB, pe.Props))
+		a.recordCheck("path", pe.From, pe.To, desc, 0, "kb", true)
+	}
 }
 
 func factKey(f Fact) string {
@@ -517,6 +602,9 @@ func (a *Annotator) annotateTuple(tbl *table.Table, row int, m *pattern.Match) (
 	}
 	ta.EdgeByKB = append([]bool(nil), m.EdgeOK...)
 	ta.PathByKB = append([]bool(nil), m.PathOK...)
+	if a.provUnit >= 0 {
+		a.recordKBEvidence(tuple, m)
+	}
 	if m.Full {
 		ta.Label = ValidatedByKB
 		return ta, false
@@ -527,20 +615,33 @@ func (a *Annotator) annotateTuple(tbl *table.Table, row int, m *pattern.Match) (
 	// confirm then applies the degradation policy: trust-KB answers "yes"
 	// without minting a fact, mark-unknown aborts the tuple.
 	unknown := false
-	confirm := func(prompt string, holds bool) (confirmed, verified bool) {
+	confirm := func(kind string, c1, c2 int, prompt string, holds bool) (confirmed, verified bool) {
 		if unknown {
 			return false, false
 		}
-		yes, degraded := a.ask(prompt, holds)
+		yes, degraded, qid, memo := a.ask(prompt, holds)
 		if degraded {
 			ta.Degraded = true
 			if a.Degrade == DegradeMarkUnknown {
 				unknown = true
-				return false, false
+				confirmed, verified = false, false
+			} else {
+				confirmed, verified = true, false
 			}
-			return true, false
+		} else {
+			confirmed, verified = yes, yes
 		}
-		return yes, yes
+		if a.provUnit >= 0 {
+			source := "crowd"
+			switch {
+			case degraded:
+				source = "degraded"
+			case memo:
+				source = "memo"
+			}
+			a.recordCheck(kind, c1, c2, prompt, qid, source, confirmed)
+		}
+		return confirmed, verified
 	}
 	allConfirmed := true
 	for _, n := range a.Pattern.Nodes {
@@ -553,7 +654,7 @@ func (a *Annotator) annotateTuple(tbl *table.Table, row int, m *pattern.Match) (
 		val := tuple[n.Column]
 		holds := a.Oracle != nil && a.Oracle.TypeHolds(val, n.Type)
 		prompt := fmt.Sprintf("Is %q a %s?", val, a.KB.LabelOf(n.Type))
-		confirmed, verified := confirm(prompt, holds)
+		confirmed, verified := confirm("node", n.Column, -1, prompt, holds)
 		if verified {
 			ta.NewFacts = append(ta.NewFacts, Fact{IsType: true, Subject: val, Type: n.Type})
 		}
@@ -571,7 +672,7 @@ func (a *Annotator) annotateTuple(tbl *table.Table, row int, m *pattern.Match) (
 		sv, ov := tuple[e.From], tuple[e.To]
 		holds := a.Oracle != nil && a.Oracle.RelHolds(sv, e.Prop, ov)
 		prompt := fmt.Sprintf("Does %q %s %q?", sv, a.KB.LabelOf(e.Prop), ov)
-		confirmed, verified := confirm(prompt, holds)
+		confirmed, verified := confirm("edge", e.From, e.To, prompt, holds)
 		if verified {
 			ta.NewFacts = append(ta.NewFacts, Fact{Subject: sv, Prop: e.Prop, Object: ov})
 		}
@@ -594,7 +695,7 @@ func (a *Annotator) annotateTuple(tbl *table.Table, row int, m *pattern.Match) (
 		}
 		prompt := fmt.Sprintf("Is %q related to %q through %s?",
 			sv, ov, pathLabel(a.KB, pe.Props))
-		confirmed, verified := confirm(prompt, holds)
+		confirmed, verified := confirm("path", pe.From, pe.To, prompt, holds)
 		if verified {
 			ta.NewFacts = append(ta.NewFacts, Fact{Subject: sv, Path: pe.Props, Object: ov})
 		}
@@ -621,7 +722,7 @@ func (a *Annotator) annotateTuple(tbl *table.Table, row int, m *pattern.Match) (
 			holds := a.Oracle != nil && a.Oracle.RelHolds(sv, e.Prop, ov)
 			prompt := fmt.Sprintf("Does %q %s %q?", sv, a.KB.LabelOf(e.Prop), ov)
 
-			if confirmed, _ := confirm(prompt, holds); !confirmed && !unknown {
+			if confirmed, _ := confirm("recheck", e.From, e.To, prompt, holds); !confirmed && !unknown {
 				allConfirmed = false
 				ta.EdgeByKB[i] = false
 			}

@@ -20,6 +20,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"katara/internal/provenance"
 	"katara/internal/telemetry"
 )
 
@@ -167,6 +168,10 @@ type Crowd struct {
 
 	// tel mirrors every question into a telemetry pipeline; nil disables.
 	tel *telemetry.Pipeline
+
+	// prov records every question's evidence lineage (per-worker votes,
+	// retries, degradation) into a provenance recorder; nil disables.
+	prov *provenance.Recorder
 }
 
 // Option configures a Crowd.
@@ -283,6 +288,15 @@ func (c *Crowd) SetTelemetry(p *telemetry.Pipeline) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.tel = p
+}
+
+// SetProvenance attaches a provenance recorder that captures every question
+// asked from now on — per-worker votes, resilience events, outcome; nil
+// detaches it.
+func (c *Crowd) SetProvenance(r *provenance.Recorder) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.prov = r
 }
 
 // SetTransport installs t as the assignment transport (nil = direct).

@@ -190,7 +190,7 @@ type vote struct {
 // already collected still decide the question; only a question with no
 // answers at all returns an error (ErrBudget or the context error), which
 // callers translate into their graceful-degradation policy.
-func (c *Crowd) AskContext(ctx context.Context, q Question) (int, error) {
+func (c *Crowd) AskContext(ctx context.Context, q Question) (answer int, err error) {
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
@@ -212,6 +212,7 @@ func (c *Crowd) AskContext(ctx context.Context, q Question) (int, error) {
 	// block; this is where per-question p99s under fault injection come from.
 	qStart := c.tel.StartTimer()
 	qSpan := c.tel.StartSpan("crowd-question")
+	qid := c.prov.StartQuestion(q.Kind.String(), q.Prompt, q.Options)
 	var qRetries, qEscalations, qTimeouts, qAbandonments int64
 
 	// One permutation serves the base assignments, reassignments and
@@ -237,6 +238,13 @@ func (c *Crowd) AskContext(ctx context.Context, q Question) (int, error) {
 		qSpan.SetInt("abandonments", qAbandonments)
 		qSpan.End()
 		c.tel.ObserveSince(telemetry.HistCrowdQuestion, qStart)
+		if c.prov.Enabled() {
+			errMsg := ""
+			if err != nil {
+				errMsg = err.Error()
+			}
+			c.prov.FinishQuestion(qid, answer, qRetries, qTimeouts, qAbandonments, qEscalations, errMsg)
+		}
 	}()
 
 	// collect runs one assignment slot to completion (an answer or a
@@ -291,6 +299,7 @@ func (c *Crowd) AskContext(ctx context.Context, q Question) (int, error) {
 					weight = logOdds(c.estimates[wi])
 				}
 				votes = append(votes, vote{opt: d.Answer, weight: weight})
+				c.prov.AddVote(qid, w.ID, d.Answer, weight)
 				return true
 			case ErrAbandoned:
 				// Reassign to a fresh worker: advance past the abandoner.

@@ -39,6 +39,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"katara"
 )
 
 // ErrJournalClosed rejects appends after Close.
@@ -63,11 +65,12 @@ type journalRecord struct {
 	ID     string         `json:"id,omitempty"`
 	Table  *TableDoc      `json:"table,omitempty"`
 	Params *Params        `json:"params,omitempty"`
-	State  State          `json:"state,omitempty"`
-	Error  string         `json:"error,omitempty"`
-	Stack  string         `json:"stack,omitempty"`
-	Report *ReportDoc     `json:"report,omitempty"`
-	Jobs   []RecoveredJob `json:"jobs,omitempty"` // checkpoint snapshot
+	State  State                   `json:"state,omitempty"`
+	Error  string                  `json:"error,omitempty"`
+	Stack  string                  `json:"stack,omitempty"`
+	Report *ReportDoc              `json:"report,omitempty"`
+	Audit  *katara.ProvenanceAudit `json:"audit,omitempty"`
+	Jobs   []RecoveredJob          `json:"jobs,omitempty"` // checkpoint snapshot
 }
 
 // RecoveredJob is one job's replayed state: its full submission (so a
@@ -81,10 +84,11 @@ type RecoveredJob struct {
 	// Starts counts start records not yet followed by a terminal record —
 	// i.e. boots that crashed while this job was running. Two unterminated
 	// starts mark the job poisoned: it has taken the daemon down twice.
-	Starts int        `json:"starts,omitempty"`
-	Error  string     `json:"error,omitempty"`
-	Stack  string     `json:"stack,omitempty"`
-	Report *ReportDoc `json:"report,omitempty"`
+	Starts int                     `json:"starts,omitempty"`
+	Error  string                  `json:"error,omitempty"`
+	Stack  string                  `json:"stack,omitempty"`
+	Report *ReportDoc              `json:"report,omitempty"`
+	Audit  *katara.ProvenanceAudit `json:"audit,omitempty"`
 }
 
 // Replay is the state rebuilt from a journal directory.
@@ -159,6 +163,7 @@ func (st *replayState) apply(rec journalRecord) {
 			rj.State = StateFailed // defensive: an end record is terminal
 		}
 		rj.Error, rj.Stack, rj.Report = rec.Error, rec.Stack, rec.Report
+		rj.Audit = rec.Audit
 		rj.Starts = 0
 	case recStart:
 		if rj := st.jobs[rec.ID]; rj != nil && !rj.State.Terminal() {
@@ -430,7 +435,7 @@ func (j *Journal) RecordStart(id string) error {
 func (j *Journal) RecordEnd(doc ResultDoc) error {
 	return j.append(journalRecord{
 		Kind: recEnd, ID: doc.ID, State: doc.State,
-		Error: doc.Error, Stack: doc.Stack, Report: doc.Report,
+		Error: doc.Error, Stack: doc.Stack, Report: doc.Report, Audit: doc.Audit,
 	}, true)
 }
 
@@ -439,6 +444,6 @@ func (j *Journal) RecordEnd(doc ResultDoc) error {
 func (j *Journal) recordEndAsync(doc ResultDoc) error {
 	return j.append(journalRecord{
 		Kind: recEnd, ID: doc.ID, State: doc.State,
-		Error: doc.Error, Stack: doc.Stack, Report: doc.Report,
+		Error: doc.Error, Stack: doc.Stack, Report: doc.Report, Audit: doc.Audit,
 	}, false)
 }

@@ -41,6 +41,14 @@ var (
 	ErrDraining = errors.New("jobs: draining for shutdown")
 	// ErrUnknownJob reports a job ID the manager has never issued.
 	ErrUnknownJob = errors.New("jobs: unknown job")
+	// ErrNotReady reports an explain request against a job that has not
+	// reached a terminal state yet.
+	ErrNotReady = errors.New("jobs: job not finished")
+	// ErrNoProvenance reports an explain request for a job whose evidence
+	// lineage is not in memory: journal-recovered jobs (only the audit
+	// summary in their result document survives restarts) and jobs that
+	// failed before producing a report.
+	ErrNoProvenance = errors.New("jobs: no provenance retained for this job")
 )
 
 // poisonedError marks a job quarantined by crash-loop detection.
@@ -236,7 +244,7 @@ func (m *Manager) recover(rep *Replay) (requeue []*Job, endDocs []ResultDoc) {
 		}
 		switch {
 		case rj.State.Terminal():
-			doc := ResultDoc{ID: rj.ID, State: rj.State, Error: rj.Error, Stack: rj.Stack, Report: rj.Report}
+			doc := ResultDoc{ID: rj.ID, State: rj.State, Error: rj.Error, Stack: rj.Stack, Report: rj.Report, Audit: rj.Audit}
 			job.state = rj.State
 			job.resultDoc = &doc
 			if rj.Error != "" {
@@ -285,10 +293,13 @@ func (m *Manager) Recovery() RecoveryStats {
 }
 
 // runClean is the real runner: clone the pristine KB (per-job enrichment
-// isolation), build a cleaner and run the sharded pipeline.
+// isolation), build a cleaner and run the sharded pipeline. Every daemon
+// job records provenance — the audit layer is part of the service contract
+// (the report carries the recorder back for /explain and the result audit).
 func runClean(ctx context.Context, kb *katara.KB, tbl *katara.Table, p Params, pipe *telemetry.Pipeline) (*katara.Report, error) {
 	opts := p.Options()
 	opts.Pipeline = pipe
+	opts.Provenance = katara.NewProvenance()
 	if p.FaultRate > 0 {
 		opts.Transport = katara.NewFaultInjector(katara.FaultConfig{
 			Seed:          1,
@@ -670,6 +681,26 @@ func (m *Manager) Result(id string) (doc ResultDoc, state State, ok bool, err er
 	return m.buildResultLocked(job), job.state, true, nil
 }
 
+// Explain returns the evidence chain behind cell (row, col) of a finished
+// job. The recorder lives only in daemon memory, so journal-recovered jobs
+// return ErrNoProvenance — their result document's pinned audit section is
+// what survives restarts. Non-terminal jobs return ErrNotReady.
+func (m *Manager) Explain(id string, row, col int) (*katara.Explanation, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	job, found := m.jobs[id]
+	if !found {
+		return nil, ErrUnknownJob
+	}
+	if !job.state.Terminal() {
+		return nil, fmt.Errorf("%w (state %s)", ErrNotReady, job.state)
+	}
+	if job.report == nil || !job.report.Provenance.Enabled() {
+		return nil, ErrNoProvenance
+	}
+	return job.report.Provenance.Explain(row, col), nil
+}
+
 // Wait blocks until the job reaches a terminal state or ctx is done.
 func (m *Manager) Wait(ctx context.Context, id string) error {
 	m.mu.Lock()
@@ -771,5 +802,6 @@ func (m *Manager) WriteMetrics(w io.Writer) error {
 	gauge("katarad_jobs_running", "Jobs currently executing.", running)
 	gauge("katarad_jobs_queued", "Jobs waiting in the queue.", queued)
 	gauge("katarad_draining", "1 while the daemon is draining for graceful shutdown.", draining)
+	writeBuildInfoMetric(w)
 	return nil
 }

@@ -21,6 +21,12 @@ type ResultDoc struct {
 	Error  string     `json:"error,omitempty"`
 	Stack  string     `json:"stack,omitempty"`
 	Report *ReportDoc `json:"report,omitempty"`
+	// Audit is the run-level provenance aggregation (cells by evidence
+	// class, crowd questions per verdict, repair-confidence histogram). It
+	// is deterministic — map keys serialize sorted — and journaled with the
+	// rest of the document, so it survives daemon restarts even though the
+	// full per-cell recorder does not.
+	Audit *katara.ProvenanceAudit `json:"audit,omitempty"`
 }
 
 // ReportDoc is the wire form of a katara.Report.
@@ -83,6 +89,7 @@ func BuildResult(id string, state State, rep *katara.Report) ResultDoc {
 	if rep == nil {
 		return doc
 	}
+	doc.Audit = rep.Provenance.BuildAudit()
 	rd := &ReportDoc{
 		QuestionsAsked: rep.QuestionsAsked,
 		Degraded: DegradedDoc{

@@ -5,8 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"strings"
+	"time"
 
 	"katara"
+	"katara/internal/telemetry"
 )
 
 // TableDoc is the JSON wire form of a table in a job submission.
@@ -69,16 +73,35 @@ func writeError(w http.ResponseWriter, status int, err error) {
 // maxSubmitBytes caps a POST /jobs body; larger bodies get 413.
 const maxSubmitBytes = 64 << 20
 
+// ProgressDoc is the GET /jobs/{id}/progress body (and the SSE event
+// payload when the client asks for text/event-stream).
+type ProgressDoc struct {
+	ID       string             `json:"id"`
+	State    State              `json:"state"`
+	Progress telemetry.Progress `json:"progress"`
+}
+
+// sseInterval paces progress events on a streamed watch. Short enough that
+// a stage transition is visible promptly, long enough not to busy-poll the
+// manager's mutex.
+var sseInterval = 25 * time.Millisecond
+
 // NewHandler mounts the job API for a manager:
 //
-//	POST /jobs              submit a job (202; 400 invalid, 413 oversized,
-//	                        429 queue full + Retry-After, 503 draining)
-//	GET  /jobs              list all jobs
-//	GET  /jobs/{id}         one job's status and live progress
-//	GET  /jobs/{id}/result  the finished job's report (409 until terminal)
-//	POST /jobs/{id}/cancel  request cancellation
-//	GET  /healthz           liveness probe
-//	GET  /metrics           daemon-wide Prometheus exposition
+//	POST /jobs               submit a job (202; 400 invalid, 413 oversized,
+//	                         429 queue full + Retry-After, 503 draining)
+//	GET  /jobs               list all jobs
+//	GET  /jobs/{id}          one job's status and live progress
+//	GET  /jobs/{id}/result   the finished job's report (409 until terminal)
+//	GET  /jobs/{id}/progress live progress; with Accept: text/event-stream,
+//	                         a server-sent event stream until the job ends
+//	GET  /jobs/{id}/explain  evidence chain for one cell (?row=R&col=C;
+//	                         409 until terminal, 410 when the recorder is
+//	                         gone — journal-recovered jobs)
+//	POST /jobs/{id}/cancel   request cancellation
+//	GET  /healthz            liveness probe
+//	GET  /version            build metadata of the serving binary
+//	GET  /metrics            daemon-wide Prometheus exposition
 func NewHandler(m *Manager) http.Handler {
 	return newHandler(m, maxSubmitBytes)
 }
@@ -94,6 +117,9 @@ func newHandler(m *Manager, maxBody int64) http.Handler {
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = m.WriteMetrics(w)
+	})
+	mux.HandleFunc("GET /version", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, Version())
 	})
 	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
 		var req SubmitRequest
@@ -156,6 +182,74 @@ func newHandler(m *Manager, maxBody int64) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, doc)
+	})
+	mux.HandleFunc("GET /jobs/{id}/progress", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		st, err := m.Status(id)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		if !strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+			writeJSON(w, http.StatusOK, ProgressDoc{ID: st.ID, State: st.State, Progress: st.Progress})
+			return
+		}
+		flusher, ok := w.(http.Flusher)
+		if !ok {
+			writeError(w, http.StatusNotImplemented, errors.New("streaming unsupported by this connection"))
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.WriteHeader(http.StatusOK)
+		ticker := time.NewTicker(sseInterval)
+		defer ticker.Stop()
+		for {
+			st, err := m.Status(id)
+			if err != nil {
+				return
+			}
+			data, err := json.Marshal(ProgressDoc{ID: st.ID, State: st.State, Progress: st.Progress})
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "data: %s\n\n", data)
+			flusher.Flush()
+			if st.Progress.Done {
+				return
+			}
+			select {
+			case <-r.Context().Done():
+				return
+			case <-ticker.C:
+			}
+		}
+	})
+	mux.HandleFunc("GET /jobs/{id}/explain", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		row, rowErr := strconv.Atoi(r.URL.Query().Get("row"))
+		col, colErr := strconv.Atoi(r.URL.Query().Get("col"))
+		if rowErr != nil || colErr != nil || row < 0 || col < 0 {
+			writeError(w, http.StatusBadRequest,
+				errors.New("explain needs non-negative integer row and col query parameters"))
+			return
+		}
+		e, err := m.Explain(id, row, col)
+		switch {
+		case err == nil:
+			writeJSON(w, http.StatusOK, e)
+		case errors.Is(err, ErrUnknownJob):
+			writeError(w, http.StatusNotFound, err)
+		case errors.Is(err, ErrNotReady):
+			writeError(w, http.StatusConflict, err)
+		case errors.Is(err, ErrNoProvenance):
+			// The per-cell recorder is daemon-memory only; after a restart
+			// the pinned audit section in the result document is all that
+			// remains. 410, not 404: the job exists, the lineage is gone.
+			writeError(w, http.StatusGone, err)
+		default:
+			writeError(w, http.StatusInternalServerError, err)
+		}
 	})
 	mux.HandleFunc("POST /jobs/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")

@@ -1,0 +1,92 @@
+// Build identity: the GET /version document and the katarad_build_info
+// gauge, both read once from the build metadata the Go linker embeds in
+// every binary — no ldflags stamping required.
+
+package jobs
+
+import (
+	"fmt"
+	"io"
+	"runtime/debug"
+	"strings"
+	"sync"
+)
+
+// VersionInfo is the GET /version document: which module and version is
+// serving, built from which VCS revision by which Go toolchain.
+type VersionInfo struct {
+	GoVersion string `json:"go_version"`
+	Module    string `json:"module"`
+	Version   string `json:"version"`
+	Revision  string `json:"vcs_revision,omitempty"`
+	Modified  bool   `json:"vcs_modified,omitempty"`
+}
+
+var (
+	versionOnce   sync.Once
+	cachedVersion VersionInfo
+)
+
+// Version returns the running binary's build metadata, read once from the
+// embedded debug.BuildInfo. Binaries built without module support (rare:
+// test binaries under odd configurations) report placeholders rather than
+// failing.
+func Version() VersionInfo {
+	versionOnce.Do(func() {
+		cachedVersion = VersionInfo{GoVersion: "unknown", Module: "katara", Version: "(devel)"}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if bi.GoVersion != "" {
+			cachedVersion.GoVersion = bi.GoVersion
+		}
+		if bi.Main.Path != "" {
+			cachedVersion.Module = bi.Main.Path
+		}
+		if bi.Main.Version != "" {
+			cachedVersion.Version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				cachedVersion.Revision = s.Value
+			case "vcs.modified":
+				cachedVersion.Modified = s.Value == "true"
+			}
+		}
+	})
+	return cachedVersion
+}
+
+// writeBuildInfoMetric emits the katarad_build_info gauge: a constant 1 with
+// the build metadata as labels — the standard Prometheus idiom for joining
+// version metadata onto other series.
+func writeBuildInfoMetric(w io.Writer) {
+	v := Version()
+	fmt.Fprintf(w, "# HELP katarad_build_info Build metadata of the serving binary (value is always 1).\n")
+	fmt.Fprintf(w, "# TYPE katarad_build_info gauge\n")
+	fmt.Fprintf(w, "katarad_build_info{go_version=%s,module=%s,version=%s,revision=%s} 1\n",
+		promQuote(v.GoVersion), promQuote(v.Module), promQuote(v.Version), promQuote(v.Revision))
+}
+
+// promQuote quotes a label value per the Prometheus text exposition format
+// (backslash, quote and newline escapes only).
+func promQuote(s string) string {
+	var b strings.Builder
+	b.Grow(len(s) + 2)
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\', '"':
+			b.WriteByte('\\')
+			b.WriteByte(s[i])
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}

@@ -1,0 +1,69 @@
+// Package logging is the shared log/slog setup for the katara binaries:
+// one -log-level/-log-json convention, with error-level records routed to
+// stderr and everything else to stdout (the Unix split between diagnostics
+// and lifecycle chatter), as text or JSON.
+package logging
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// ParseLevel maps the -log-level flag value onto a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", s)
+}
+
+// splitHandler routes error-level records to the stderr handler and
+// everything else to the stdout handler.
+type splitHandler struct {
+	out, err slog.Handler
+}
+
+func (h splitHandler) Enabled(ctx context.Context, lvl slog.Level) bool {
+	return h.out.Enabled(ctx, lvl) || h.err.Enabled(ctx, lvl)
+}
+
+func (h splitHandler) Handle(ctx context.Context, r slog.Record) error {
+	if r.Level >= slog.LevelError {
+		return h.err.Handle(ctx, r)
+	}
+	return h.out.Handle(ctx, r)
+}
+
+func (h splitHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return splitHandler{out: h.out.WithAttrs(attrs), err: h.err.WithAttrs(attrs)}
+}
+
+func (h splitHandler) WithGroup(name string) slog.Handler {
+	return splitHandler{out: h.out.WithGroup(name), err: h.err.WithGroup(name)}
+}
+
+// New builds a logger writing info-and-below records to stdout and
+// error-level records to stderr, as text or JSON.
+func New(stdout, stderr io.Writer, level slog.Level, asJSON bool) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	if asJSON {
+		return slog.New(splitHandler{
+			out: slog.NewJSONHandler(stdout, opts),
+			err: slog.NewJSONHandler(stderr, opts),
+		})
+	}
+	return slog.New(splitHandler{
+		out: slog.NewTextHandler(stdout, opts),
+		err: slog.NewTextHandler(stderr, opts),
+	})
+}

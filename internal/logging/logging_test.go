@@ -1,0 +1,55 @@
+package logging
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo, "INFO": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn, "error": slog.LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("chatty"); err == nil || !strings.Contains(err.Error(), "chatty") {
+		t.Errorf("ParseLevel(chatty) err = %v, want error naming the input", err)
+	}
+}
+
+// TestSplitStreams: Error-and-above land on stderr, everything else on
+// stdout, and the level threshold filters both.
+func TestSplitStreams(t *testing.T) {
+	var out, errw bytes.Buffer
+	log := New(&out, &errw, slog.LevelInfo, false)
+	log.Debug("hidden")
+	log.Info("loaded", "n", 3)
+	log.Error("boom", "error", "disk full")
+
+	if s := out.String(); !strings.Contains(s, "msg=loaded") || strings.Contains(s, "hidden") || strings.Contains(s, "boom") {
+		t.Errorf("stdout = %q", s)
+	}
+	if s := errw.String(); !strings.Contains(s, "msg=boom") || !strings.Contains(s, "disk full") || strings.Contains(s, "loaded") {
+		t.Errorf("stderr = %q", s)
+	}
+}
+
+func TestJSONHandler(t *testing.T) {
+	var out, errw bytes.Buffer
+	log := New(&out, &errw, slog.LevelInfo, true)
+	log.With("job", "j1").WithGroup("req").Info("request", "status", 200)
+	s := out.String()
+	for _, want := range []string{`"msg":"request"`, `"job":"j1"`, `"req":{`, `"status":200`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("JSON line %q missing %s", s, want)
+		}
+	}
+	if errw.Len() != 0 {
+		t.Errorf("stderr = %q, want empty", errw.String())
+	}
+}

@@ -43,6 +43,10 @@ type RunConfig struct {
 	// and repairs, question counts excluded (dedup's whole point is asking
 	// fewer) — plus the question-count inequality dedup <= no-dedup.
 	DedupOff bool
+	// Provenance enables the decision-lineage recorder. Recording cells
+	// must match the non-recording baseline byte-identically on Canonical —
+	// observation must not perturb the pipeline.
+	Provenance bool
 }
 
 func (c RunConfig) String() string {
@@ -55,6 +59,9 @@ func (c RunConfig) String() string {
 	}
 	if c.DedupOff {
 		s += " dedup=off"
+	}
+	if c.Provenance {
+		s += " provenance"
 	}
 	return s
 }
@@ -172,6 +179,9 @@ func (s *Scenario) Run(cfg RunConfig) (*katara.Report, *rdf.Store, error) {
 		f := false
 		opts.Dedup = &f
 	}
+	if cfg.Provenance {
+		opts.Provenance = katara.NewProvenance()
+	}
 
 	cl := katara.NewCleaner(store, cr, opts)
 	rep, err := cl.Clean(s.Dirty)
@@ -278,6 +288,45 @@ func RunSeed(seed int64) (*SeedResult, error) {
 	}
 	if rep != nil {
 		res.Questions = rep.QuestionsAsked
+	}
+
+	// Provenance differential: recording the decision lineage must not
+	// perturb the pipeline — every recording cell matches the non-recording
+	// baseline byte-identically on Canonical — and the lineage journals of a
+	// serial and a sharded serial recording run must themselves be
+	// byte-identical (the shard-order Child/Merge is deterministic). Pooled
+	// workers race for crowd question IDs, so the workers=4 cell only
+	// carries the lint + replay contracts, not journal byte-equality. Each
+	// recording run's lineage must lint and replay: checkProvenance.
+	var wantJournal []byte
+	for _, cfg := range []RunConfig{
+		{Workers: 1, Provenance: true},
+		{Workers: 1, Shards: 4, Telemetry: true, Provenance: true},
+		{Workers: 4, Faults: true, Provenance: true},
+	} {
+		res.Configs++
+		r, _, rerr := sc.Run(cfg)
+		if err := sameOutcome(rep, err, r, rerr); err != nil {
+			return res, fmt.Errorf("config %s diverged from baseline: %w", cfg, err)
+		}
+		if got := Canonical(r); !bytes.Equal(want, got) {
+			return res, fmt.Errorf("config %s: canonical report differs from baseline\n%s", cfg, canonicalDiff(want, got))
+		}
+		if r == nil {
+			continue
+		}
+		journal, err := checkProvenance(sc, r)
+		if err != nil {
+			return res, fmt.Errorf("config %s: %w", cfg, err)
+		}
+		if cfg.Workers != 1 {
+			continue
+		}
+		if wantJournal == nil {
+			wantJournal = journal
+		} else if !bytes.Equal(wantJournal, journal) {
+			return res, fmt.Errorf("config %s: provenance journal differs from the serial recording run", cfg)
+		}
 	}
 
 	// Crash/replay differential: a journaled job interrupted mid-run and

@@ -1,6 +1,7 @@
 package propcheck
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 	"reflect"
@@ -11,6 +12,7 @@ import (
 	"katara/internal/discovery"
 	"katara/internal/kbstats"
 	"katara/internal/pattern"
+	"katara/internal/provenance"
 	"katara/internal/rdf"
 	"katara/internal/repair"
 	"katara/internal/resolve"
@@ -192,6 +194,65 @@ func checkRepairRetrieval(sc *Scenario, rep *katara.Report, store *rdf.Store) er
 		}
 	}
 	return nil
+}
+
+// checkProvenance asserts the lineage contracts on a recording run and
+// returns the run's serialized journal for cross-configuration comparison:
+//   - the journal is well-formed (LintJournal passes);
+//   - every repaired cell explains to a non-empty evidence chain;
+//   - recorded candidates are in (cost, graph) rank order, so re-sorting
+//     them is a no-op and rank 0 is the winner;
+//   - the winner replays to the repair the pipeline actually applied,
+//     change for change.
+func checkProvenance(sc *Scenario, rep *katara.Report) ([]byte, error) {
+	rec := rep.Provenance
+	if !rec.Enabled() {
+		return nil, fmt.Errorf("provenance run returned a disabled recorder")
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteJournal(&buf); err != nil {
+		return nil, fmt.Errorf("provenance journal write: %w", err)
+	}
+	if err := provenance.LintJournal(bytes.NewReader(buf.Bytes())); err != nil {
+		return nil, fmt.Errorf("provenance journal lint: %w", err)
+	}
+	for row, list := range rep.Repairs {
+		if len(list) == 0 {
+			continue
+		}
+		applied := list[0]
+		for _, ch := range applied.Changes {
+			e := rec.Explain(row, ch.Col)
+			if e.Empty() || e.Repair == nil || len(e.Repair.Candidates) == 0 {
+				return nil, fmt.Errorf("repaired cell (%d,%d) has no evidence chain", row, ch.Col)
+			}
+			cands := e.Repair.Candidates
+			if !sort.SliceIsSorted(cands, func(i, j int) bool {
+				if cands[i].Cost != cands[j].Cost {
+					return cands[i].Cost < cands[j].Cost
+				}
+				return cands[i].Graph < cands[j].Graph
+			}) {
+				return nil, fmt.Errorf("cell (%d,%d): recorded candidates not in (cost, graph) rank order", row, ch.Col)
+			}
+			winner := cands[0]
+			if len(winner.Changes) != len(applied.Changes) {
+				return nil, fmt.Errorf("cell (%d,%d): winner has %d changes, applied repair %d",
+					row, ch.Col, len(winner.Changes), len(applied.Changes))
+			}
+			for i, wc := range winner.Changes {
+				ac := applied.Changes[i]
+				if wc.Col != ac.Col || wc.From != ac.From || wc.To != ac.To {
+					return nil, fmt.Errorf("cell (%d,%d): winner change %d (%+v) does not replay the applied change (%+v)",
+						row, ch.Col, i, wc, ac)
+				}
+			}
+			if e.Change == nil || e.Change.From != ch.From || e.Change.To != ch.To {
+				return nil, fmt.Errorf("cell (%d,%d): explanation's applied change does not match the repair", row, ch.Col)
+			}
+		}
+	}
+	return buf.Bytes(), nil
 }
 
 // checkRankJoin compares the rank-join search against brute-force

@@ -1,0 +1,294 @@
+// Per-cell explanation and run-level audit: project the recorded lineage
+// onto one (row, col) cell — fanning a deduped decision unit out to the row
+// that asked — or aggregate it into the audit summary the daemon embeds in
+// every ResultDoc.
+package provenance
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Explanation is the evidence chain behind one cell: the pattern the run
+// validated, the MUVF steps that validated it, the tuple's annotation checks
+// filtered to the cell's column, the crowd questions those checks reference,
+// and — when the tuple was repaired — the candidate list and the change
+// applied to this column.
+type Explanation struct {
+	Row  int   `json:"row"`
+	Col  int   `json:"col"`
+	Unit int   `json:"unit"`
+	Rows []int `json:"rows"` // every row sharing the decision unit
+
+	Pattern   *PatternScore    `json:"pattern,omitempty"`
+	Steps     []ValidationStep `json:"validation_steps,omitempty"`
+	Verdict   string           `json:"verdict,omitempty"`
+	Degraded  bool             `json:"degraded,omitempty"`
+	KBFull    bool             `json:"kb_full,omitempty"`
+	Checks    []Check          `json:"checks"`
+	Questions []Question       `json:"questions"`
+	Repair    *RepairRecord    `json:"repair,omitempty"`
+	Change    *Change          `json:"change,omitempty"` // the applied change on this column, if any
+}
+
+// Empty reports whether the explanation carries no evidence at all (the
+// recorder never saw the cell's decision unit).
+func (e *Explanation) Empty() bool {
+	return e == nil || (e.Verdict == "" && len(e.Checks) == 0 && e.Repair == nil)
+}
+
+// Explain projects the recorded lineage onto cell (row, col). Under dedup
+// the row is first mapped to its decision unit, so duplicate rows share one
+// evidence chain. Checks are filtered to those concerning col (checks with
+// no column attribution — e.g. path rechecks spanning the whole tuple — are
+// kept); the questions slice holds every question the kept checks reference,
+// in ID order.
+func (r *Recorder) Explain(row, col int) *Explanation {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	unit := r.unitOfLocked(row)
+	e := &Explanation{
+		Row:  row,
+		Col:  col,
+		Unit: unit,
+		Rows: r.rowsOfLocked(unit),
+	}
+	for i := range r.patterns {
+		if r.patterns[i].Chosen {
+			p := r.patterns[i]
+			e.Pattern = &p
+			break
+		}
+	}
+	e.Steps = append([]ValidationStep(nil), r.steps...)
+
+	qids := map[int64]bool{}
+	if t, ok := r.tuples[unit]; ok {
+		e.Verdict = t.Verdict
+		e.Degraded = t.Degraded
+		e.KBFull = t.KBFull
+		for _, c := range t.Checks {
+			if !checkConcerns(c, col) {
+				continue
+			}
+			e.Checks = append(e.Checks, c)
+			if c.QID > 0 {
+				qids[c.QID] = true
+			}
+		}
+	}
+	if rec, ok := r.repairs[unit]; ok {
+		cp := *rec
+		e.Repair = &cp
+		if len(rec.Candidates) > 0 {
+			for _, ch := range rec.Candidates[0].Changes {
+				if ch.Col == col {
+					chCopy := ch
+					e.Change = &chCopy
+					break
+				}
+			}
+		}
+	}
+	ids := make([]int64, 0, len(qids))
+	for id := range qids {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if q := r.questionLocked(id); q != nil {
+			e.Questions = append(e.Questions, *q)
+		}
+	}
+	if e.Checks == nil {
+		e.Checks = []Check{}
+	}
+	if e.Questions == nil {
+		e.Questions = []Question{}
+	}
+	return e
+}
+
+// checkConcerns reports whether c bears on column col. Checks with no
+// column attribution apply to the whole tuple.
+func checkConcerns(c Check, col int) bool {
+	if len(c.Cols) == 0 {
+		return true
+	}
+	for _, cc := range c.Cols {
+		if cc == col {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteText renders the evidence chain for humans — the `katara -explain`
+// output format.
+func (e *Explanation) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "cell (row %d, col %d)\n", e.Row, e.Col)
+	if len(e.Rows) > 1 {
+		fmt.Fprintf(w, "  decision unit %d shared by %d duplicate rows %v\n", e.Unit, len(e.Rows), e.Rows)
+	}
+	if e.Pattern != nil {
+		fmt.Fprintf(w, "  pattern: %s (rank-join score %.3f)\n", e.Pattern.Key, e.Pattern.Score)
+	}
+	for _, s := range e.Steps {
+		deg := ""
+		if s.Degraded {
+			deg = " [degraded]"
+		}
+		fmt.Fprintf(w, "  validation step %d: variable %s (entropy %.3f) -> %s after %d question(s)%s\n",
+			s.Step, s.Variable, s.Entropy, s.Answer, s.Questions, deg)
+	}
+	if e.Verdict != "" {
+		deg := ""
+		if e.Degraded {
+			deg = " [degraded]"
+		}
+		fmt.Fprintf(w, "  verdict: %s%s\n", e.Verdict, deg)
+	}
+	if e.KBFull {
+		fmt.Fprintf(w, "  fully matched in the KB: no crowd questions needed\n")
+	}
+	for _, c := range e.Checks {
+		status := "rejected"
+		if c.Confirmed {
+			status = "confirmed"
+		}
+		via := c.Source
+		if c.QID > 0 {
+			via = fmt.Sprintf("%s question #%d", c.Source, c.QID)
+		}
+		fmt.Fprintf(w, "  %s check: %s -> %s (%s)\n", c.Kind, c.Desc, status, via)
+	}
+	for _, q := range e.Questions {
+		fmt.Fprintf(w, "  question #%d (%s): %s\n", q.ID, q.Kind, q.Prompt)
+		for _, v := range q.Votes {
+			opt := fmt.Sprintf("option %d", v.Option)
+			if v.Option >= 0 && v.Option < len(q.Options) {
+				opt = q.Options[v.Option]
+			}
+			fmt.Fprintf(w, "    worker %d voted %q (weight %.2f)\n", v.Worker, opt, v.Weight)
+		}
+		if q.Retries+q.Timeouts+q.Abandonments+q.Escalations > 0 {
+			fmt.Fprintf(w, "    resilience: %d retries, %d timeouts, %d abandonments, %d escalations\n",
+				q.Retries, q.Timeouts, q.Abandonments, q.Escalations)
+		}
+		if q.Error != "" {
+			fmt.Fprintf(w, "    degraded: %s\n", q.Error)
+		}
+	}
+	if e.Repair != nil {
+		fmt.Fprintf(w, "  repair: %d instance graph(s) retrieved, top %d kept\n",
+			e.Repair.Considered, len(e.Repair.Candidates))
+		for i, c := range e.Repair.Candidates {
+			marker := "  "
+			if i == 0 {
+				marker = "->"
+			}
+			fmt.Fprintf(w, "  %s candidate %d: graph %d, cost %.3f, %d change(s)\n",
+				marker, i+1, c.Graph, c.Cost, len(c.Changes))
+		}
+		if len(e.Repair.Candidates) > 1 {
+			gap := e.Repair.Candidates[1].Cost - e.Repair.Candidates[0].Cost
+			fmt.Fprintf(w, "  winner: graph %d — lowest (cost, graph-id); margin over runner-up %.3f\n",
+				e.Repair.Candidates[0].Graph, gap)
+		} else if len(e.Repair.Candidates) == 1 {
+			fmt.Fprintf(w, "  winner: graph %d — only candidate retrieved\n", e.Repair.Candidates[0].Graph)
+		}
+	}
+	if e.Change != nil {
+		fmt.Fprintf(w, "  applied change: %q -> %q\n", e.Change.From, e.Change.To)
+	}
+	if e.Empty() {
+		fmt.Fprintf(w, "  no recorded evidence for this cell\n")
+	}
+}
+
+// Audit is the run-level aggregation embedded in the daemon's ResultDoc:
+// tuple counts by evidence class (fanned out to rows), crowd questions per
+// verdict, and the repair-confidence histogram (cost margin between the
+// winning candidate and the runner-up).
+type Audit struct {
+	Rows                int            `json:"rows"`
+	CellsByClass        map[string]int `json:"cells_by_class"`
+	QuestionsPerVerdict map[string]int `json:"questions_per_verdict"`
+	RepairConfidence    map[string]int `json:"repair_confidence"`
+	Questions           int            `json:"questions"`
+	RepairedRows        int            `json:"repaired_rows"`
+}
+
+// Confidence histogram bucket labels, from a lone candidate (nothing to
+// confuse the winner with) down to a near-tie.
+const (
+	ConfidenceSingle = "single-candidate" // only one candidate retrieved
+	ConfidenceWide   = "margin>=1"
+	ConfidenceMedium = "margin>=0.5"
+	ConfidenceNarrow = "margin<0.5"
+)
+
+// BuildAudit aggregates the recorded lineage. Counts are per row (deduped
+// units fan out), so the audit matches the report the user sees.
+func (r *Recorder) BuildAudit() *Audit {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	a := &Audit{
+		CellsByClass:        map[string]int{},
+		QuestionsPerVerdict: map[string]int{},
+		RepairConfidence:    map[string]int{},
+		Questions:           len(r.questions),
+		Rows:                len(r.rowUnit),
+	}
+	annotated := 0
+	for _, u := range sortedUnits(r.tuples) {
+		t := r.tuples[u]
+		fan := len(r.rowsOfLocked(u))
+		annotated += fan
+		verdict := t.Verdict
+		if verdict == "" {
+			verdict = "unknown"
+		}
+		a.CellsByClass[verdict] += fan
+		qids := map[int64]bool{}
+		for _, c := range t.Checks {
+			if c.QID > 0 {
+				qids[c.QID] = true
+			}
+		}
+		a.QuestionsPerVerdict[verdict] += len(qids)
+	}
+	if a.Rows == 0 {
+		a.Rows = annotated
+	}
+	for _, u := range sortedUnits(r.repairs) {
+		rec := r.repairs[u]
+		if len(rec.Candidates) == 0 {
+			continue
+		}
+		fan := len(r.rowsOfLocked(u))
+		a.RepairedRows += fan
+		var bucket string
+		if len(rec.Candidates) == 1 {
+			bucket = ConfidenceSingle
+		} else {
+			switch margin := rec.Candidates[1].Cost - rec.Candidates[0].Cost; {
+			case margin >= 1:
+				bucket = ConfidenceWide
+			case margin >= 0.5:
+				bucket = ConfidenceMedium
+			default:
+				bucket = ConfidenceNarrow
+			}
+		}
+		a.RepairConfidence[bucket] += fan
+	}
+	return a
+}

@@ -1,0 +1,238 @@
+// JSONL provenance journal: one self-describing record per line, written in
+// a canonical order (meta, patterns, validation steps, questions by ID,
+// tuples by unit, repairs by unit) so the same run always serialises to the
+// same bytes — the golden-file determinism test and the schema linter both
+// depend on it.
+package provenance
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JournalVersion is the provenance journal schema version.
+const JournalVersion = 1
+
+type metaLine struct {
+	Type      string `json:"type"`
+	Version   int    `json:"version"`
+	Dedup     bool   `json:"dedup"`
+	Rows      int    `json:"rows"`
+	Units     int    `json:"units"`
+	Questions int    `json:"questions"`
+}
+
+type patternLine struct {
+	Type string `json:"type"`
+	PatternScore
+}
+
+type stepLine struct {
+	Type string `json:"type"`
+	ValidationStep
+}
+
+type questionLine struct {
+	Type string `json:"type"`
+	Question
+}
+
+type tupleLine struct {
+	Type string `json:"type"`
+	Rows []int  `json:"rows"`
+	Tuple
+}
+
+type repairLine struct {
+	Type string `json:"type"`
+	Rows []int  `json:"rows"`
+	RepairRecord
+}
+
+// WriteJournal serialises the recorded evidence as JSONL. The output is a
+// pure function of the recorded evidence: same run, same bytes.
+func (r *Recorder) WriteJournal(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+
+	rows := len(r.rowUnit)
+	units := 0
+	if r.rowUnit != nil {
+		seen := map[int]bool{}
+		for _, u := range r.rowUnit {
+			seen[u] = true
+		}
+		units = len(seen)
+	}
+	if err := enc.Encode(metaLine{
+		Type: "meta", Version: JournalVersion, Dedup: r.dedup,
+		Rows: rows, Units: units, Questions: len(r.questions),
+	}); err != nil {
+		return err
+	}
+	for _, p := range r.patterns {
+		if err := enc.Encode(patternLine{Type: "pattern", PatternScore: p}); err != nil {
+			return err
+		}
+	}
+	for _, s := range r.steps {
+		if err := enc.Encode(stepLine{Type: "validation-step", ValidationStep: s}); err != nil {
+			return err
+		}
+	}
+	for i := range r.questions {
+		q := r.questions[i]
+		if q.Votes == nil {
+			q.Votes = []Vote{}
+		}
+		if err := enc.Encode(questionLine{Type: "question", Question: q}); err != nil {
+			return err
+		}
+	}
+	for _, u := range sortedUnits(r.tuples) {
+		t := *r.tuples[u]
+		if t.Checks == nil {
+			t.Checks = []Check{}
+		}
+		if err := enc.Encode(tupleLine{Type: "tuple", Rows: r.rowsOfLocked(u), Tuple: t}); err != nil {
+			return err
+		}
+	}
+	for _, u := range sortedUnits(r.repairs) {
+		rec := *r.repairs[u]
+		if rec.Candidates == nil {
+			rec.Candidates = []Candidate{}
+		}
+		if err := enc.Encode(repairLine{Type: "repair", Rows: r.rowsOfLocked(u), RepairRecord: rec}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LintJournal validates a provenance journal against the schema: the first
+// line must be a meta record with the current version; every line must be
+// valid JSON with a known type and that type's required fields; question IDs
+// must be 1-based and strictly increasing; every qid a check references must
+// name a question the journal contains. Returns nil for a clean journal, or
+// an error naming the first offending line.
+func LintJournal(rd io.Reader) error {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	lineNo := 0
+	qids := map[int64]bool{}
+	lastQID := int64(0)
+	type pendingRef struct {
+		line int
+		qid  int64
+	}
+	var refs []pendingRef
+	sawMeta := false
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			return fmt.Errorf("provenance journal line %d: empty line", lineNo)
+		}
+		var rec map[string]any
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return fmt.Errorf("provenance journal line %d: invalid JSON: %v", lineNo, err)
+		}
+		typ, _ := rec["type"].(string)
+		if lineNo == 1 {
+			if typ != "meta" {
+				return fmt.Errorf("provenance journal line 1: first record must be meta, got %q", typ)
+			}
+			v, ok := rec["version"].(float64)
+			if !ok || int(v) != JournalVersion {
+				return fmt.Errorf("provenance journal line 1: version must be %d", JournalVersion)
+			}
+			sawMeta = true
+			continue
+		}
+		switch typ {
+		case "meta":
+			return fmt.Errorf("provenance journal line %d: duplicate meta record", lineNo)
+		case "pattern":
+			if err := requireFields(rec, "key", "score"); err != nil {
+				return fmt.Errorf("provenance journal line %d: pattern: %v", lineNo, err)
+			}
+		case "validation-step":
+			if err := requireFields(rec, "step", "variable", "entropy", "questions", "answer"); err != nil {
+				return fmt.Errorf("provenance journal line %d: validation-step: %v", lineNo, err)
+			}
+		case "question":
+			if err := requireFields(rec, "id", "kind", "prompt", "votes", "outcome"); err != nil {
+				return fmt.Errorf("provenance journal line %d: question: %v", lineNo, err)
+			}
+			id := int64(rec["id"].(float64))
+			if id <= lastQID {
+				return fmt.Errorf("provenance journal line %d: question id %d not strictly increasing (last %d)", lineNo, id, lastQID)
+			}
+			lastQID = id
+			qids[id] = true
+		case "tuple":
+			if err := requireFields(rec, "unit", "verdict", "checks", "rows"); err != nil {
+				return fmt.Errorf("provenance journal line %d: tuple: %v", lineNo, err)
+			}
+			checks, _ := rec["checks"].([]any)
+			for _, c := range checks {
+				cm, ok := c.(map[string]any)
+				if !ok {
+					return fmt.Errorf("provenance journal line %d: tuple: check is not an object", lineNo)
+				}
+				if err := requireFields(cm, "kind", "source", "cols", "desc"); err != nil {
+					return fmt.Errorf("provenance journal line %d: tuple check: %v", lineNo, err)
+				}
+				if q, ok := cm["qid"].(float64); ok && q > 0 {
+					refs = append(refs, pendingRef{line: lineNo, qid: int64(q)})
+				}
+			}
+		case "repair":
+			if err := requireFields(rec, "unit", "considered", "candidates", "rows"); err != nil {
+				return fmt.Errorf("provenance journal line %d: repair: %v", lineNo, err)
+			}
+			cands, _ := rec["candidates"].([]any)
+			for _, c := range cands {
+				cm, ok := c.(map[string]any)
+				if !ok {
+					return fmt.Errorf("provenance journal line %d: repair: candidate is not an object", lineNo)
+				}
+				if err := requireFields(cm, "graph", "cost", "changes"); err != nil {
+					return fmt.Errorf("provenance journal line %d: repair candidate: %v", lineNo, err)
+				}
+			}
+		default:
+			return fmt.Errorf("provenance journal line %d: unknown record type %q", lineNo, typ)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("provenance journal: %v", err)
+	}
+	if !sawMeta {
+		return fmt.Errorf("provenance journal: empty (no meta record)")
+	}
+	for _, ref := range refs {
+		if !qids[ref.qid] {
+			return fmt.Errorf("provenance journal line %d: check references unknown question id %d", ref.line, ref.qid)
+		}
+	}
+	return nil
+}
+
+func requireFields(rec map[string]any, fields ...string) error {
+	for _, f := range fields {
+		if _, ok := rec[f]; !ok {
+			return fmt.Errorf("missing required field %q", f)
+		}
+	}
+	return nil
+}

@@ -131,8 +131,16 @@ func (ix *Index) PostingList(col int, v string) []int {
 // agreement, and only the k cheapest graphs are aligned to materialise
 // their Changes. Ties break by graph ID for determinism.
 func (ix *Index) TopK(tuple []string, k int) []Repair {
+	reps, _ := ix.TopKStats(tuple, k)
+	return reps
+}
+
+// TopKStats is TopK plus the number of candidate graphs the inverted lists
+// retrieved before truncation to k — the "considered" figure a repair's
+// provenance records alongside the kept candidates.
+func (ix *Index) TopKStats(tuple []string, k int) ([]Repair, int) {
 	if k <= 0 {
-		return nil
+		return nil, 0
 	}
 	tkStart := ix.opts.Telemetry.StartTimer()
 	tkSpan := ix.opts.Telemetry.StartSpan("repair-topk")
@@ -175,7 +183,7 @@ func (ix *Index) TopK(tuple []string, k int) []Repair {
 	tkSpan.SetInt("repairs", int64(len(repairs)))
 	tkSpan.End()
 	ix.opts.Telemetry.ObserveSince(telemetry.HistRepairTopK, tkStart)
-	return repairs
+	return repairs, len(agree)
 }
 
 // weight returns the change cost of a column.

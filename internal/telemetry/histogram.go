@@ -173,10 +173,15 @@ func (h *Histogram) Merge(o *Histogram) {
 	}
 }
 
-// Quantile returns the q-quantile (q in [0,1]) as the inclusive upper edge
-// of the smallest bucket containing that rank — a deterministic,
-// never-underestimating answer with power-of-two resolution. Zero
-// observations return 0.
+// Quantile returns the q-quantile (q in [0,1]) by locating the smallest
+// bucket containing that rank and interpolating linearly within it: the
+// rank's position among the bucket's observations picks a point on
+// [lower edge, upper edge] under a uniform-spread assumption. A rank that
+// lands on the bucket's last observation degenerates to the upper edge,
+// so the estimate still never underestimates a worst case hiding at the
+// top of the bucket. The result is clamped to the observed maximum so a
+// quantile never reads above the true worst case. Deterministic for a
+// quiescent histogram; zero observations return 0.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	if h == nil {
 		return 0
@@ -194,16 +199,24 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	}
 	var cum int64
 	for b := 0; b < histBuckets; b++ {
-		cum += h.buckets[b].Load()
-		if cum >= rank {
-			// The estimate is the bucket's upper edge; clamp to the observed
-			// maximum so a quantile never reads above the true worst case.
-			est := bucketUpper(b)
+		cnt := h.buckets[b].Load()
+		if cnt == 0 {
+			continue
+		}
+		if cum+cnt >= rank {
+			lower := int64(1) << b
+			if b == 0 {
+				lower = 0 // bucket 0 also absorbs sub-nanosecond values
+			}
+			upper := bucketUpper(b)
+			pos := rank - cum // 1..cnt within this bucket
+			est := lower + int64(math.Round(float64(upper-lower)*float64(pos)/float64(cnt)))
 			if mx := h.maxNS.Load(); mx > 0 && est > mx {
 				est = mx
 			}
 			return time.Duration(est)
 		}
+		cum += cnt
 	}
 	return time.Duration(h.maxNS.Load()) // counts raced ahead of buckets
 }

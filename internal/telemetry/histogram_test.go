@@ -34,8 +34,9 @@ func TestBucketOfEdges(t *testing.T) {
 func TestHistogramQuantileDeterminism(t *testing.T) {
 	var h Histogram
 	// 100 samples: 50 in the [64,127] bucket, 45 in [1024,2047], 5 in
-	// [65536,131071]. Quantiles resolve to bucket upper edges, clamped to
-	// the observed max.
+	// [65536,131071]. Every pinned rank lands on its bucket's last
+	// observation, so interpolation degenerates to the bucket upper edge,
+	// clamped to the observed max.
 	for i := 0; i < 50; i++ {
 		h.Record(100 * time.Nanosecond)
 	}
@@ -69,6 +70,63 @@ func TestHistogramQuantileDeterminism(t *testing.T) {
 	// Repeated evaluation is deterministic.
 	if a, b := h.Quantile(0.95), h.Quantile(0.95); a != b {
 		t.Errorf("Quantile not deterministic: %v vs %v", a, b)
+	}
+}
+
+// TestHistogramQuantileInterpolation pins mid-bucket quantiles: a rank that
+// falls partway into a bucket interpolates linearly between the bucket's
+// edges instead of snapping to the upper edge.
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	var h Histogram
+	// 100 samples: 20 in [64,127], 60 in [1024,2047], 20 in [65536,131071].
+	// The large samples sit exactly on their bucket's upper edge so the
+	// max clamp never bites and the interpolated values show through.
+	for i := 0; i < 20; i++ {
+		h.Record(100 * time.Nanosecond)
+	}
+	for i := 0; i < 60; i++ {
+		h.Record(1500 * time.Nanosecond)
+	}
+	for i := 0; i < 20; i++ {
+		h.Record(131071 * time.Nanosecond)
+	}
+	// rank(0.50) = 50: position 30 of 60 in [1024,2047]
+	//   → 1024 + round(1023·30/60) = 1536.
+	if got := h.Quantile(0.50); got != 1536*time.Nanosecond {
+		t.Errorf("P50 = %v, want 1536ns", got)
+	}
+	// rank(0.95) = 95: position 15 of 20 in [65536,131071]
+	//   → 65536 + round(65535·15/20) = 114687.
+	if got := h.Quantile(0.95); got != 114687*time.Nanosecond {
+		t.Errorf("P95 = %v, want 114687ns", got)
+	}
+	// rank(0.99) = 99: position 19 of 20 in [65536,131071]
+	//   → 65536 + round(65535·19/20) = 127794.
+	if got := h.Quantile(0.99); got != 127794*time.Nanosecond {
+		t.Errorf("P99 = %v, want 127794ns", got)
+	}
+	// A rank on a bucket's first observation interpolates one step above
+	// the lower edge: rank(0.21) = 21 is position 1 of 60 in [1024,2047]
+	//   → 1024 + round(1023/60) = 1041.
+	if got := h.Quantile(0.21); got != 1041*time.Nanosecond {
+		t.Errorf("P21 = %v, want 1041ns", got)
+	}
+}
+
+// TestHistogramQuantileInterpolationClamp verifies interpolation still never
+// reads above the observed maximum.
+func TestHistogramQuantileInterpolationClamp(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 10; i++ {
+		h.Record(2000 * time.Nanosecond) // bucket [1024,2047], max 2000
+	}
+	// rank(0.50) = 5: position 5 of 10 → 1024 + round(1023/2) = 1536.
+	if got := h.Quantile(0.50); got != 1536*time.Nanosecond {
+		t.Errorf("P50 = %v, want 1536ns", got)
+	}
+	// rank(0.99) = 10: upper edge 2047, clamped to the observed max.
+	if got := h.Quantile(0.99); got != 2000*time.Nanosecond {
+		t.Errorf("P99 = %v, want clamped to max 2000ns", got)
 	}
 }
 

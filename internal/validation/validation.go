@@ -17,6 +17,7 @@ import (
 
 	"katara/internal/crowd"
 	"katara/internal/pattern"
+	"katara/internal/provenance"
 	"katara/internal/rdf"
 	"katara/internal/table"
 )
@@ -62,8 +63,24 @@ type Validator struct {
 	// run degrades: the best pattern among the still-viable candidates is
 	// returned and Result.Degraded is set.
 	Ctx context.Context
+	// Prov records each MUVF entropy step's evidence; nil disables.
+	Prov *provenance.Recorder
 
 	ambCache map[[2]rdf.ID]float64
+}
+
+// recordStep records one validation iteration into the provenance recorder.
+func (val *Validator) recordStep(v Variable, entropy float64, asked int, answer rdf.ID, degraded bool) {
+	if !val.Prov.Enabled() {
+		return
+	}
+	label := "none of the above"
+	if degraded {
+		label = "(degraded)"
+	} else if answer != rdf.NoID {
+		label = val.KB.LabelOf(answer)
+	}
+	val.Prov.RecordValidationStep(v.String(), entropy, asked, label, degraded)
 }
 
 func (v *Validator) ctx() context.Context {
@@ -193,9 +210,18 @@ func VariableEntropy(ps []*pattern.Pattern, probs []float64, v Variable) float64
 	for i, p := range ps {
 		dist[Assignment(p, v)] += probs[i]
 	}
-	vals := make([]float64, 0, len(dist))
-	for _, pr := range dist {
-		vals = append(vals, pr)
+	// Sum in sorted-ID order: float addition is not associative, and map
+	// iteration order would otherwise wobble the result by an ulp between
+	// identical runs — enough to perturb the recorded lineage (and, on an
+	// exact entropy tie, even the MUVF argmax).
+	ids := make([]rdf.ID, 0, len(dist))
+	for id := range dist {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	vals := make([]float64, 0, len(ids))
+	for _, id := range ids {
+		vals = append(vals, dist[id])
 	}
 	return Entropy(vals)
 }
@@ -208,8 +234,15 @@ func ExpectedUncertaintyReduction(ps []*pattern.Pattern, probs []float64, v Vari
 		byVal[Assignment(p, v)] = append(byVal[Assignment(p, v)], probs[i])
 	}
 	hNow := Entropy(probs)
+	// Same deterministic summation order as VariableEntropy.
+	ids := make([]rdf.ID, 0, len(byVal))
+	for id := range byVal {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	expected := 0.0
-	for _, sub := range byVal {
+	for _, id := range ids {
+		sub := byVal[id]
 		pa := 0.0
 		for _, x := range sub {
 			pa += x
@@ -258,10 +291,12 @@ func (val *Validator) MUVF(ps []*pattern.Pattern) *Result {
 		if err != nil {
 			// Deadline or budget exhausted mid-validation: degrade to the
 			// best-scored pattern among the candidates still standing.
+			val.recordStep(best, bestH, asked, rdf.NoID, true)
 			res.Degraded = true
 			res.Pattern = bestOf(remaining)
 			return res
 		}
+		val.recordStep(best, bestH, asked, answer, false)
 		validated[best] = true
 		res.VariablesValidated++
 		remaining = filter(remaining, best, answer)
@@ -291,9 +326,11 @@ func (val *Validator) MUVF(ps []*pattern.Pattern) *Result {
 			res.QuestionsAsked += asked
 			if err != nil {
 				// Degrade: keep the pattern's remaining edges unverified.
+				val.recordStep(v, 0, asked, rdf.NoID, true)
 				res.Degraded = true
 				return res
 			}
+			val.recordStep(v, 0, asked, answer, false)
 			res.VariablesValidated++
 			if answer != e.Prop {
 				strip(res.Pattern, v)

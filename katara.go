@@ -34,6 +34,7 @@ import (
 	"katara/internal/discovery"
 	"katara/internal/kbstats"
 	"katara/internal/pattern"
+	"katara/internal/provenance"
 	"katara/internal/rdf"
 	"katara/internal/repair"
 	"katara/internal/resolve"
@@ -97,6 +98,18 @@ type (
 	// CrowdStats is the crowd's cost and resilience accounting
 	// (Report.Crowd).
 	CrowdStats = crowd.Stats
+	// ProvenanceRecorder collects per-cell evidence lineage — pattern
+	// scores, MUVF steps, crowd questions with per-worker votes, annotation
+	// checks and repair candidates (Options.Provenance). nil is the
+	// disabled instrument: the run does no provenance work and the report
+	// is byte-identical either way.
+	ProvenanceRecorder = provenance.Recorder
+	// Explanation is the evidence chain behind one (row, col) cell,
+	// produced by ProvenanceRecorder.Explain.
+	Explanation = provenance.Explanation
+	// ProvenanceAudit is the run-level lineage aggregation
+	// (ProvenanceRecorder.BuildAudit).
+	ProvenanceAudit = provenance.Audit
 )
 
 // Degradation policies for unanswered tuples (Options.Degrade).
@@ -134,6 +147,10 @@ const (
 // NewTelemetry returns an empty instrumentation pipeline for
 // Options.Pipeline.
 func NewTelemetry() *TelemetryPipeline { return telemetry.New() }
+
+// NewProvenance returns an empty evidence-lineage recorder for
+// Options.Provenance.
+func NewProvenance() *ProvenanceRecorder { return provenance.NewRecorder() }
 
 // NewKB returns an empty knowledge base.
 func NewKB() *KB { return rdf.New() }
@@ -221,6 +238,15 @@ type Options struct {
 	// /metrics while the run is in flight; Report.Timings still carries the
 	// end-of-run snapshot.
 	Pipeline *TelemetryPipeline
+	// Provenance, when non-nil, records every cell-level decision's
+	// evidence lineage: pattern scores, MUVF validation steps, per-question
+	// worker votes, per-tuple annotation checks and per-row repair
+	// candidate lists. The recorder is reset at the start of each run and
+	// carried on Report.Provenance; query it with Explain, serialise it
+	// with WriteJournal, aggregate it with BuildAudit. nil (the default)
+	// disables recording at zero cost, and the report is byte-identical
+	// with recording on or off.
+	Provenance *ProvenanceRecorder
 
 	// Transport routes every crowd assignment; nil is the direct,
 	// always-reliable in-process transport. Plug in NewFaultInjector to
@@ -397,6 +423,7 @@ func (c *Cleaner) validatePattern(ctx context.Context, t *Table, candidates []*P
 		TuplesPerQuestion:    c.opts.TuplesPerQuestion,
 		Rng:                  rand.New(rand.NewSource(c.opts.Seed)),
 		Ctx:                  ctx,
+		Prov:                 c.opts.Provenance,
 	}
 	res := v.MUVF(candidates)
 	return res.Pattern, res.QuestionsAsked, res.Degraded
@@ -431,6 +458,7 @@ func (c *Cleaner) annotator(ctx context.Context, p *Pattern, tel *telemetry.Pipe
 		Workers:   c.opts.Workers,
 		Telemetry: tel,
 		Resolver:  c.resolver,
+		Prov:      c.opts.Provenance,
 	}
 }
 
@@ -465,6 +493,9 @@ type Report struct {
 	// Timings holds the run's stage wall-clocks and pipeline counters; nil
 	// unless Options.Telemetry (or Options.Tracer) is set.
 	Timings *Timings
+	// Provenance is the run's evidence-lineage recorder; nil unless
+	// Options.Provenance was set.
+	Provenance *ProvenanceRecorder
 }
 
 // DegradeReport flags the decisions of a run that were taken under a

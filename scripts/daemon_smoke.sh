@@ -8,8 +8,10 @@
 #   4. run a kload burst (120 jobs, 100 concurrent) — kload itself asserts
 #      every job completes, report documents are byte-identical, and every
 #      /metrics scrape is lint-clean and monotone
-#   5. re-check /metrics through promlint after the burst
-#   6. tear down with SIGTERM and require a clean exit
+#   5. re-check /metrics through promlint after the burst; require the
+#      katarad_build_info gauge and a sane /version document
+#   6. ask /jobs/{id}/explain for a finished job's cell evidence chain
+#   7. tear down with SIGTERM and require a clean exit
 #
 # Any kload violation, unparseable exposition, dead daemon, or unclean
 # shutdown fails the script. CI runs this as the daemon-smoke job; it needs
@@ -77,6 +79,35 @@ grep -q "^katarad_jobs_completed_total $JOBS\$" "$WORK/metrics.txt" || {
 }
 echo "daemon-smoke: /metrics ok ($(wc -l <"$WORK/metrics.txt") lines)"
 
+# Build identity: the exposition carries katarad_build_info and /version
+# answers a JSON document naming the Go toolchain that built the binary.
+grep -q '^katarad_build_info{' "$WORK/metrics.txt" || {
+    echo "daemon-smoke: FAIL: /metrics missing katarad_build_info" >&2
+    exit 1
+}
+curl -fsS "http://$ADDR/version" >"$WORK/version.json"
+grep -q '"go_version"' "$WORK/version.json" || {
+    echo "daemon-smoke: FAIL: /version missing go_version" >&2
+    cat "$WORK/version.json" >&2 || true
+    exit 1
+}
+echo "daemon-smoke: /version ok ($(cat "$WORK/version.json"))"
+
+# Decision provenance over HTTP: every daemon job records lineage, so any
+# of the finished burst jobs must answer /explain with an evidence chain.
+JOB_ID="$(curl -fsS "http://$ADDR/jobs" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' | head -1)"
+[ -n "$JOB_ID" ] || {
+    echo "daemon-smoke: FAIL: /jobs listed no job to explain" >&2
+    exit 1
+}
+curl -fsS "http://$ADDR/jobs/$JOB_ID/explain?row=0&col=1" >"$WORK/explain.json"
+grep -q '"verdict"' "$WORK/explain.json" || {
+    echo "daemon-smoke: FAIL: /jobs/$JOB_ID/explain returned no verdict" >&2
+    cat "$WORK/explain.json" >&2 || true
+    exit 1
+}
+echo "daemon-smoke: /explain ok (job $JOB_ID)"
+
 echo "daemon-smoke: shutting down with SIGTERM"
 kill -TERM "$KATARAD_PID"
 i=0
@@ -94,7 +125,7 @@ wait "$KATARAD_PID" 2>/dev/null || {
     exit 1
 }
 KATARAD_PID=""
-grep -q 'katarad: bye' "$WORK/daemon.log" || {
+grep -q 'msg=bye' "$WORK/daemon.log" || {
     echo "daemon-smoke: FAIL: shutdown was not clean" >&2
     cat "$WORK/daemon.log" >&2 || true
     exit 1

@@ -7,9 +7,12 @@
 #   3. poll /healthz until the listener is up (fail after a timeout)
 #   4. GET /metrics and pipe it through cmd/promlint's strict parser
 #   5. GET /progress and check it is JSON reporting a finished run
+#   6. lint the -provenance journal with cmd/provlint and check the
+#      -explain output printed an evidence chain
 #
-# Any non-200 status, unparseable exposition, or dead server fails the
-# script. CI runs this as the obs-smoke job; it needs only the go toolchain.
+# Any non-200 status, unparseable exposition, bad provenance journal, or
+# dead server fails the script. CI runs this as the obs-smoke job; it needs
+# only the go toolchain.
 
 set -eu
 
@@ -23,11 +26,13 @@ go run ./cmd/kbgen -size small -out "$WORK"
 echo "obs-smoke: building binaries"
 go build -o "$WORK/katara" ./cmd/katara
 go build -o "$WORK/promlint" ./cmd/promlint
+go build -o "$WORK/provlint" ./cmd/provlint
 
 echo "obs-smoke: starting katara with -listen $ADDR"
 "$WORK/katara" \
     -kb "$WORK/yago.nt" \
     -in "$WORK/RelationalTables/Soccer.dirty.csv" \
+    -provenance "$WORK/lineage.jsonl" -explain 0,1 \
     -listen "$ADDR" -linger 30s >"$WORK/run.log" 2>&1 &
 KATARA_PID=$!
 
@@ -76,5 +81,28 @@ echo "obs-smoke: /progress ok"
 # pprof must answer too.
 curl -fsS "http://$ADDR/debug/pprof/cmdline" >/dev/null
 echo "obs-smoke: /debug/pprof ok"
+
+# The provenance journal is written right after the run completes (before
+# the linger window), so it must exist by now — and lint clean.
+i=0
+until [ -s "$WORK/lineage.jsonl" ]; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "obs-smoke: FAIL: provenance journal never appeared" >&2
+        cat "$WORK/run.log" >&2 || true
+        exit 1
+    fi
+    sleep 0.1
+done
+"$WORK/provlint" "$WORK/lineage.jsonl"
+echo "obs-smoke: provenance journal ok ($(wc -l <"$WORK/lineage.jsonl") records)"
+
+# -explain printed the evidence chain for cell (0, 1) on stdout.
+grep -q 'cell (row 0, col 1)' "$WORK/run.log" || {
+    echo "obs-smoke: FAIL: -explain output missing from run.log" >&2
+    cat "$WORK/run.log" >&2 || true
+    exit 1
+}
+echo "obs-smoke: -explain ok"
 
 echo "obs-smoke: PASS"

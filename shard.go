@@ -35,6 +35,7 @@ import (
 	"katara/internal/crowd"
 	"katara/internal/discovery"
 	"katara/internal/pattern"
+	"katara/internal/provenance"
 	"katara/internal/repair"
 	"katara/internal/table"
 	"katara/internal/telemetry"
@@ -118,6 +119,12 @@ func (c *Cleaner) runClean(ctx context.Context, t *Table, shards int) (*Report, 
 	defer c.crowd.SetTelemetry(nil)
 	c.resolver.SetTelemetry(tel)
 	defer c.resolver.SetTelemetry(nil)
+	// Evidence lineage (Options.Provenance): the recorder is reset per run
+	// and attached to the crowd so every question's votes are captured.
+	rec := c.opts.Provenance
+	rec.Reset()
+	c.crowd.SetProvenance(rec)
+	defer c.crowd.SetProvenance(nil)
 	if c.opts.Deadline > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, c.opts.Deadline)
@@ -148,6 +155,18 @@ func (c *Cleaner) runClean(ctx context.Context, t *Table, shards int) (*Report, 
 		in = t.Interned()
 		root.SetInt("signatures", int64(in.NumGroups()))
 	}
+	if rec.Enabled() {
+		// Decision units: signature groups under dedup, rows otherwise.
+		units := make([]int, t.NumRows())
+		for i := range units {
+			if in != nil {
+				units[i] = in.GroupOf(i)
+			} else {
+				units[i] = i
+			}
+		}
+		rec.SetRowUnits(units, in != nil)
+	}
 
 	start := tel.StartStage(telemetry.StageDiscover)
 	cands := c.generate(t, tel)
@@ -156,6 +175,11 @@ func (c *Cleaner) runClean(ctx context.Context, t *Table, shards int) (*Report, 
 	if len(candidates) == 0 {
 		root.End()
 		return nil, ErrNoPattern
+	}
+	if rec.Enabled() {
+		for _, cand := range candidates {
+			rec.RecordPattern(cand.Key(), cand.Score, false)
+		}
 	}
 	c.crowd.ResetStats()
 	rep := &Report{}
@@ -168,6 +192,10 @@ func (c *Cleaner) runClean(ctx context.Context, t *Table, shards int) (*Report, 
 	if c.opts.DiscoverPaths {
 		p = p.Clone()
 		discovery.AttachPathEdges(p, discovery.DiscoverPathEdges(cands))
+	}
+	if rec.Enabled() && p != nil {
+		// The validated (possibly stripped or path-extended) winner.
+		rec.RecordPattern(p.Key(), p.Score, true)
 	}
 	tel.EndStage(telemetry.StageValidate, start)
 	start = tel.StartStage(telemetry.StageAnnotate)
@@ -183,7 +211,7 @@ func (c *Cleaner) runClean(ctx context.Context, t *Table, shards int) (*Report, 
 		tel.Inc(telemetry.DegradedDecisions)
 	} else {
 		start = tel.StartStage(telemetry.StageRepair)
-		rep.Repairs = c.repairsShardedDedup(t, p, res.Errors(), tel, shards, in)
+		rep.Repairs = c.repairsShardedProv(t, p, res.Errors(), tel, shards, in, rec)
 		tel.EndStage(telemetry.StageRepair, start)
 	}
 	rep.Crowd = c.crowd.Stats()
@@ -194,6 +222,7 @@ func (c *Cleaner) runClean(ctx context.Context, t *Table, shards int) (*Report, 
 	root.SetInt("questions", int64(rep.QuestionsAsked))
 	root.End()
 	rep.Timings = tel.Snapshot()
+	rep.Provenance = rec
 	return rep, nil
 }
 
@@ -305,10 +334,16 @@ func (c *Cleaner) annotateSharded(ctx context.Context, t *Table, p *Pattern, tel
 // public Repairs sub-API path, which takes caller-chosen row lists and
 // never dedups.
 func (c *Cleaner) repairsSharded(t *Table, p *Pattern, rows []int, tel *telemetry.Pipeline, shards int) map[int][]Repair {
-	return c.repairsShardedDedup(t, p, rows, tel, shards, nil)
+	return c.repairsShardedProv(t, p, rows, tel, shards, nil, nil)
 }
 
-// repairsShardedDedup is the sharded §6.2 stage: the index is built once
+// repairsShardedDedup is repairsShardedProv without provenance recording —
+// kept as the dedup-aware entry point for tests.
+func (c *Cleaner) repairsShardedDedup(t *Table, p *Pattern, rows []int, tel *telemetry.Pipeline, shards int, in *table.Interned) map[int][]Repair {
+	return c.repairsShardedProv(t, p, rows, tel, shards, in, nil)
+}
+
+// repairsShardedProv is the sharded §6.2 stage: the index is built once
 // (deterministic for every worker and shard count), then top-k retrieval
 // fans out across shards of the erroneous-row list, each shard recording
 // into its own telemetry pipeline through a shallow index view. With an
@@ -316,7 +351,11 @@ func (c *Cleaner) repairsSharded(t *Table, p *Pattern, rows []int, tel *telemetr
 // per distinct signature — TopK is a pure function of the tuple's values
 // and the read-only index, so the ranked list is computed once and shared
 // by every duplicate. The merge is a map fill keyed by row — order-free.
-func (c *Cleaner) repairsShardedDedup(t *Table, p *Pattern, rows []int, tel *telemetry.Pipeline, shards int, in *table.Interned) map[int][]Repair {
+// With a provenance recorder, every ranked unit's candidate list is
+// captured: sharded retrieval records into per-shard child recorders merged
+// back in shard order (units are disjoint across shards, so the merged
+// state is deterministic regardless of completion order).
+func (c *Cleaner) repairsShardedProv(t *Table, p *Pattern, rows []int, tel *telemetry.Pipeline, shards int, in *table.Interned, rec *provenance.Recorder) map[int][]Repair {
 	if len(p.Edges) == 0 {
 		return nil // no relationships: repairs are undefined (§7.4)
 	}
@@ -369,11 +408,40 @@ func (c *Cleaner) repairsShardedDedup(t *Table, p *Pattern, rows []int, tel *tel
 		}
 	}
 
+	// Provenance: record the ranked candidate list per decision unit (the
+	// signature group under dedup, the row itself otherwise). Conversions
+	// are built only when recording is on — the disabled path stays
+	// allocation-free.
+	unitOf := func(row int) int {
+		if in != nil && in.NumRows() == t.NumRows() {
+			return in.GroupOf(row)
+		}
+		return row
+	}
+	toCands := func(reps []Repair) []provenance.Candidate {
+		cands := make([]provenance.Candidate, len(reps))
+		for j, r := range reps {
+			ch := make([]provenance.Change, len(r.Changes))
+			for k, cg := range r.Changes {
+				ch[k] = provenance.Change{Col: cg.Col, From: cg.From, To: cg.To}
+			}
+			cands[j] = provenance.Candidate{Graph: r.Graph.ID, Cost: r.Cost, Changes: ch}
+		}
+		return cands
+	}
+
 	perRow := make([][]Repair, len(lookup))
 	switch {
 	case shards > 1 && len(lookup) >= 2:
 		ranges := shardRanges(len(lookup), shards)
 		children := shardPipelines(tel, len(ranges))
+		var provChildren []*provenance.Recorder
+		if rec.Enabled() {
+			provChildren = make([]*provenance.Recorder, len(ranges))
+			for i := range provChildren {
+				provChildren[i] = rec.Child()
+			}
+		}
 		var wg sync.WaitGroup
 		var panicked atomic.Pointer[PanicError]
 		for i, rg := range ranges {
@@ -383,7 +451,11 @@ func (c *Cleaner) repairsShardedDedup(t *Table, p *Pattern, rows []int, tel *tel
 				runShardGuarded(&panicked, shard, func() {
 					ixs := ix.WithTelemetry(child)
 					for i := rg.Lo; i < rg.Hi; i++ {
-						perRow[i] = ixs.TopK(t.Rows[lookup[i]], c.opts.RepairK)
+						reps, considered := ixs.TopKStats(t.Rows[lookup[i]], c.opts.RepairK)
+						perRow[i] = reps
+						if provChildren != nil {
+							provChildren[shard].RecordRepair(unitOf(lookup[i]), considered, toCands(reps))
+						}
 					}
 				})
 			}(i, rg, children[i])
@@ -393,9 +465,17 @@ func (c *Cleaner) repairsShardedDedup(t *Table, p *Pattern, rows []int, tel *tel
 		for _, child := range children {
 			tel.Merge(child)
 		}
+		// Units are disjoint across shards, so merging children in shard
+		// order yields the same recorder state regardless of which
+		// goroutine finished first.
+		for _, pc := range provChildren {
+			rec.Merge(pc)
+		}
 	case c.opts.Workers > 1 && len(lookup) >= 2*c.opts.Workers:
 		// Per-row retrieval is independent and the index is read-only:
-		// work-steal across the worker pool, keyed by lookup index.
+		// work-steal across the worker pool, keyed by lookup index. The
+		// recorder is mutex-guarded and repair records are keyed by unit,
+		// so direct recording is race-free and order-independent.
 		var next atomic.Int64
 		var wg sync.WaitGroup
 		var panicked atomic.Pointer[PanicError]
@@ -409,7 +489,11 @@ func (c *Cleaner) repairsShardedDedup(t *Table, p *Pattern, rows []int, tel *tel
 						if i >= len(lookup) {
 							return
 						}
-						perRow[i] = ix.TopK(t.Rows[lookup[i]], c.opts.RepairK)
+						reps, considered := ix.TopKStats(t.Rows[lookup[i]], c.opts.RepairK)
+						perRow[i] = reps
+						if rec.Enabled() {
+							rec.RecordRepair(unitOf(lookup[i]), considered, toCands(reps))
+						}
 					}
 				})
 			}(w)
@@ -418,7 +502,11 @@ func (c *Cleaner) repairsShardedDedup(t *Table, p *Pattern, rows []int, tel *tel
 		rethrow(&panicked)
 	default:
 		for i, row := range lookup {
-			perRow[i] = ix.TopK(t.Rows[row], c.opts.RepairK)
+			reps, considered := ix.TopKStats(t.Rows[row], c.opts.RepairK)
+			perRow[i] = reps
+			if rec.Enabled() {
+				rec.RecordRepair(unitOf(row), considered, toCands(reps))
+			}
 		}
 	}
 	for i, row := range rows {
