@@ -5,7 +5,7 @@ GO ?= go
 
 # Snapshot knobs for bench-save: where the snapshot lands and how long each
 # benchmark runs. Longer BENCH_TIME gives steadier numbers.
-BENCH_OUT ?= BENCH_8.json
+BENCH_OUT ?= BENCH_10.json
 BENCH_TIME ?= 200ms
 
 # Generous wall-clock ceiling for the full-paper-scale smoke assertion:
@@ -18,7 +18,7 @@ FUZZTIME ?= 30s
 COVER_OUT ?= coverage.out
 
 .PHONY: all build vet test race bench bench-smoke bench-save obs-smoke \
-	daemon-smoke chaos-smoke fuzz-smoke cover cover-check check
+	daemon-smoke chaos-smoke append-smoke fuzz-smoke cover cover-check check
 
 all: check
 
@@ -60,6 +60,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzLintExposition$$' -fuzztime $(FUZZTIME) ./internal/telemetry
 	$(GO) test -run '^$$' -fuzz '^FuzzTableLoad$$' -fuzztime $(FUZZTIME) ./internal/table
 	$(GO) test -run '^$$' -fuzz '^FuzzJournalReplay$$' -fuzztime $(FUZZTIME) ./internal/jobs
+	$(GO) test -run '^$$' -fuzz '^FuzzAppendEquivalence$$' -fuzztime $(FUZZTIME) ./internal/propcheck
 
 # Per-package coverage summary plus the repo-wide total.
 cover:
@@ -87,5 +88,12 @@ daemon-smoke:
 # crash-free oracle byte-for-byte, and the journal must compact.
 chaos-smoke:
 	./scripts/chaos_smoke.sh
+
+# Incremental append check: drive POST /jobs/{id}/append end to end — 202 on
+# a done parent, the 409/404/400 admission contract, promlint-clean metrics
+# with the appended counter, and a byte-identical result after a restart
+# replays the append record.
+append-smoke:
+	./scripts/append_smoke.sh
 
 check: build vet test race

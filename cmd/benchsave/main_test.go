@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSplitProcs(t *testing.T) {
+	for _, tc := range []struct {
+		in    string
+		name  string
+		procs int
+	}{
+		{"BenchmarkFoo-8", "BenchmarkFoo", 8},
+		{"BenchmarkFoo", "BenchmarkFoo", 0},
+		{"BenchmarkFoo/sub-case-16", "BenchmarkFoo/sub-case", 16},
+		{"BenchmarkFoo-bar", "BenchmarkFoo-bar", 0}, // dash but no digits
+		{"BenchmarkFoo-0", "BenchmarkFoo-0", 0},     // procs must be positive
+	} {
+		name, procs := splitProcs(tc.in)
+		if name != tc.name || procs != tc.procs {
+			t.Errorf("splitProcs(%q) = (%q, %d), want (%q, %d)", tc.in, name, procs, tc.name, tc.procs)
+		}
+	}
+}
+
+// TestMainParsesStream: feed a test2json stream — with a benchmark line
+// split across two output events, a custom ReportMetric pair, and non-JSON
+// noise — through main and check the written snapshot. main is invoked
+// in-process exactly once (its flag definitions live on the global
+// CommandLine).
+func TestMainParsesStream(t *testing.T) {
+	stream := strings.Join([]string{
+		`{"Action":"output","Package":"katara","Output":"BenchmarkEndToEndClean-8   \t     100\t  12`,
+		`{"Action":"output","Package":"katara","Output":"345678 ns/op\t 2048 B/op\t 99 allocs/op\n"}`,
+		`{"Action":"output","Package":"katara/internal/telemetry","Output":"BenchmarkQuantile \t 5000\t 111.5 ns/op\t 3.5 p50-ns/op\n"}`,
+		`{"Action":"run","Package":"katara"}`,
+		`not json at all`,
+		``,
+	}, "\n")
+	// The first fragment is deliberately truncated mid-number and never
+	// closed — a torn event must be skipped, not crash the join.
+
+	in, err := os.CreateTemp(t.TempDir(), "stdin-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.WriteString(stream); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Seek(0, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	out := filepath.Join(t.TempDir(), "snap.json")
+	oldStdin, oldArgs := os.Stdin, os.Args
+	defer func() { os.Stdin, os.Args = oldStdin, oldArgs }()
+	os.Stdin = in
+	os.Args = []string{"benchsave", "-out", out}
+	main()
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("snapshot not JSON: %v", err)
+	}
+	if snap.GoVersion == "" || snap.GOOS == "" || snap.Timestamp == "" {
+		t.Fatalf("metadata missing: %+v", snap)
+	}
+	if len(snap.Benchmarks) != 1 {
+		t.Fatalf("got %d benchmarks, want 1 (the torn line must be dropped): %+v", len(snap.Benchmarks), snap.Benchmarks)
+	}
+	b := snap.Benchmarks[0]
+	if b.Name != "BenchmarkQuantile" || b.Iterations != 5000 || b.NsPerOp != 111.5 {
+		t.Fatalf("parsed benchmark wrong: %+v", b)
+	}
+	if b.Metrics["p50-ns/op"] != 3.5 {
+		t.Fatalf("custom metric not captured: %+v", b.Metrics)
+	}
+}

@@ -18,6 +18,10 @@
 //	GET  /jobs/{id}/result   final report (409 until the job finishes)
 //	GET  /jobs/{id}/progress live progress; SSE with Accept: text/event-stream
 //	GET  /jobs/{id}/explain  per-cell evidence chain (?row=R&col=C)
+//	POST /jobs/{id}/append   extend a done job with {"rows": [...]} — a new
+//	                         job cleans the delta incrementally against the
+//	                         parent's session (409 while the parent runs or
+//	                         once it is extended; chains replay after crashes)
 //	POST /jobs/{id}/cancel   cancel a queued or running job
 //	GET  /healthz            liveness probe
 //	GET  /version            build metadata (module, version, VCS revision)

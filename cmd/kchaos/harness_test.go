@@ -1,0 +1,242 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"katara/internal/jobs"
+)
+
+// newTestHarness points a harness at a scripted server with a short
+// deadline, so the retry loops terminate fast when a test exercises the
+// give-up path.
+func newTestHarness(t *testing.T, h http.Handler) (*harness, *httptest.Server) {
+	t.Helper()
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return &harness{
+		base:     srv.URL,
+		client:   srv.Client(),
+		deadline: time.Now().Add(5 * time.Second),
+	}, srv
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// TestSubmitRetriesBackpressure: 429 and 503 are backpressure, not errors —
+// submit must keep retrying and return the ID from the eventual 202.
+func TestSubmitRetriesBackpressure(t *testing.T) {
+	var calls atomic.Int64
+	h, _ := newTestHarness(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			w.WriteHeader(http.StatusTooManyRequests)
+		case 2:
+			w.WriteHeader(http.StatusServiceUnavailable)
+		default:
+			writeJSON(w, http.StatusAccepted, jobs.SubmitResponse{ID: "j7"})
+		}
+	}))
+	var accepted atomic.Int64
+	id, err := h.submit([]byte(`{}`), &accepted)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if id != "j7" || accepted.Load() != 1 || calls.Load() != 3 {
+		t.Fatalf("id=%q accepted=%d calls=%d, want j7/1/3", id, accepted.Load(), calls.Load())
+	}
+}
+
+// TestSubmitHardError: a non-backpressure status is terminal, carrying the
+// body in the error.
+func TestSubmitHardError(t *testing.T) {
+	h, _ := newTestHarness(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "schema mismatch", http.StatusBadRequest)
+	}))
+	if _, err := h.submit([]byte(`{}`), nil); err == nil {
+		t.Fatal("submit on 400 succeeded, want error")
+	}
+}
+
+// TestSubmitDeadline: with the daemon permanently down, submit gives up at
+// the harness deadline instead of spinning forever.
+func TestSubmitDeadline(t *testing.T) {
+	h, srv := newTestHarness(t, http.NewServeMux())
+	srv.Close() // connection errors from here on
+	h.deadline = time.Now().Add(50 * time.Millisecond)
+	if _, err := h.submit([]byte(`{}`), nil); err == nil {
+		t.Fatal("submit past deadline succeeded, want error")
+	}
+}
+
+// TestAppendJobAccepted: the plain 202 path returns the increment's ID and
+// bumps the accepted counter.
+func TestAppendJobAccepted(t *testing.T) {
+	h, _ := newTestHarness(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/jobs/j1/append" {
+			t.Errorf("path = %q", r.URL.Path)
+		}
+		writeJSON(w, http.StatusAccepted, jobs.SubmitResponse{ID: "j2"})
+	}))
+	var accepted atomic.Int64
+	id, err := h.appendJob("j1", []byte(`{}`), &accepted)
+	if err != nil {
+		t.Fatalf("appendJob: %v", err)
+	}
+	if id != "j2" || accepted.Load() != 1 {
+		t.Fatalf("id=%q accepted=%d, want j2/1", id, accepted.Load())
+	}
+}
+
+// TestAppendJobAdoptsLostAck: a 409 whose listing shows a child of ours is
+// our own journalled-but-unacked append — appendJob must adopt that ID
+// rather than retrying forever against "parent already extended".
+func TestAppendJobAdoptsLostAck(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/jobs/j1/append", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusConflict, map[string]string{"error": "already extended"})
+	})
+	mux.HandleFunc("/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, []jobs.JobStatus{
+			{ID: "j1", State: jobs.StateDone},
+			{ID: "j9", Parent: "j1", State: jobs.StateRunning},
+		})
+	})
+	h, _ := newTestHarness(t, mux)
+	var accepted atomic.Int64
+	id, err := h.appendJob("j1", []byte(`{}`), &accepted)
+	if err != nil {
+		t.Fatalf("appendJob: %v", err)
+	}
+	if id != "j9" || accepted.Load() != 1 {
+		t.Fatalf("id=%q accepted=%d, want adopted j9/1", id, accepted.Load())
+	}
+}
+
+// TestAppendJobRetriesTransientConflict: a 409 with no child in the listing
+// means the parent is (re-)running post-crash — retry until the append is
+// admitted.
+func TestAppendJobRetriesTransientConflict(t *testing.T) {
+	var calls atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/jobs/j1/append", func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			writeJSON(w, http.StatusConflict, map[string]string{"error": "running"})
+			return
+		}
+		writeJSON(w, http.StatusAccepted, jobs.SubmitResponse{ID: "j2"})
+	})
+	mux.HandleFunc("/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, []jobs.JobStatus{{ID: "j1", State: jobs.StateRunning}})
+	})
+	h, _ := newTestHarness(t, mux)
+	id, err := h.appendJob("j1", []byte(`{}`), nil)
+	if err != nil {
+		t.Fatalf("appendJob: %v", err)
+	}
+	if id != "j2" || calls.Load() != 3 {
+		t.Fatalf("id=%q calls=%d, want j2 after 3 attempts", id, calls.Load())
+	}
+}
+
+// TestAppendJobBackpressureAndLoss: 429 retries; a 404 on a parent we know
+// completed is the cardinal sin and must fail immediately.
+func TestAppendJobBackpressureAndLoss(t *testing.T) {
+	var calls atomic.Int64
+	h, _ := newTestHarness(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown job"})
+	}))
+	_, err := h.appendJob("j1", []byte(`{}`), nil)
+	if err == nil || calls.Load() != 2 {
+		t.Fatalf("err=%v calls=%d, want lost-parent error after a 429 retry", err, calls.Load())
+	}
+}
+
+// TestChildOf: the listing lookup returns the extending job's ID, "" when
+// no job names us as parent, and "" on any transport or decode trouble.
+func TestChildOf(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, []jobs.JobStatus{
+			{ID: "a"},
+			{ID: "b", Parent: "a"},
+		})
+	})
+	h, srv := newTestHarness(t, mux)
+	if got := h.childOf("a"); got != "b" {
+		t.Fatalf("childOf(a) = %q, want b", got)
+	}
+	if got := h.childOf("b"); got != "" {
+		t.Fatalf("childOf(b) = %q, want none", got)
+	}
+	srv.Close()
+	if got := h.childOf("a"); got != "" {
+		t.Fatalf("childOf with daemon down = %q, want \"\"", got)
+	}
+
+	bad, _ := newTestHarness(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "not json")
+	}))
+	if got := bad.childOf("a"); got != "" {
+		t.Fatalf("childOf on junk body = %q, want \"\"", got)
+	}
+}
+
+// TestAwaitResultPollsToDone: 409 (still running) polls; the eventual done
+// document's report bytes come back.
+func TestAwaitResultPollsToDone(t *testing.T) {
+	var calls atomic.Int64
+	h, _ := newTestHarness(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			writeJSON(w, http.StatusConflict, map[string]string{"error": "running"})
+			return
+		}
+		writeJSON(w, http.StatusOK, jobs.ResultDoc{
+			ID:     "j1",
+			State:  jobs.StateDone,
+			Report: &jobs.ReportDoc{QuestionsAsked: 12},
+		})
+	}))
+	rep, state, err := h.awaitResult("j1")
+	if err != nil {
+		t.Fatalf("awaitResult: %v", err)
+	}
+	if state != jobs.StateDone || len(rep) == 0 {
+		t.Fatalf("state=%s len(rep)=%d, want done with report bytes", state, len(rep))
+	}
+}
+
+// TestAwaitResultTerminalFailure: a terminal non-done state is an error
+// carrying the job's own error text, not a retry.
+func TestAwaitResultTerminalFailure(t *testing.T) {
+	h, _ := newTestHarness(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, jobs.ResultDoc{ID: "j1", State: jobs.StateFailed, Error: "boom"})
+	}))
+	_, state, err := h.awaitResult("j1")
+	if err == nil || state != jobs.StateFailed {
+		t.Fatalf("err=%v state=%s, want failure with state preserved", err, state)
+	}
+}
+
+// TestAwaitResultLostJob: 404 on an accepted job is an immediate failure —
+// the whole point of the chaos harness.
+func TestAwaitResultLostJob(t *testing.T) {
+	h, _ := newTestHarness(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown"})
+	}))
+	if _, _, err := h.awaitResult("j1"); err == nil {
+		t.Fatal("awaitResult on 404 succeeded, want lost-job error")
+	}
+}

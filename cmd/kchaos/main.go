@@ -7,6 +7,10 @@
 //   - every surviving job completes (no poisoned quarantines under plain
 //     crash chaos) and its result document's report is byte-identical to a
 //     crash-free oracle run of the same submission;
+//   - append chains survive too: -appends root+append pairs run through the
+//     burst, and every appended job's cumulative report must match a
+//     crash-free oracle append — a crash between the append's journal
+//     record and its execution must replay into the identical document;
 //   - /metrics stays promlint-clean, and every cumulative series is
 //     monotone non-decreasing within each daemon boot (scrapes spanning a
 //     kill are discarded — a fresh boot legitimately restarts counters).
@@ -14,8 +18,9 @@
 // Usage:
 //
 //	kchaos -katarad ./katarad -kb small.nt -in dirty.csv \
-//	       [-jobs 40] [-kills 3] [-seed 1] [-addr 127.0.0.1:18571] \
-//	       [-journal-dir DIR] [-kill-min 150ms] [-kill-max 400ms]
+//	       [-jobs 40] [-kills 3] [-appends 6] [-seed 1] \
+//	       [-addr 127.0.0.1:18571] [-journal-dir DIR] \
+//	       [-kill-min 150ms] [-kill-max 400ms]
 //
 // Exit status 0 means the run survived every kill with all invariants
 // intact; any violation prints the cause and exits 1.
@@ -55,6 +60,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		addr        = fs.String("addr", "127.0.0.1:18571", "address katarad listens on")
 		nJobs       = fs.Int("jobs", 40, "total jobs to get accepted")
 		kills       = fs.Int("kills", 3, "SIGKILL/restart cycles to inject mid-burst")
+		appends     = fs.Int("appends", 6, "root+append chains to run through the burst")
 		seed        = fs.Int64("seed", 1, "seed for the kill-point schedule")
 		concurrency = fs.Int("concurrency", 8, "submissions in flight at once")
 		shards      = fs.Int("shards", 2, "shard count for each job")
@@ -72,8 +78,8 @@ func run(args []string, stdout, stderr *os.File) int {
 		fs.Usage()
 		return 2
 	}
-	if *nJobs < 1 || *kills < 0 || *concurrency < 1 || *killMin <= 0 || *killMax < *killMin {
-		fmt.Fprintln(stderr, "kchaos: invalid -jobs/-kills/-concurrency/-kill-min/-kill-max")
+	if *nJobs < 1 || *kills < 0 || *appends < 0 || *concurrency < 1 || *killMin <= 0 || *killMax < *killMin {
+		fmt.Fprintln(stderr, "kchaos: invalid -jobs/-kills/-appends/-concurrency/-kill-min/-kill-max")
 		return 2
 	}
 
@@ -92,6 +98,18 @@ func run(args []string, stdout, stderr *os.File) int {
 		Table:  jobs.TableDoc{Name: tbl.Name, Columns: tbl.Columns, Rows: tbl.Rows},
 		Params: jobs.Params{Shards: *shards},
 	})
+	if err != nil {
+		fmt.Fprintln(stderr, "kchaos:", err)
+		return 1
+	}
+	// The append delta: the table's first rows re-posted onto a finished
+	// root job. Duplicate rows are fine — the contract under test is crash
+	// durability of the chain, not cleaning novelty.
+	deltaN := tbl.NumRows()
+	if deltaN > 8 {
+		deltaN = 8
+	}
+	appendPayload, err := json.Marshal(jobs.AppendRequest{Rows: tbl.Rows[:deltaN]})
 	if err != nil {
 		fmt.Fprintln(stderr, "kchaos:", err)
 		return 1
@@ -123,21 +141,21 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 
 	// Phase 1 — the crash-free oracle: one uninterrupted boot (separate
-	// journal dir), one job, its report bytes are the truth every chaos job
-	// must reproduce.
-	oracle, code := h.oracleRun(filepath.Join(work, "oracle-journal"), payload)
+	// journal dir), one root job plus one append, their report bytes are the
+	// truth every chaos job and chain must reproduce.
+	oracle, appendOracle, code := h.oracleRun(filepath.Join(work, "oracle-journal"), payload, appendPayload)
 	if code != 0 {
 		return code
 	}
-	fmt.Fprintf(stdout, "kchaos: oracle report captured (%d bytes)\n", len(oracle))
+	fmt.Fprintf(stdout, "kchaos: oracle reports captured (root %d bytes, append %d bytes)\n", len(oracle), len(appendOracle))
 
 	// Phase 2 — the chaos run.
-	if code := h.chaosRun(dir, payload, oracle, *nJobs, *kills, *seed, *concurrency, *killMin, *killMax, *scrape); code != 0 {
+	if code := h.chaosRun(dir, payload, appendPayload, oracle, appendOracle, *nJobs, *kills, *appends, *seed, *concurrency, *killMin, *killMax, *scrape); code != 0 {
 		fmt.Fprintf(stderr, "kchaos: FAIL (daemon logs under %s)\n", work)
 		keepWork = true // the scene of the crime
 		return code
 	}
-	fmt.Fprintf(stdout, "kchaos: PASS — %d jobs, %d kills, zero lost, all byte-identical to oracle\n", *nJobs, *kills)
+	fmt.Fprintf(stdout, "kchaos: PASS — %d jobs, %d append chains, %d kills, zero lost, all byte-identical to oracle\n", *nJobs, *appends, *kills)
 	return 0
 }
 
@@ -191,13 +209,13 @@ func (h *harness) start(journalDir string) (*exec.Cmd, error) {
 	return nil, fmt.Errorf("boot %d: katarad never became healthy", h.boot)
 }
 
-// oracleRun boots an uninterrupted daemon, runs one job, and returns its
-// report bytes.
-func (h *harness) oracleRun(journalDir string, payload []byte) ([]byte, int) {
+// oracleRun boots an uninterrupted daemon, runs one root job and one append
+// onto it, and returns both report byte strings.
+func (h *harness) oracleRun(journalDir string, payload, appendPayload []byte) ([]byte, []byte, int) {
 	cmd, err := h.start(journalDir)
 	if err != nil {
 		h.fail("oracle: %v", err)
-		return nil, 1
+		return nil, nil, 1
 	}
 	defer func() {
 		_ = cmd.Process.Signal(os.Interrupt)
@@ -206,18 +224,32 @@ func (h *harness) oracleRun(journalDir string, payload []byte) ([]byte, int) {
 	id, err := h.submit(payload, nil)
 	if err != nil {
 		h.fail("oracle submit: %v", err)
-		return nil, 1
+		return nil, nil, 1
 	}
 	rep, state, err := h.awaitResult(id)
 	if err != nil {
 		h.fail("oracle job %s: %v", id, err)
-		return nil, 1
+		return nil, nil, 1
 	}
 	if state != jobs.StateDone {
 		h.fail("oracle job %s ended %s", id, state)
-		return nil, 1
+		return nil, nil, 1
 	}
-	return rep, 0
+	appID, err := h.appendJob(id, appendPayload, nil)
+	if err != nil {
+		h.fail("oracle append: %v", err)
+		return nil, nil, 1
+	}
+	appRep, state, err := h.awaitResult(appID)
+	if err != nil {
+		h.fail("oracle append job %s: %v", appID, err)
+		return nil, nil, 1
+	}
+	if state != jobs.StateDone {
+		h.fail("oracle append job %s ended %s", appID, state)
+		return nil, nil, 1
+	}
+	return rep, appRep, 0
 }
 
 // submit POSTs one job until it is accepted, tolerating connection errors
@@ -260,6 +292,90 @@ func (h *harness) submit(payload []byte, accepted *atomic.Int64) (string, error)
 			return "", fmt.Errorf("submit: status %d: %s", resp.StatusCode, body)
 		}
 	}
+}
+
+// appendJob POSTs an append onto parent until it is accepted, tolerating
+// connection errors, 429/503 backpressure and 409 conflicts. A 409 is
+// ambiguous under crash chaos: either the parent is (re-)running — a replayed
+// boot re-executes terminal-looking jobs that were mid-flight — or our own
+// earlier attempt was journalled but its ack was lost to a kill, in which
+// case the parent is already extended and the child exists under an ID we
+// never saw. The listing disambiguates: a job whose Parent is ours IS our
+// append (each parent is extended at most once, by us), so adopt its ID.
+func (h *harness) appendJob(parent string, payload []byte, accepted *atomic.Int64) (string, error) {
+	backoff := 2 * time.Millisecond
+	for {
+		if time.Now().After(h.deadline) {
+			return "", fmt.Errorf("append on %s not accepted by deadline", parent)
+		}
+		resp, err := h.client.Post(h.base+"/jobs/"+parent+"/append", "application/json", bytes.NewReader(payload))
+		if err != nil {
+			time.Sleep(backoff)
+			continue
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			time.Sleep(backoff)
+			continue
+		}
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			var sub jobs.SubmitResponse
+			if err := json.Unmarshal(body, &sub); err != nil {
+				return "", fmt.Errorf("append response: %w", err)
+			}
+			if accepted != nil {
+				accepted.Add(1)
+			}
+			return sub.ID, nil
+		case http.StatusConflict:
+			if id := h.childOf(parent); id != "" {
+				if accepted != nil {
+					accepted.Add(1)
+				}
+				return id, nil
+			}
+			time.Sleep(backoff)
+			if backoff < 100*time.Millisecond {
+				backoff *= 2
+			}
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			time.Sleep(backoff)
+			if backoff < 100*time.Millisecond {
+				backoff *= 2
+			}
+		case http.StatusNotFound:
+			// THE cardinal sin again: a done parent the daemon forgot.
+			return "", fmt.Errorf("append parent %s lost (404)", parent)
+		default:
+			return "", fmt.Errorf("append: status %d: %s", resp.StatusCode, body)
+		}
+	}
+}
+
+// childOf returns the ID of the job extending parent, if the listing shows
+// one ("" otherwise, including while the daemon is unreachable).
+func (h *harness) childOf(parent string) string {
+	resp, err := h.client.Get(h.base + "/jobs")
+	if err != nil {
+		return ""
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != nil || resp.StatusCode != 200 {
+		return ""
+	}
+	var list []jobs.JobStatus
+	if err := json.Unmarshal(body, &list); err != nil {
+		return ""
+	}
+	for _, st := range list {
+		if st.Parent == parent {
+			return st.ID
+		}
+	}
+	return ""
 }
 
 // awaitResult polls one job's result to a terminal state, tolerating
@@ -349,9 +465,10 @@ func (h *harness) awaitBacklog(backlog []string) error {
 	}
 }
 
-// chaosRun is phase 2: a submission burst racing a seeded kill/restart
-// schedule, followed by convergence and the full assertion sweep.
-func (h *harness) chaosRun(journalDir string, payload, oracle []byte, nJobs, kills int, seed int64, concurrency int, killMin, killMax, scrapeEvery time.Duration) int {
+// chaosRun is phase 2: a submission burst and append chains racing a seeded
+// kill/restart schedule, followed by convergence and the full assertion
+// sweep.
+func (h *harness) chaosRun(journalDir string, payload, appendPayload, oracle, appendOracle []byte, nJobs, kills, appends int, seed int64, concurrency int, killMin, killMax, scrapeEvery time.Duration) int {
 	cmd, err := h.start(journalDir)
 	if err != nil {
 		h.fail("%v", err)
@@ -413,10 +530,13 @@ func (h *harness) chaosRun(journalDir string, payload, oracle []byte, nJobs, kil
 	}()
 
 	// Submitter pool: keep submitting until nJobs are accepted; every
-	// accepted ID is recorded for the assertion sweep.
+	// accepted ID is recorded for the assertion sweep. Appended jobs are
+	// additionally tracked in appendSet: their reports compare against the
+	// append oracle, not the root oracle.
 	var (
-		mu  sync.Mutex
-		ids []string
+		mu        sync.Mutex
+		ids       []string
+		appendSet = map[string]bool{}
 	)
 	submitDone := make(chan struct{})
 	go func() {
@@ -441,6 +561,40 @@ func (h *harness) chaosRun(journalDir string, payload, oracle []byte, nJobs, kil
 			}()
 		}
 		wg.Wait()
+	}()
+
+	// Appender: root+append chains interleaved with the burst, so kills land
+	// between a chain's acceptance, its root's completion, its append record
+	// and the append's execution — every window the journal must cover.
+	appendDone := make(chan struct{})
+	go func() {
+		defer close(appendDone)
+		for i := 0; i < appends; i++ {
+			root, err := h.submit(payload, &accepted)
+			if err != nil {
+				violations.Add(1)
+				h.fail("append chain %d: root submit: %v", i, err)
+				return
+			}
+			mu.Lock()
+			ids = append(ids, root)
+			mu.Unlock()
+			if _, _, err := h.awaitResult(root); err != nil {
+				violations.Add(1)
+				h.fail("append chain %d: root %s: %v", i, root, err)
+				return
+			}
+			child, err := h.appendJob(root, appendPayload, &accepted)
+			if err != nil {
+				violations.Add(1)
+				h.fail("append chain %d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			ids = append(ids, child)
+			appendSet[child] = true
+			mu.Unlock()
+		}
 	}()
 
 	// The seeded kill schedule: SIGKILL (no warning, no drain) and restart
@@ -473,9 +627,10 @@ func (h *harness) chaosRun(journalDir string, payload, oracle []byte, nJobs, kil
 	}
 
 	<-submitDone
+	<-appendDone
 
 	// Convergence + assertions: every accepted job must be terminal, done,
-	// and byte-identical to the oracle.
+	// and byte-identical to its oracle (root or append).
 	mu.Lock()
 	all := append([]string(nil), ids...)
 	mu.Unlock()
@@ -491,7 +646,11 @@ func (h *harness) chaosRun(journalDir string, payload, oracle []byte, nJobs, kil
 			h.fail("job %s: terminal state %s, want done", id, state)
 			continue
 		}
-		if !bytes.Equal(rep, oracle) {
+		want := oracle
+		if appendSet[id] {
+			want = appendOracle
+		}
+		if !bytes.Equal(rep, want) {
 			violations.Add(1)
 			h.fail("job %s: report differs from crash-free oracle", id)
 		}

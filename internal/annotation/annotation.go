@@ -214,6 +214,16 @@ type Annotator struct {
 	// group under dedup, the row otherwise) and fanned out on read.
 	Prov *provenance.Recorder
 
+	// Session, when non-nil, carries annotation memo state across passes:
+	// the crowd-answer memo, the seen-facts set behind NewFacts dedup and
+	// the per-signature coverage memo all live in the Session instead of
+	// the single pass. Incremental cleaning annotates appended rows through
+	// AnnotateRange with the Session of the base run, which makes the delta
+	// pass behave exactly like the suffix of one long batch pass: a delta
+	// row whose signature (or question) was already decided fans the cached
+	// verdict, and facts already reported are not re-listed.
+	Session *Session
+
 	// qmemo caches crowd answers within one AnnotateWith pass (dedup mode
 	// only). Keyed by prompt AND ground truth: two distinct KB terms can
 	// share a display label, yielding identical prompts with different
@@ -239,6 +249,15 @@ type questionKey struct {
 type memoAnswer struct {
 	yes bool
 	qid int64
+}
+
+// Session is the annotation memo state shared by the passes of one
+// incremental cleaning session (see Annotator.Session). The zero value is
+// ready to use.
+type Session struct {
+	qmemo     map[questionKey]memoAnswer
+	seenFacts map[string]bool
+	covMemo   []*pattern.Match
 }
 
 // labels returns the label-resolution source: the shared resolver when
@@ -319,30 +338,60 @@ func (a *Annotator) EvaluateCoverageGroups(tbl *table.Table, groups []table.Grou
 // unsharded run's. Once enrichment mutates the KB the precomputed coverage
 // is stale and later rows are re-evaluated inline.
 func (a *Annotator) AnnotateWith(tbl *table.Table, matches []*pattern.Match) *Result {
+	return a.AnnotateRange(tbl, matches, 0, tbl.NumRows())
+}
+
+// AnnotateRange is AnnotateWith restricted to rows [lo, hi) — the
+// incremental entry point: an append pass annotates only the delta rows,
+// with the Session carrying the base run's memo state so the pass is
+// observationally the suffix of one batch run over the merged table.
+func (a *Annotator) AnnotateRange(tbl *table.Table, matches []*pattern.Match, lo, hi int) *Result {
 	threshold := a.Threshold
 	if threshold == 0 {
 		threshold = similarity.DefaultThreshold
 	}
 	res := &Result{}
 	seenFacts := map[string]bool{}
+	if a.Session != nil {
+		if a.Session.seenFacts == nil {
+			a.Session.seenFacts = make(map[string]bool)
+		}
+		seenFacts = a.Session.seenFacts
+	}
 	enriched := false // KB mutated: precomputed coverage is stale
 	// Dedup mode: coverage memoized per distinct signature (invalidated
 	// whenever enrichment mutates the KB — a changed KB can change any
 	// signature's coverage) and crowd answers memoized per question for the
-	// duration of the pass. Outcomes are identical either way; only the
-	// question count drops.
+	// duration of the pass (or the session, when one is attached). Outcomes
+	// are identical either way; only the question count drops.
 	in := a.Interned
 	if in != nil && in.NumRows() != tbl.NumRows() {
 		in = nil // view built from different rows: ignore it
 	}
 	var covMemo []*pattern.Match
 	if in != nil {
-		covMemo = make([]*pattern.Match, in.NumGroups())
-		a.qmemo = make(map[questionKey]memoAnswer)
+		if a.Session != nil {
+			if len(a.Session.covMemo) < in.NumGroups() {
+				grown := make([]*pattern.Match, in.NumGroups())
+				copy(grown, a.Session.covMemo)
+				a.Session.covMemo = grown
+			}
+			covMemo = a.Session.covMemo
+			if a.Session.qmemo == nil {
+				a.Session.qmemo = make(map[questionKey]memoAnswer)
+			}
+			a.qmemo = a.Session.qmemo
+		} else {
+			covMemo = make([]*pattern.Match, in.NumGroups())
+			a.qmemo = make(map[questionKey]memoAnswer)
+		}
 		defer func() { a.qmemo = nil }()
 	}
+	if hi > tbl.NumRows() {
+		hi = tbl.NumRows()
+	}
 	a.provUnit = -1
-	for row := range tbl.Rows {
+	for row := lo; row < hi; row++ {
 		// One scoped span per tuple: the crowd-question spans issued inside
 		// annotateTuple (serially, on this goroutine) attach as its children.
 		tStart := a.Telemetry.StartTimer()

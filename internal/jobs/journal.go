@@ -54,6 +54,7 @@ const maxRecordBytes = 128 << 20
 const (
 	recBoot       = "boot"
 	recSubmit     = "submit"
+	recAppend     = "append"
 	recStart      = "start"
 	recEnd        = "end"
 	recCheckpoint = "checkpoint"
@@ -61,10 +62,11 @@ const (
 
 // journalRecord is the JSON payload of one frame.
 type journalRecord struct {
-	Kind   string         `json:"kind"`
-	ID     string         `json:"id,omitempty"`
-	Table  *TableDoc      `json:"table,omitempty"`
-	Params *Params        `json:"params,omitempty"`
+	Kind   string                  `json:"kind"`
+	ID     string                  `json:"id,omitempty"`
+	Parent string                  `json:"parent,omitempty"` // append records: the extended job
+	Table  *TableDoc               `json:"table,omitempty"`
+	Params *Params                 `json:"params,omitempty"`
 	State  State                   `json:"state,omitempty"`
 	Error  string                  `json:"error,omitempty"`
 	Stack  string                  `json:"stack,omitempty"`
@@ -77,10 +79,14 @@ type journalRecord struct {
 // non-terminal job can be re-run), its last observed state, and — for
 // terminal jobs — the result document exactly as it was served.
 type RecoveredJob struct {
-	ID     string     `json:"id"`
-	Table  TableDoc   `json:"table"`
-	Params Params     `json:"params"`
-	State  State      `json:"state"`
+	ID string `json:"id"`
+	// Parent links an append increment to the job it extends; the Table of
+	// an append job holds only the delta rows, and re-running it means
+	// re-executing the whole chain from the root submission.
+	Parent string   `json:"parent,omitempty"`
+	Table  TableDoc `json:"table"`
+	Params Params   `json:"params"`
+	State  State    `json:"state"`
 	// Starts counts start records not yet followed by a terminal record —
 	// i.e. boots that crashed while this job was running. Two unterminated
 	// starts mark the job poisoned: it has taken the daemon down twice.
@@ -151,6 +157,18 @@ func (st *replayState) apply(rec journalRecord) {
 		rj := &RecoveredJob{ID: rec.ID, Table: *rec.Table, State: StateQueued}
 		if rec.Params != nil {
 			rj.Params = *rec.Params
+		}
+		st.insert(rj)
+	case recAppend:
+		if rec.ID == "" || rec.Parent == "" || rec.Table == nil {
+			return
+		}
+		rj := &RecoveredJob{ID: rec.ID, Parent: rec.Parent, Table: *rec.Table, State: StateQueued}
+		// Appends inherit the chain's parameters: resolve through the parent
+		// when its record survived (a torn-away parent still replays the
+		// append, which then fails to find its chain at run time).
+		if parent := st.jobs[rec.Parent]; parent != nil {
+			rj.Params = parent.Params
 		}
 		st.insert(rj)
 	case recEnd:
@@ -421,6 +439,13 @@ func (j *Journal) closeFile() error {
 // later crash.
 func (j *Journal) RecordSubmit(id string, t TableDoc, p Params) error {
 	return j.append(journalRecord{Kind: recSubmit, ID: id, Table: &t, Params: &p}, true)
+}
+
+// RecordAppend journals an accepted append increment — the delta rows plus
+// the parent link; synced before the acknowledgement like RecordSubmit, so an
+// accepted increment replays across any crash.
+func (j *Journal) RecordAppend(id, parent string, delta TableDoc) error {
+	return j.append(journalRecord{Kind: recAppend, ID: id, Parent: parent, Table: &delta}, true)
 }
 
 // RecordStart journals a job entering execution. Unsynced: losing it to a

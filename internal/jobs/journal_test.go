@@ -259,6 +259,49 @@ func TestJournalPoisonStarts(t *testing.T) {
 	}
 }
 
+// TestJournalAppendRecord: an append record replays queued with its parent
+// link, the delta rows, and the chain's parameters inherited from the parent's
+// surviving submit record.
+func TestJournalAppendRecord(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openJournal(t, dir)
+	if err := j.RecordSubmit("j1", sampleTable(), Params{Shards: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.RecordEnd(ResultDoc{ID: "j1", State: StateDone}); err != nil {
+		t.Fatal(err)
+	}
+	delta := TableDoc{Name: "t", Columns: []string{"A", "B"}, Rows: [][]string{{"p", "q"}}}
+	if err := j.RecordAppend("j2", "j1", delta); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2, rep := openJournal(t, dir)
+	defer j2.Close()
+	if len(rep.Jobs) != 2 {
+		t.Fatalf("replayed %d jobs, want 2", len(rep.Jobs))
+	}
+	inc := rep.Jobs[1]
+	if inc.ID != "j2" || inc.Parent != "j1" || inc.State != StateQueued {
+		t.Fatalf("append replayed as %+v", inc)
+	}
+	if inc.Params.Shards != 3 {
+		t.Fatalf("append Params = %+v, want the parent's Shards=3", inc.Params)
+	}
+	if len(inc.Table.Rows) != 1 || inc.Table.Rows[0][0] != "p" {
+		t.Fatalf("append delta rows = %+v", inc.Table.Rows)
+	}
+	// The checkpoint survives another cycle: the parent link and params are
+	// carried through compaction, not just the raw append record.
+	j2.Close()
+	j3, rep3 := openJournal(t, dir)
+	defer j3.Close()
+	if inc := rep3.Jobs[1]; inc.Parent != "j1" || inc.Params.Shards != 3 {
+		t.Fatalf("append lost chain state across compaction: %+v", inc)
+	}
+}
+
 // FuzzJournalReplay: replay must never panic on arbitrary bytes, and — the
 // metamorphic half — whatever valid prefix an input contains must replay to
 // the same state when a garbage tail is appended: corruption can only
@@ -272,6 +315,7 @@ func FuzzJournalReplay(f *testing.F) {
 		`{"kind":"submit","id":"j1","table":{"name":"t","columns":["A"],"rows":[["x"]]}}`,
 		`{"kind":"start","id":"j1"}`,
 		`{"kind":"end","id":"j1","state":"done"}`,
+		`{"kind":"append","id":"j3","parent":"j1","table":{"name":"t","columns":["A"],"rows":[["y"]]}}`,
 		`{"kind":"checkpoint","jobs":[{"id":"j2","table":{"name":"u"},"state":"queued"}]}`,
 	} {
 		valid = append(valid, encodeFrame([]byte(payload))...)

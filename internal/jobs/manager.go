@@ -49,6 +49,13 @@ var (
 	// summary in their result document survives restarts) and jobs that
 	// failed before producing a report.
 	ErrNoProvenance = errors.New("jobs: no provenance retained for this job")
+	// ErrParentNotDone rejects an append against a job that has not finished
+	// successfully — increments extend a completed report, never a queued,
+	// running, failed or cancelled one (HTTP 409).
+	ErrParentNotDone = errors.New("jobs: parent job is not done")
+	// ErrParentExtended rejects a second append against the same parent:
+	// chains are linear — extend the tip, not an interior job (HTTP 409).
+	ErrParentExtended = errors.New("jobs: parent job already extended; append to the chain tip")
 )
 
 // poisonedError marks a job quarantined by crash-loop detection.
@@ -59,13 +66,23 @@ const poisonedError = "poisoned: job was running across two daemon crashes"
 // Manager.Result.
 type Job struct {
 	id string
-	// table is the parsed table for jobs that will run in this boot; it is
-	// nil for journal-recovered terminal jobs, so status/result paths must
-	// use tableName/rows instead.
+	// table is the parsed table for root jobs that will run in this boot —
+	// or, for journal-recovered terminal root jobs, the replayed submission
+	// kept so an append chain can re-execute from its root. It is nil for
+	// append jobs (their rows live in delta) and for recovered roots whose
+	// submission no longer parses; status/result paths always use
+	// tableName/rows instead.
 	table     *katara.Table
 	tableName string
+	columns   []string
 	rows      int
 	params    Params
+	// parent links an append increment to the job it extends; delta holds
+	// its appended rows. extendedBy points the other way and enforces the
+	// linear-chain rule: a job already extended rejects further appends.
+	parent     string
+	delta      [][]string
+	extendedBy string
 	// pipe is the job's private telemetry pipeline: progress reads it live,
 	// /metrics merges it (exactly once after the job finishes, via the
 	// manager's aggregate).
@@ -121,6 +138,11 @@ type Config struct {
 	// jobs that were running across two consecutive crashes are quarantined
 	// as failed (poisoned) instead of re-entering the crash loop.
 	Replay *Replay
+	// MaxSessions bounds the incremental sessions retained for the append
+	// fast path (default 4). A chain whose session was evicted — or lost to
+	// a restart — still appends correctly: the manager re-executes the chain
+	// from its root submission, which is also the crash-replay path.
+	MaxSessions int
 }
 
 // RecoveryStats summarizes what journal replay did at boot.
@@ -166,9 +188,18 @@ type Manager struct {
 	// ever being counted twice or dropped.
 	aggregate *telemetry.Pipeline
 	recovery  RecoveryStats
+	// realRunner marks the default in-process pipeline runner: only then can
+	// the manager retain a finished job's incremental session for the append
+	// fast path (an injected RunFunc yields no cleaner to retain).
+	realRunner bool
+	// retained maps a chain tip's job ID to the live cleaner whose session
+	// holds that chain's cumulative state; retainedOrder is its LRU list.
+	retained      map[string]*katara.Cleaner
+	retainedOrder []string
+	maxSessions   int
 
 	submitted, completed, failed, cancelled, rejected int64
-	panics, requeued, poisoned                        int64
+	panics, requeued, poisoned, appended              int64
 	running                                           int64
 }
 
@@ -180,15 +211,22 @@ func NewManager(cfg Config) *Manager {
 	if cfg.MaxQueue <= 0 {
 		cfg.MaxQueue = 64
 	}
+	realRunner := cfg.Run == nil
 	if cfg.Run == nil {
 		cfg.Run = runClean
 	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 4
+	}
 	m := &Manager{
-		cfg:       cfg,
-		journal:   cfg.Journal,
-		maxQueue:  cfg.MaxQueue,
-		jobs:      make(map[string]*Job),
-		aggregate: telemetry.New(),
+		cfg:         cfg,
+		journal:     cfg.Journal,
+		maxQueue:    cfg.MaxQueue,
+		jobs:        make(map[string]*Job),
+		aggregate:   telemetry.New(),
+		realRunner:  realRunner,
+		retained:    make(map[string]*katara.Cleaner),
+		maxSessions: cfg.MaxSessions,
 	}
 	requeue, endDocs := m.recover(cfg.Replay)
 	// The channel is sized past MaxQueue when recovery re-queues more jobs
@@ -224,7 +262,9 @@ func (m *Manager) recover(rep *Replay) (requeue []*Job, endDocs []ResultDoc) {
 		rj := &rep.Jobs[i]
 		job := &Job{
 			id:        rj.ID,
+			parent:    rj.Parent,
 			tableName: rj.Table.Name,
+			columns:   rj.Table.Columns,
 			rows:      len(rj.Table.Rows),
 			params:    rj.Params,
 			pipe:      telemetry.New(),
@@ -253,6 +293,13 @@ func (m *Manager) recover(rep *Replay) (requeue []*Job, endDocs []ResultDoc) {
 			job.absorbed = true
 			close(job.done)
 			m.recovery.Terminal++
+			// Keep the replayed rows in runnable form: a root's table (or an
+			// append's delta) is the chain history a later append re-executes.
+			if rj.Parent == "" {
+				job.table, _ = rj.Table.Table()
+			} else {
+				job.delta = rj.Table.Rows
+			}
 		case rj.Starts >= 2:
 			// The job was running when two consecutive boots died: break
 			// the crash loop instead of re-queuing it a third time.
@@ -260,16 +307,20 @@ func (m *Manager) recover(rep *Replay) (requeue []*Job, endDocs []ResultDoc) {
 			m.poisoned++
 			m.recovery.Poisoned++
 		default:
-			tbl, err := rj.Table.Table()
-			if err != nil {
-				// A submit record that replays but no longer parses —
-				// quarantine rather than crash or silently drop.
-				quarantine(ResultDoc{ID: rj.ID, State: StateFailed, Error: "journal replay: " + err.Error()})
-				m.recovery.Poisoned++
-				break
+			if rj.Parent == "" {
+				tbl, err := rj.Table.Table()
+				if err != nil {
+					// A submit record that replays but no longer parses —
+					// quarantine rather than crash or silently drop.
+					quarantine(ResultDoc{ID: rj.ID, State: StateFailed, Error: "journal replay: " + err.Error()})
+					m.recovery.Poisoned++
+					break
+				}
+				job.table = tbl
+			} else {
+				job.delta = rj.Table.Rows
 			}
 			ctx, cancel := context.WithCancel(context.Background())
-			job.table = tbl
 			job.ctx = ctx
 			job.cancel = cancel
 			job.state = StateQueued
@@ -280,6 +331,16 @@ func (m *Manager) recover(rep *Replay) (requeue []*Job, endDocs []ResultDoc) {
 		}
 		m.jobs[job.id] = job
 		m.order = append(m.order, job.id)
+	}
+	// Rebuild the linear-chain bookkeeping so a restarted daemon keeps
+	// rejecting appends against interior jobs.
+	for _, id := range m.order {
+		job := m.jobs[id]
+		if job.parent != "" {
+			if parent := m.jobs[job.parent]; parent != nil {
+				parent.extendedBy = job.id
+			}
+		}
 	}
 	return requeue, endDocs
 }
@@ -292,14 +353,15 @@ func (m *Manager) Recovery() RecoveryStats {
 	return m.recovery
 }
 
-// runClean is the real runner: clone the pristine KB (per-job enrichment
-// isolation), build a cleaner and run the sharded pipeline. Every daemon
-// job records provenance — the audit layer is part of the service contract
-// (the report carries the recorder back for /explain and the result audit).
-func runClean(ctx context.Context, kb *katara.KB, tbl *katara.Table, p Params, pipe *telemetry.Pipeline) (*katara.Report, error) {
+// buildCleaner assembles the real per-job cleaner: a clone of the pristine
+// KB (per-job enrichment isolation), provenance recording (the audit layer
+// is part of the service contract), and an incremental session so a later
+// append can extend the run instead of re-cleaning everything.
+func buildCleaner(kb *katara.KB, p Params, pipe *telemetry.Pipeline) *katara.Cleaner {
 	opts := p.Options()
 	opts.Pipeline = pipe
 	opts.Provenance = katara.NewProvenance()
+	opts.Incremental = true
 	if p.FaultRate > 0 {
 		opts.Transport = katara.NewFaultInjector(katara.FaultConfig{
 			Seed:          1,
@@ -308,8 +370,13 @@ func runClean(ctx context.Context, kb *katara.KB, tbl *katara.Table, p Params, p
 			SpamRate:      p.FaultRate * 0.25,
 		})
 	}
-	cleaner := katara.NewCleaner(kb.Clone(), katara.TrustingCrowd(), opts)
-	return cleaner.CleanContext(ctx, tbl)
+	return katara.NewCleaner(kb.Clone(), katara.TrustingCrowd(), opts)
+}
+
+// runClean is the real RunFunc: build the per-job cleaner and run the
+// sharded pipeline.
+func runClean(ctx context.Context, kb *katara.KB, tbl *katara.Table, p Params, pipe *telemetry.Pipeline) (*katara.Report, error) {
+	return buildCleaner(kb, p, pipe).CleanContext(ctx, tbl)
 }
 
 // Submit validates, registers, durably journals and enqueues a job. It
@@ -361,6 +428,7 @@ func (m *Manager) Submit(tbl *katara.Table, p Params) (string, error) {
 		id:        id,
 		table:     tbl,
 		tableName: tbl.Name,
+		columns:   tbl.Columns,
 		rows:      tbl.NumRows(),
 		params:    p,
 		pipe:      telemetry.New(),
@@ -391,6 +459,119 @@ func (m *Manager) Submit(tbl *katara.Table, p Params) (string, error) {
 	m.submitted++
 	// Non-blocking by construction: the reservation guaranteed a slot, and
 	// the channel is never smaller than MaxQueue.
+	m.queue <- job
+	m.mu.Unlock()
+	return id, nil
+}
+
+// Append validates, registers, durably journals and enqueues an incremental
+// extension of a finished job: the delta rows are cleaned against the
+// parent's cumulative session (or the chain is re-executed from its root
+// when the session is gone), and the new job's result is the cumulative
+// report over every row of the chain. The parent must be done and
+// un-extended — chains are linear; extend the tip. Like Submit, a returned
+// ID means the increment is on stable storage and survives any crash.
+func (m *Manager) Append(parentID string, rows [][]string) (string, error) {
+	if len(rows) == 0 {
+		return "", &ValidationError{Problems: []string{"append needs at least one row"}}
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return "", ErrClosed
+	}
+	if m.draining {
+		m.mu.Unlock()
+		return "", ErrDraining
+	}
+	parent, ok := m.jobs[parentID]
+	if !ok {
+		m.mu.Unlock()
+		return "", ErrUnknownJob
+	}
+	if parent.state != StateDone {
+		m.mu.Unlock()
+		return "", fmt.Errorf("%w (%s is %s)", ErrParentNotDone, parentID, parent.state)
+	}
+	if parent.extendedBy != "" {
+		m.mu.Unlock()
+		return "", fmt.Errorf("%w (%s extended by %s)", ErrParentExtended, parentID, parent.extendedBy)
+	}
+	for i, row := range rows {
+		if len(row) != len(parent.columns) {
+			m.mu.Unlock()
+			return "", &ValidationError{Problems: []string{
+				fmt.Sprintf("append row %d has %d cells, want %d", i, len(row), len(parent.columns)),
+			}}
+		}
+	}
+	if len(m.queue)+m.pendingEnq >= m.maxQueue {
+		m.rejected++
+		m.mu.Unlock()
+		return "", ErrQueueFull
+	}
+	// Reserve the queue slot, the ID and the chain link before unlocking, so
+	// a racing append on the same parent conflicts instead of forking the
+	// chain; all three are rolled back if the journal or shutdown interferes.
+	m.pendingEnq++
+	m.nextID++
+	id := fmt.Sprintf("j%d", m.nextID)
+	parent.extendedBy = id
+	p := parent.params
+	name, columns := parent.tableName, parent.columns
+	m.mu.Unlock()
+
+	rollback := func() {
+		m.mu.Lock()
+		m.pendingEnq--
+		if parent.extendedBy == id {
+			parent.extendedBy = ""
+		}
+		m.mu.Unlock()
+	}
+	// Durable before acknowledged, exactly like Submit.
+	if err := m.journal.RecordAppend(id, parentID, TableDoc{Name: name, Columns: columns, Rows: rows}); err != nil {
+		rollback()
+		return "", fmt.Errorf("jobs: journal append: %w", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	job := &Job{
+		id:        id,
+		parent:    parentID,
+		delta:     rows,
+		tableName: name,
+		columns:   columns,
+		rows:      len(rows),
+		params:    p,
+		pipe:      telemetry.New(),
+		ctx:       ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+
+	m.mu.Lock()
+	m.pendingEnq--
+	if m.closed || m.draining {
+		err := ErrClosed
+		if !m.closed {
+			err = ErrDraining
+		}
+		if parent.extendedBy == id {
+			parent.extendedBy = ""
+		}
+		m.mu.Unlock()
+		cancel()
+		_ = m.journal.RecordEnd(ResultDoc{ID: id, State: StateCancelled, Error: err.Error()})
+		return "", err
+	}
+	m.jobs[id] = job
+	m.order = append(m.order, id)
+	m.submitted++
+	m.appended++
 	m.queue <- job
 	m.mu.Unlock()
 	return id, nil
@@ -444,7 +625,13 @@ func (m *Manager) worker() {
 		job.resultDoc = &doc
 		job.cancel()
 		close(job.done)
+		terminal := job.state
 		m.mu.Unlock()
+		if terminal != StateDone {
+			// A failed or cancelled run may have left its session dirty;
+			// appends against it are rejected anyway (parent must be done).
+			m.dropRetained(job.id)
+		}
 		// The terminal record is synced so the result survives a restart;
 		// losing the race against a crash only means the job re-runs, and
 		// results are deterministic.
@@ -474,8 +661,121 @@ func (m *Manager) runJob(job *Job) (rep *katara.Report, err error) {
 		rep = nil
 		err = fmt.Errorf("panic: %v", r)
 	}()
-	return m.cfg.Run(job.ctx, m.cfg.KB, job.table, job.params, job.pipe)
+	return m.execute(job)
 }
+
+// execute dispatches one job to its runner. Root jobs run the configured
+// RunFunc — with the default in-process runner, the cleaner is retained
+// afterwards so the chain's next append can reuse its live session. Append
+// jobs extend the retained session when it survives, and otherwise re-execute
+// the whole chain from the root submission — the same path a journal-replayed
+// append takes after a crash, so the two produce byte-identical results.
+func (m *Manager) execute(job *Job) (*katara.Report, error) {
+	if job.parent == "" {
+		if !m.realRunner {
+			return m.cfg.Run(job.ctx, m.cfg.KB, job.table, job.params, job.pipe)
+		}
+		cl := buildCleaner(m.cfg.KB, job.params, job.pipe)
+		rep, err := cl.CleanContext(job.ctx, job.table)
+		if err == nil {
+			m.retain(job.id, cl)
+		}
+		return rep, err
+	}
+	if cl := m.takeRetained(job.parent); cl != nil {
+		// Fast path: the parent's session is live — only the delta is
+		// annotated and repaired.
+		cl.SetPipeline(job.pipe)
+		rep, err := cl.AppendContext(job.ctx, job.delta)
+		if err == nil {
+			m.retain(job.id, cl)
+		}
+		return rep, err
+	}
+	// Slow path: session evicted or lost to a restart. Re-execute the chain —
+	// root Clean, then every delta in order — against a fresh KB clone.
+	root, deltas, err := m.chain(job)
+	if err != nil {
+		return nil, err
+	}
+	cl := buildCleaner(m.cfg.KB, job.params, job.pipe)
+	rep, err := cl.CleanContext(job.ctx, root)
+	for _, delta := range deltas {
+		if err != nil {
+			return nil, err
+		}
+		rep, err = cl.AppendContext(job.ctx, delta)
+	}
+	if err == nil {
+		m.retain(job.id, cl)
+	}
+	return rep, err
+}
+
+// chain resolves an append job's full history: the root submission's table
+// (cloned — the incremental session mutates its table in place) and every
+// delta from the root to this job, in append order.
+func (m *Manager) chain(job *Job) (*katara.Table, [][][]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var deltas [][][]string
+	cur := job
+	for cur.parent != "" {
+		deltas = append(deltas, cur.delta)
+		parent, ok := m.jobs[cur.parent]
+		if !ok {
+			return nil, nil, fmt.Errorf("jobs: append chain broken: %w (%s)", ErrUnknownJob, cur.parent)
+		}
+		cur = parent
+	}
+	if cur.table == nil {
+		return nil, nil, fmt.Errorf("jobs: append chain root %s has no runnable table", cur.id)
+	}
+	for i, j := 0, len(deltas)-1; i < j; i, j = i+1, j-1 {
+		deltas[i], deltas[j] = deltas[j], deltas[i]
+	}
+	return cur.table.Clone(), deltas, nil
+}
+
+// retain parks a finished chain tip's cleaner for the append fast path,
+// evicting the least-recently-retained session past the cap.
+func (m *Manager) retain(id string, cl *katara.Cleaner) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.retained[id]; !ok {
+		m.retainedOrder = append(m.retainedOrder, id)
+	}
+	m.retained[id] = cl
+	for len(m.retainedOrder) > m.maxSessions {
+		evict := m.retainedOrder[0]
+		m.retainedOrder = m.retainedOrder[1:]
+		delete(m.retained, evict)
+	}
+}
+
+// takeRetained claims (and removes) the retained session for id. Ownership
+// transfers to the caller: the linear-chain rule means at most one append
+// job ever claims a given tip.
+func (m *Manager) takeRetained(id string) *katara.Cleaner {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cl, ok := m.retained[id]
+	if !ok {
+		return nil
+	}
+	delete(m.retained, id)
+	for i, rid := range m.retainedOrder {
+		if rid == id {
+			m.retainedOrder = append(m.retainedOrder[:i], m.retainedOrder[i+1:]...)
+			break
+		}
+	}
+	return cl
+}
+
+// dropRetained discards a job's retained session, if any — a failed or
+// cancelled job's session may be dirty and must not serve appends.
+func (m *Manager) dropRetained(id string) { m.takeRetained(id) }
 
 // absorbLocked folds a finished job's pipeline into the aggregate, exactly
 // once. Callers hold m.mu.
@@ -573,7 +873,9 @@ func (m *Manager) Drain(timeout time.Duration) bool {
 // progress — the per-job generalization of the single-run /progress
 // endpoint.
 type JobStatus struct {
-	ID     string `json:"id"`
+	ID string `json:"id"`
+	// Parent is set on append increments: the job this one extends.
+	Parent string `json:"parent,omitempty"`
 	Table  string `json:"table"`
 	Rows   int    `json:"rows"`
 	State  State  `json:"state"`
@@ -592,6 +894,7 @@ type JobStatus struct {
 func (m *Manager) statusLocked(job *Job) JobStatus {
 	st := JobStatus{
 		ID:          job.id,
+		Parent:      job.parent,
 		Table:       job.tableName,
 		Rows:        job.rows,
 		State:       job.state,
@@ -775,6 +1078,8 @@ func (m *Manager) WriteMetrics(w io.Writer) error {
 	submitted, completed, failed := m.submitted, m.completed, m.failed
 	cancelled, rejected, running := m.cancelled, m.rejected, m.running
 	panics, requeued, poisoned := m.panics, m.requeued, m.poisoned
+	appended := m.appended
+	sessions := int64(len(m.retained))
 	queued := int64(len(m.queue))
 	var draining int64
 	if m.draining {
@@ -799,6 +1104,8 @@ func (m *Manager) WriteMetrics(w io.Writer) error {
 	counter("katarad_jobs_panics_total", "Job panics converted into failed jobs instead of daemon crashes.", panics)
 	counter("katarad_jobs_requeued_total", "Jobs re-queued from the journal at boot.", requeued)
 	counter("katarad_jobs_poisoned_total", "Jobs quarantined at boot after crashing the daemon twice.", poisoned)
+	counter("katarad_jobs_appended_total", "Append increments accepted against finished jobs.", appended)
+	gauge("katarad_sessions_retained", "Incremental sessions held for the append fast path.", sessions)
 	gauge("katarad_jobs_running", "Jobs currently executing.", running)
 	gauge("katarad_jobs_queued", "Jobs waiting in the queue.", queued)
 	gauge("katarad_draining", "1 while the daemon is draining for graceful shutdown.", draining)

@@ -1,9 +1,9 @@
 package jobs
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
-	"bytes"
 	"errors"
 	"math/rand"
 	"testing"

@@ -53,6 +53,13 @@ type SubmitResponse struct {
 	State State  `json:"state"`
 }
 
+// AppendRequest is the POST /jobs/{id}/append body: the delta rows to clean
+// incrementally against the finished parent job. Parameters are inherited
+// from the chain; the response is a SubmitResponse for the new increment job.
+type AppendRequest struct {
+	Rows [][]string `json:"rows"`
+}
+
 // errorDoc is the JSON error body every non-2xx response carries.
 type errorDoc struct {
 	Error string `json:"error"`
@@ -90,6 +97,10 @@ var sseInterval = 25 * time.Millisecond
 //
 //	POST /jobs               submit a job (202; 400 invalid, 413 oversized,
 //	                         429 queue full + Retry-After, 503 draining)
+//	POST /jobs/{id}/append   extend a finished job with delta rows, cleaned
+//	                         incrementally (202 with the increment's job ID;
+//	                         400 invalid, 404 unknown, 409 parent not done or
+//	                         already extended, 429 queue full, 503 draining)
 //	GET  /jobs               list all jobs
 //	GET  /jobs/{id}          one job's status and live progress
 //	GET  /jobs/{id}/result   the finished job's report (409 until terminal)
@@ -151,6 +162,42 @@ func newHandler(m *Manager, maxBody int64) http.Handler {
 		case errors.Is(err, ErrDraining):
 			// The daemon is going down gracefully; a replacement boot will
 			// accept the retry.
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, err)
+		case errors.Is(err, ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, err)
+		default:
+			writeError(w, http.StatusBadRequest, err)
+		}
+	})
+	mux.HandleFunc("POST /jobs/{id}/append", func(w http.ResponseWriter, r *http.Request) {
+		var req AppendRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+		if err := dec.Decode(&req); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeError(w, http.StatusRequestEntityTooLarge,
+					fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+				return
+			}
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
+			return
+		}
+		id, err := m.Append(r.PathValue("id"), req.Rows)
+		switch {
+		case err == nil:
+			writeJSON(w, http.StatusAccepted, SubmitResponse{ID: id, State: StateQueued})
+		case errors.Is(err, ErrUnknownJob):
+			writeError(w, http.StatusNotFound, err)
+		case errors.Is(err, ErrParentNotDone), errors.Is(err, ErrParentExtended):
+			// The chain is not extendable right now (or ever, at this link):
+			// conflict, not client error — poll the parent, or append to the
+			// chain tip.
+			writeError(w, http.StatusConflict, err)
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrDraining):
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusServiceUnavailable, err)
 		case errors.Is(err, ErrClosed):

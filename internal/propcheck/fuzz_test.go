@@ -1,0 +1,87 @@
+package propcheck
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"katara"
+)
+
+// fuzzScenarios caches Generate output per seed so the fuzzer's hot loop
+// pays world/KB construction once per seed, not once per exec. Scenarios are
+// read-only after Generate (every run clones the KB, and the chain runner
+// copies table rows into the session), so sharing across fuzz workers is safe.
+var fuzzScenarios sync.Map // int64 -> *Scenario
+
+func fuzzScenario(seed int64) *Scenario {
+	if sc, ok := fuzzScenarios.Load(seed); ok {
+		return sc.(*Scenario)
+	}
+	sc, _ := fuzzScenarios.LoadOrStore(seed, Generate(seed))
+	return sc.(*Scenario)
+}
+
+// FuzzAppendEquivalence fuzzes the incremental ≡ batch invariant directly:
+// take a generated scenario, let the fuzzer rewrite table cells and pick the
+// split point, then require that Clean(prefix) + Append(rest) matches one
+// batch Clean of the same table on CanonicalSemantic — or fails with the
+// same error. The cell rewrites push the table away from the generator's
+// well-formed distributions (duplicated values across rows, junk tokens,
+// emptied cells), hunting for states where the session's memo replay or
+// repair re-ranking silently diverges from the batch pipeline.
+func FuzzAppendEquivalence(f *testing.F) {
+	f.Add(int64(1), uint16(3), []byte{})
+	f.Add(int64(2), uint16(0), []byte{0, 1, 5})
+	f.Add(int64(5), uint16(9), []byte{7, 2, 200, 1, 0, 9})
+	f.Add(int64(9), uint16(40), []byte{3, 3, 3, 250, 250, 250})
+	f.Add(int64(12), uint16(17), []byte{0, 0, 0, 1, 1, 1, 2, 2, 2})
+	f.Fuzz(func(t *testing.T, seed int64, split uint16, perturb []byte) {
+		// Bound the seed range so the scenario cache stays small and the
+		// fuzzer spends its budget on table mutations, not world generation.
+		seed = ((seed % 16) + 16) % 16
+		if seed == 0 {
+			seed = 16
+		}
+		sc := fuzzScenario(seed)
+		dirty := sc.Dirty.Clone()
+		n, cols := dirty.NumRows(), dirty.NumCols()
+		if n < 2 {
+			t.Skip("single-row scenario")
+		}
+		// Each 3-byte chunk rewrites one cell: row, column, and either a value
+		// copied from another row in the same column (collisions, conflicting
+		// duplicates) or a synthetic junk token; byte 255 empties the cell.
+		for i := 0; i+2 < len(perturb) && i < 3*24; i += 3 {
+			r := int(perturb[i]) % n
+			c := int(perturb[i+1]) % cols
+			switch b := perturb[i+2]; {
+			case b == 255:
+				dirty.Rows[r][c] = ""
+			case b < 128:
+				dirty.Rows[r][c] = dirty.Rows[int(b)%n][c]
+			default:
+				dirty.Rows[r][c] = fmt.Sprintf("fz-%d", b)
+			}
+		}
+		cut := 1 + int(split)%(n-1)
+
+		bcl, _ := sc.NewCleaner(RunConfig{Workers: 1}, false, nil)
+		want, werr := bcl.Clean(dirty)
+		got, gerr := runIncrementalChain(sc, dirty, RunConfig{Workers: 1}, []int{cut}, nil, -1)
+		if gerr != nil && !errors.Is(gerr, katara.ErrNoPattern) {
+			t.Fatalf("incremental chain split=%d: %v", cut, gerr)
+		}
+		if err := sameOutcome(want, werr, got, gerr); err != nil {
+			t.Fatalf("incremental vs batch outcome split=%d: %v", cut, err)
+		}
+		if werr != nil {
+			return
+		}
+		if w, g := CanonicalSemantic(want), CanonicalSemantic(got); !bytes.Equal(w, g) {
+			t.Fatalf("incremental report diverges from batch at split=%d\n%s", cut, canonicalDiff(w, g))
+		}
+	})
+}

@@ -137,8 +137,26 @@ func newOracleCrowd() *crowd.Crowd {
 // because rdf.Store.Clone renumbers term IDs and the oracles must answer
 // in the cleaned store's ID space.
 func (s *Scenario) Run(cfg RunConfig) (*katara.Report, *rdf.Store, error) {
+	cl, store := s.NewCleaner(cfg, false, nil)
+	rep, err := cl.Clean(s.Dirty)
+	return rep, store, err
+}
+
+// NewCleaner builds the configured cleaner over a fresh clone of the
+// pristine KB. With incremental the cleaner keeps a session alive for
+// Append/ApplyKBDelta; preAdds are merged into the clone before the cleaner
+// sees it — the rebuild-from-merged-KB oracle the incremental KB-delta
+// differential compares against.
+func (s *Scenario) NewCleaner(cfg RunConfig, incremental bool, preAdds []katara.KBAddition) (*katara.Cleaner, *rdf.Store) {
 	kb := s.KB.Clone()
 	store := kb.Store
+	for _, a := range preAdds {
+		obj := rdf.IRI(a.Object)
+		if a.Literal {
+			obj = rdf.Lit(a.Object)
+		}
+		store.AddFact(rdf.IRI(a.Subject), rdf.IRI(a.Predicate), obj)
+	}
 
 	var transport crowd.Transport = oracleTransport{}
 	if cfg.Faults {
@@ -182,10 +200,9 @@ func (s *Scenario) Run(cfg RunConfig) (*katara.Report, *rdf.Store, error) {
 	if cfg.Provenance {
 		opts.Provenance = katara.NewProvenance()
 	}
+	opts.Incremental = incremental
 
-	cl := katara.NewCleaner(store, cr, opts)
-	rep, err := cl.Clean(s.Dirty)
-	return rep, store, err
+	return katara.NewCleaner(store, cr, opts), store
 }
 
 // SeedResult summarizes one RunSeed for test logging.
@@ -343,6 +360,14 @@ func RunSeed(seed int64) (*SeedResult, error) {
 	}
 
 	res.Erroneous = len(erroneousRows(rep))
+
+	// Incremental differential: chained Clean+Append sessions across the
+	// worker/shard/dedup configurations, ApplyKBDelta vs merged-KB rebuild,
+	// and a mixed Clean→delta→Append chain — all must match the batch run
+	// over the merged inputs on CanonicalSemantic (see checkIncremental).
+	if err := checkIncremental(sc, res, rep); err != nil {
+		return res, fmt.Errorf("incremental: %w", err)
+	}
 
 	// Per-run invariants on the baseline report.
 	if err := checkAnnotationPartition(sc, rep, false, 0); err != nil {

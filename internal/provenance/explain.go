@@ -221,6 +221,7 @@ type Audit struct {
 	RepairConfidence    map[string]int `json:"repair_confidence"`
 	Questions           int            `json:"questions"`
 	RepairedRows        int            `json:"repaired_rows"`
+	Drifts              []DriftEvent   `json:"drifts,omitempty"`
 }
 
 // Confidence histogram bucket labels, from a lone candidate (nothing to
@@ -246,6 +247,7 @@ func (r *Recorder) BuildAudit() *Audit {
 		RepairConfidence:    map[string]int{},
 		Questions:           len(r.questions),
 		Rows:                len(r.rowUnit),
+		Drifts:              append([]DriftEvent(nil), r.drifts...),
 	}
 	annotated := 0
 	for _, u := range sortedUnits(r.tuples) {

@@ -119,6 +119,16 @@ type RepairRecord struct {
 	Candidates []Candidate `json:"candidates"`
 }
 
+// DriftEvent records one pattern-drift detection during incremental
+// cleaning: an appended sample shifted a validation decision context (or
+// demoted the validated pattern below its runner-up), forcing a full
+// re-validation instead of delta reuse.
+type DriftEvent struct {
+	Seq    int    `json:"seq"`    // 1-based order of detection in the session
+	Reason string `json:"reason"` // what the drift detector observed
+	Rows   int    `json:"rows"`   // table size at detection time
+}
+
 // Recorder accumulates one run's evidence lineage. The zero value is ready
 // to use; nil means disabled. Methods are safe for concurrent use, but
 // question IDs are only assigned by the recorder the crowd asks through
@@ -135,6 +145,7 @@ type Recorder struct {
 	questions []Question
 	tuples    map[int]*Tuple
 	repairs   map[int]*RepairRecord
+	drifts    []DriftEvent
 	nextQID   int64
 }
 
@@ -224,6 +235,29 @@ func (r *Recorder) RecordValidationStep(variable string, entropy float64, questi
 		Answer:    answer,
 		Degraded:  degraded,
 	})
+}
+
+// RecordDrift records one pattern-drift detection (incremental cleaning's
+// lazy re-validation trigger). Unlike the per-run evidence, drift events
+// survive Reset only through the caller re-recording them — each Append pass
+// accumulates into the same session recorder, so they build up naturally.
+func (r *Recorder) RecordDrift(reason string, rows int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.drifts = append(r.drifts, DriftEvent{Seq: len(r.drifts) + 1, Reason: reason, Rows: rows})
+}
+
+// Drifts returns the recorded drift events in detection order.
+func (r *Recorder) Drifts() []DriftEvent {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]DriftEvent(nil), r.drifts...)
 }
 
 // StartQuestion opens a question record and returns its ID (IDs are 1-based
@@ -414,7 +448,9 @@ func (r *Recorder) Merge(child *Recorder) {
 }
 
 // Reset clears all recorded evidence (the run-level recorder is reused when
-// a cleaner retries discovery).
+// a cleaner retries discovery). Drift events are deliberately kept: they are
+// session-scoped, and the full re-clean a drift triggers Resets the recorder
+// for its own run-level evidence.
 func (r *Recorder) Reset() {
 	if r == nil {
 		return

@@ -92,7 +92,21 @@ type Store struct {
 	labelIndex map[string][]ID
 	fuzzy      *similarity.Index
 	fuzzyIDs   []ID // fuzzy index slot -> resource ID
+
+	// Bounded log of recently indexed labels (normalised), so layered caches
+	// can invalidate per label instead of flushing wholesale. labelLog[i]
+	// records the label whose indexing bumped labelGen to labelLogBase+i+1;
+	// the log drops its older half once it outgrows maxLabelLog, and
+	// LabelsSince reports the truncation so callers fall back to a full
+	// flush.
+	labelLog     []string
+	labelLogBase uint64
 }
+
+// maxLabelLog bounds the label log; above it the older half is dropped.
+// Enrichment runs add labels in small bursts, so any live cache syncs long
+// before the window slides past it.
+const maxLabelLog = 8192
 
 type pair struct{ p, o ID }
 
@@ -198,6 +212,12 @@ func (s *Store) Add(sub, pred, obj ID) bool {
 			s.labelIndex[norm] = append(s.labelIndex[norm], sub)
 			s.fuzzy.Add(s.terms[obj].Value)
 			s.fuzzyIDs = append(s.fuzzyIDs, sub)
+			if len(s.labelLog) >= maxLabelLog {
+				drop := len(s.labelLog) / 2
+				s.labelLog = append(s.labelLog[:0], s.labelLog[drop:]...)
+				s.labelLogBase += uint64(drop)
+			}
+			s.labelLog = append(s.labelLog, norm)
 			s.labelGen++
 		}
 	}
@@ -288,6 +308,18 @@ func (s *Store) ForEachTriple(f func(Triple)) {
 	}
 }
 
+// LabelsSince returns the normalised labels indexed after generation gen (in
+// indexing order), for per-label cache invalidation. ok is false when the
+// bounded log has already dropped part of that window — the caller must fall
+// back to a full flush. gen beyond the current generation reports as
+// truncated rather than panicking.
+func (s *Store) LabelsSince(gen uint64) (labels []string, ok bool) {
+	if gen > s.labelGen || gen < s.labelLogBase {
+		return nil, false
+	}
+	return s.labelLog[gen-s.labelLogBase:], true
+}
+
 // Clone returns a deep copy of the store. Term IDs are not preserved across
 // the copy; look terms up by value in the clone.
 func (s *Store) Clone() *Store {
@@ -295,6 +327,62 @@ func (s *Store) Clone() *Store {
 	s.ForEachTriple(func(t Triple) {
 		out.AddFact(s.terms[t.S], s.terms[t.P], s.terms[t.O])
 	})
+	return out
+}
+
+// CloneExact returns a deep copy of the store that PRESERVES term IDs — the
+// clone interns exactly the same terms at exactly the same IDs and holds
+// exactly the same triples, so IDs (and any structure built on them:
+// patterns, label matches, repair graphs) are interchangeable between the
+// two stores. Incremental cleaning snapshots the pre-enrichment KB this way:
+// because enrichment only appends terms, the snapshot's terms stay a prefix
+// of the live store's and every snapshot ID remains valid in both.
+//
+// Hierarchy closures are left cold (they rebuild lazily on first use);
+// everything else — including the label log and all generation counters — is
+// copied, so caches keyed on generations resume seamlessly.
+func (s *Store) CloneExact() *Store {
+	out := &Store{
+		terms:           append([]Term(nil), s.terms...),
+		lookup:          make(map[Term]ID, len(s.lookup)),
+		pso:             cloneIndex(s.pso),
+		pos:             cloneIndex(s.pos),
+		sp:              make(map[ID][]pair, len(s.sp)),
+		ntriples:        s.ntriples,
+		TypeID:          s.TypeID,
+		LabelID:         s.LabelID,
+		SubClassOfID:    s.SubClassOfID,
+		SubPropertyOfID: s.SubPropertyOfID,
+		gen:             s.gen,
+		labelGen:        s.labelGen,
+		labelIndex:      make(map[string][]ID, len(s.labelIndex)),
+		fuzzy:           s.fuzzy.Clone(),
+		fuzzyIDs:        append([]ID(nil), s.fuzzyIDs...),
+		labelLog:        append([]string(nil), s.labelLog...),
+		labelLogBase:    s.labelLogBase,
+	}
+	for t, id := range s.lookup {
+		out.lookup[t] = id
+	}
+	for su, pairs := range s.sp {
+		out.sp[su] = append([]pair(nil), pairs...)
+	}
+	for norm, ids := range s.labelIndex {
+		out.labelIndex[norm] = append([]ID(nil), ids...)
+	}
+	return out
+}
+
+// cloneIndex deep-copies a pso/pos-shaped two-level index.
+func cloneIndex(ix map[ID]map[ID][]ID) map[ID]map[ID][]ID {
+	out := make(map[ID]map[ID][]ID, len(ix))
+	for p, by := range ix {
+		m := make(map[ID][]ID, len(by))
+		for k, ids := range by {
+			m[k] = append([]ID(nil), ids...)
+		}
+		out[p] = m
+	}
 	return out
 }
 

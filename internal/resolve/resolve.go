@@ -46,11 +46,26 @@ type Cache struct {
 	threshold float64
 
 	gen     atomic.Uint64 // label generation the memo was built against
-	flushMu sync.Mutex    // serialises flushes so racing readers flush once
+	flushMu sync.Mutex    // serialises syncs so racing readers sync once
 
 	shards [shardCount]shard
 
+	// Reverse index over memoised keys, for per-label invalidation: given a
+	// newly indexed label, a relaxed trigram probe finds every cached value
+	// the label could now match (see sync). keysIx is single-writer
+	// (similarity.Index.Add is not concurrency-safe), so keysMu serialises
+	// both registration and probes; keys are never removed — the index is a
+	// monotone over-approximation of the live memo, and deleting a key that
+	// has already been evicted is a no-op.
+	keysMu   sync.Mutex
+	keysIx   *similarity.Index
+	keysSeen map[string]bool
+
 	hits, misses atomic.Int64
+	// invalidations counts individually evicted memo entries; flushes counts
+	// wholesale memo rebuilds (the fallback when the store's bounded label
+	// log has slid past our generation).
+	invalidations, flushes atomic.Int64
 
 	// tel is the pipeline observing resolver latency for the current run.
 	// The cache outlives individual runs (cmd/kexp shares one across
@@ -62,7 +77,7 @@ type Cache struct {
 // New returns a cache over kb resolving at the given threshold. Lookups at a
 // different threshold bypass the memo (see MatchLabel).
 func New(kb *rdf.Store, threshold float64) *Cache {
-	c := &Cache{kb: kb, threshold: threshold}
+	c := &Cache{kb: kb, threshold: threshold, keysIx: similarity.NewIndex(), keysSeen: make(map[string]bool)}
 	c.gen.Store(kb.LabelGen())
 	for i := range c.shards {
 		c.shards[i].m = make(map[string][]rdf.LabelMatch)
@@ -121,19 +136,46 @@ func (c *Cache) Resolve(value string) []rdf.LabelMatch {
 	mSpan.End()
 	tel.ObserveSince(telemetry.HistResolverLookup, mStart)
 	sh.mu.Lock()
+	inserted := false
 	if prior, ok := sh.m[key]; ok {
 		matches = prior // another goroutine raced us; keep one canonical slice
 	} else {
 		sh.m[key] = matches
+		inserted = true
 	}
 	sh.mu.Unlock()
+	if inserted {
+		c.indexKey(key)
+	}
 	return matches
 }
 
-// sync flushes the memo if labels were added to the store since it was
-// built. Label additions happen only in single-writer windows (KB load,
-// annotation enrichment), so readers observing a stale generation here are
-// already synchronized with the writer by the store contract.
+// indexKey registers a memoised key in the reverse invalidation index,
+// exactly once per distinct key over the cache's lifetime.
+func (c *Cache) indexKey(key string) {
+	c.keysMu.Lock()
+	if !c.keysSeen[key] {
+		c.keysSeen[key] = true
+		c.keysIx.Add(key)
+	}
+	c.keysMu.Unlock()
+}
+
+// sync brings the memo up to date if labels were added to the store since it
+// was built. Label additions happen only in single-writer windows (KB load,
+// annotation enrichment, KB deltas), so readers observing a stale generation
+// here are already synchronized with the writer by the store contract.
+//
+// Invalidation is per label: for every label indexed since our generation,
+// evict exactly the memo entries whose answer could have changed — the entry
+// keyed on the label's own normalisation (it now has an exact match) plus
+// every cached value within the score threshold of the new label, found by a
+// relaxed reverse trigram probe (a provable superset of the forward lookup's
+// candidates, see similarity.Index.LookupNormalizedRelaxed). Everything else
+// keeps its memoised answer: a label can only ever ADD matches for values it
+// scores against, so untouched entries are still exact. Only when the
+// store's bounded label log has slid past our generation does the cache fall
+// back to the old wholesale flush.
 func (c *Cache) sync() {
 	labelGen := c.kb.LabelGen()
 	if c.gen.Load() == labelGen {
@@ -141,21 +183,68 @@ func (c *Cache) sync() {
 	}
 	c.flushMu.Lock()
 	defer c.flushMu.Unlock()
-	if c.gen.Load() == labelGen {
-		return // another goroutine flushed while we waited
+	cur := c.gen.Load()
+	if cur == labelGen {
+		return // another goroutine synced while we waited
 	}
-	for i := range c.shards {
-		sh := &c.shards[i]
-		sh.mu.Lock()
-		sh.m = make(map[string][]rdf.LabelMatch)
-		sh.mu.Unlock()
+	labels, ok := c.kb.LabelsSince(cur)
+	if !ok {
+		c.flushes.Add(1)
+		for i := range c.shards {
+			sh := &c.shards[i]
+			sh.mu.Lock()
+			sh.m = make(map[string][]rdf.LabelMatch)
+			sh.mu.Unlock()
+		}
+		c.gen.Store(labelGen)
+		return
+	}
+	for _, norm := range labels {
+		c.invalidateLabel(norm)
 	}
 	c.gen.Store(labelGen)
+}
+
+// invalidateLabel evicts every memo entry the newly indexed label (already
+// normalised) could affect.
+func (c *Cache) invalidateLabel(norm string) {
+	c.keysMu.Lock()
+	cands := c.keysIx.LookupNormalizedRelaxed(norm, c.threshold)
+	keys := make([]string, len(cands))
+	for i, cand := range cands {
+		keys[i] = c.keysIx.Value(cand.ID)
+	}
+	c.keysMu.Unlock()
+	c.evict(norm)
+	for _, key := range keys {
+		if key != norm {
+			c.evict(key)
+		}
+	}
+}
+
+// evict removes one memo entry if present.
+func (c *Cache) evict(key string) {
+	sh := &c.shards[fnvMask(key)]
+	sh.mu.Lock()
+	if _, ok := sh.m[key]; ok {
+		delete(sh.m, key)
+		c.invalidations.Add(1)
+	}
+	sh.mu.Unlock()
 }
 
 // Stats returns the cumulative hit and miss counts.
 func (c *Cache) Stats() (hits, misses int64) {
 	return c.hits.Load(), c.misses.Load()
+}
+
+// SyncStats returns the cumulative per-label invalidation count (memo
+// entries individually evicted) and wholesale flush count (the label-log
+// truncation fallback) — the observability hooks the invalidation
+// regression tests pin.
+func (c *Cache) SyncStats() (invalidations, flushes int64) {
+	return c.invalidations.Load(), c.flushes.Load()
 }
 
 // Len returns the number of memoized values.

@@ -151,3 +151,147 @@ func TestSourceInterface(t *testing.T) {
 		t.Fatalf("Source implementations disagree: %v vs %v", got, want)
 	}
 }
+
+func TestPerLabelInvalidationKeepsUnrelatedEntries(t *testing.T) {
+	kb := newKB(t)
+	c := New(kb, similarity.DefaultThreshold)
+	// Warm the memo with values unrelated to the label we are about to add.
+	warm := []string{"Rome", "Madrid", "Pretoria", "South Africa"}
+	for _, q := range warm {
+		c.Resolve(q)
+	}
+	hits0, _ := c.Stats()
+	// An unrelated enrichment label: shares no similarity with the warm set.
+	kb.AddFact(rdf.IRI("ex:Qux"), rdf.IRI(rdf.IRILabel), rdf.Lit("zzyqwv"))
+	for _, q := range warm {
+		want := kb.MatchLabel(q, similarity.DefaultThreshold)
+		if got := c.Resolve(q); !reflect.DeepEqual(got, want) {
+			t.Fatalf("post-enrichment Resolve(%q) = %v, want %v", q, got, want)
+		}
+	}
+	// Regression: the old cache flushed the whole memo on any LabelGen bump,
+	// so these four lookups were all misses. Per-label invalidation must
+	// keep every unrelated entry memoised.
+	hits1, _ := c.Stats()
+	if hits1-hits0 != int64(len(warm)) {
+		t.Fatalf("unrelated enrichment evicted memo entries: got %d hits across re-resolve, want %d",
+			hits1-hits0, len(warm))
+	}
+	if inv, flushes := c.SyncStats(); inv != 0 || flushes != 0 {
+		t.Fatalf("unrelated label should evict nothing: invalidations=%d flushes=%d", inv, flushes)
+	}
+}
+
+func TestPerLabelInvalidationEvictsAffectedEntries(t *testing.T) {
+	kb := newKB(t)
+	c := New(kb, similarity.DefaultThreshold)
+	// A fuzzy miss that the upcoming label will turn into a hit.
+	if got := c.Resolve("Lisbonne"); len(got) != 0 {
+		t.Fatalf("Lisbonne should not resolve yet: %v", got)
+	}
+	// And an exact-key entry for the label's own normalisation.
+	if got := c.Resolve("Lisbon"); len(got) != 0 {
+		t.Fatalf("Lisbon should not resolve yet: %v", got)
+	}
+	c.Resolve("Madrid") // unrelated; must survive
+	kb.AddFact(rdf.IRI("ex:Lisbon"), rdf.IRI(rdf.IRILabel), rdf.Lit("Lisbon"))
+	for _, q := range []string{"Lisbon", "Lisbonne", "Madrid"} {
+		want := kb.MatchLabel(q, similarity.DefaultThreshold)
+		if got := c.Resolve(q); !reflect.DeepEqual(got, want) {
+			t.Fatalf("post-enrichment Resolve(%q) = %v, want %v", q, got, want)
+		}
+	}
+	if got := c.Resolve("Lisbonne"); len(got) == 0 {
+		t.Fatal("stale miss survived: Lisbonne must now fuzzily match Lisbon")
+	}
+	inv, flushes := c.SyncStats()
+	if inv < 2 {
+		t.Fatalf("expected the exact key and the fuzzy neighbour evicted, invalidations=%d", inv)
+	}
+	if flushes != 0 {
+		t.Fatalf("per-label path must not flush wholesale, flushes=%d", flushes)
+	}
+}
+
+// TestPerLabelInvalidationDifferential pins the correctness contract: after
+// ANY sequence of label additions, every cached answer equals the direct
+// store lookup.
+func TestPerLabelInvalidationDifferential(t *testing.T) {
+	kb := newKB(t)
+	c := New(kb, similarity.DefaultThreshold)
+	queries := []string{
+		"Rome", "Roma", "rome", "Pretorria", "S. Africa", "Madrid",
+		"Lisbon", "Lisbonne", "Porto", "zzz", "", "New Dehli", "entity 3",
+	}
+	adds := []string{"Lisbon", "Porto", "New Delhi", "entity 3", "Rome II", "unrelated qwx"}
+	for _, q := range queries {
+		c.Resolve(q)
+	}
+	for i, label := range adds {
+		kb.AddFact(rdf.IRI(fmt.Sprintf("ex:new%d", i)), rdf.IRI(rdf.IRILabel), rdf.Lit(label))
+		for _, q := range queries {
+			want := kb.MatchLabel(q, similarity.DefaultThreshold)
+			if got := c.Resolve(q); !reflect.DeepEqual(got, want) {
+				t.Fatalf("after adding %q: Resolve(%q) = %v, direct = %v", label, q, got, want)
+			}
+		}
+	}
+}
+
+// TestLabelLogTruncationFallsBackToFlush: once the store's bounded label log
+// slides past the cache's generation, sync must fall back to a wholesale
+// flush — and still be correct.
+func TestLabelLogTruncationFallsBackToFlush(t *testing.T) {
+	kb := newKB(t)
+	c := New(kb, similarity.DefaultThreshold)
+	c.Resolve("Rome")
+	c.Resolve("Madrid")
+	// Push far past the log bound in one quiescent window.
+	for i := 0; i < 9000; i++ {
+		kb.AddFact(rdf.IRI(fmt.Sprintf("ex:bulk%d", i)), rdf.IRI(rdf.IRILabel),
+			rdf.Lit(fmt.Sprintf("bulk label %d", i)))
+	}
+	for _, q := range []string{"Rome", "Madrid", "bulk label 4242"} {
+		want := kb.MatchLabel(q, similarity.DefaultThreshold)
+		if got := c.Resolve(q); !reflect.DeepEqual(got, want) {
+			t.Fatalf("post-truncation Resolve(%q) = %v, want %v", q, got, want)
+		}
+	}
+	if _, flushes := c.SyncStats(); flushes != 1 {
+		t.Fatalf("expected exactly one wholesale flush, got %d", flushes)
+	}
+}
+
+// TestPerLabelInvalidationRace exercises concurrent resolves racing the
+// per-label sync path (run under -race): one goroutine wins flushMu and
+// walks the reverse index while the rest insert fresh entries.
+func TestPerLabelInvalidationRace(t *testing.T) {
+	kb := newKB(t)
+	c := New(kb, similarity.DefaultThreshold)
+	queries := make([]string, 40)
+	for i := range queries {
+		queries[i] = fmt.Sprintf("city %d", i)
+	}
+	for round := 0; round < 8; round++ {
+		// Single-writer window: enrich the KB while resolvers are quiescent.
+		kb.AddFact(rdf.IRI(fmt.Sprintf("ex:c%d", round)), rdf.IRI(rdf.IRILabel),
+			rdf.Lit(fmt.Sprintf("city %d", round)))
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for r := 0; r < 25; r++ {
+					q := queries[(w*25+r)%len(queries)]
+					got := c.Resolve(q)
+					want := kb.MatchLabel(q, similarity.DefaultThreshold)
+					if !reflect.DeepEqual(got, want) {
+						t.Errorf("round %d: Resolve(%q) = %v, want %v", round, q, got, want)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+}

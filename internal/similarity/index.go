@@ -101,6 +101,35 @@ func (ix *Index) Add(s string) int32 {
 // Len returns the number of indexed strings.
 func (ix *Index) Len() int { return len(ix.values) }
 
+// Grow reserves capacity for n additional strings, so a burst of Adds (an
+// incremental append extending the index in place) does not repeatedly
+// reallocate the id-indexed arrays. Growth keeps the single-writer contract:
+// Add calls must still be serialised with each other and with lookups;
+// pre-reserving only makes the quiescent windows between them cheap.
+func (ix *Index) Grow(n int) {
+	if n <= 0 {
+		return
+	}
+	ix.values = append(make([]string, 0, len(ix.values)+n), ix.values...)
+	ix.gramN = append(make([]int32, 0, len(ix.gramN)+n), ix.gramN...)
+}
+
+// Clone returns a deep copy of the index with identical ids — lookups on the
+// clone return exactly the same candidates as on the original. Used by
+// rdf.Store.CloneExact to snapshot the fuzzy label index.
+func (ix *Index) Clone() *Index {
+	out := NewIndex()
+	out.values = append([]string(nil), ix.values...)
+	out.gramN = append([]int32(nil), ix.gramN...)
+	for g, ids := range ix.postings {
+		out.postings[g] = append([]int32(nil), ids...)
+	}
+	for n, ids := range ix.exact {
+		out.exact[n] = append([]int32(nil), ids...)
+	}
+	return out
+}
+
 // Value returns the normalised string stored under id.
 func (ix *Index) Value(id int32) string { return ix.values[id] }
 
@@ -126,6 +155,22 @@ func (ix *Index) Lookup(q string, threshold float64) []Candidate {
 // idempotent (pinned by FuzzSimilarityLookup), so
 // Lookup(q) ≡ LookupNormalized(Normalize(q)) exactly.
 func (ix *Index) LookupNormalized(n string, threshold float64) []Candidate {
+	return ix.lookupNormalized(n, threshold, false)
+}
+
+// LookupNormalizedRelaxed is LookupNormalized with the trigram filter bound
+// forced down to a single shared trigram. Because Score is symmetric and the
+// standard bound is keyed on the QUERY's trigram count, the relaxed probe
+// with the roles swapped is a provable superset: any indexed string that a
+// forward LookupNormalized(v) would surface for some value v shares at least
+// one trigram with v, so probing with the indexed string finds v's trigrams
+// too. The resolve cache uses this for reverse invalidation — given a newly
+// indexed label, find every memoised value the label could now match.
+func (ix *Index) LookupNormalizedRelaxed(n string, threshold float64) []Candidate {
+	return ix.lookupNormalized(n, threshold, true)
+}
+
+func (ix *Index) lookupNormalized(n string, threshold float64, relaxed bool) []Candidate {
 	sc := ix.pool.Get().(*scratch)
 	// Count shared distinct trigrams per candidate; a candidate matching at
 	// Jaccard threshold t over a query trigram set of size Q must share at
@@ -161,7 +206,7 @@ func (ix *Index) LookupNormalized(n string, threshold float64) []Candidate {
 		out = append(out, Candidate{ID: id, Score: 1})
 	}
 	minShared := qGrams / 4
-	if minShared < 1 {
+	if minShared < 1 || relaxed {
 		minShared = 1
 	}
 	for _, id := range sc.touched {

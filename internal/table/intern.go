@@ -129,6 +129,59 @@ func (t *Table) Interned() *Interned {
 	return in
 }
 
+// Extend grows the view in place over rows appended to t since the view was
+// built (or last extended), preserving every existing dictionary code and
+// group ID: after Extend, the view is observationally identical to a fresh
+// t.Interned() — new distinct values take the next free codes and new
+// signatures the next group IDs, both in first-occurrence order, exactly as
+// a from-scratch build over the merged table would assign them. Cost is
+// proportional to the delta, not the table.
+//
+// Extend assumes rectangular rows (every row as wide as the header), the
+// invariant the ingestion paths enforce. It is a write to the view: callers
+// must serialise it against concurrent readers, the same single-writer
+// contract the KB follows between pipeline stages.
+func (in *Interned) Extend(t *Table) {
+	cols := in.cols
+	newRows := len(t.Rows)
+	if newRows <= in.rows {
+		return
+	}
+	// Rebuild the signature map from each group's representative codes; the
+	// construction pass deliberately does not retain it.
+	sig := make([]byte, 4*cols)
+	byKey := make(map[string]int32, len(in.groups))
+	for g := range in.groups {
+		base := in.groups[g].Rep * cols
+		for j := 0; j < cols; j++ {
+			binary.LittleEndian.PutUint32(sig[4*j:], uint32(in.codes[base+j]))
+		}
+		byKey[string(sig)] = int32(g)
+	}
+	in.codes = append(in.codes, make([]int32, (newRows-in.rows)*cols)...)
+	for i := in.rows; i < newRows; i++ {
+		row := t.Rows[i]
+		base := i * cols
+		for j := 0; j < cols && j < len(row); j++ {
+			code := in.dicts[j].intern(row[j])
+			in.codes[base+j] = code
+			binary.LittleEndian.PutUint32(sig[4*j:], uint32(code))
+		}
+		g, ok := byKey[string(sig)]
+		if !ok {
+			g = int32(len(in.groups))
+			byKey[string(sig)] = g
+			in.groups = append(in.groups, Group{Rep: i})
+		}
+		in.groupOf = append(in.groupOf, g)
+		// Existing groups' member lists were carved capacity-capped from the
+		// build's flat arena, so appending reallocates the touched group's
+		// backing without clobbering its neighbours.
+		in.groups[g].Rows = append(in.groups[g].Rows, i)
+	}
+	in.rows = newRows
+}
+
 // NumRows returns the number of rows the view covers.
 func (in *Interned) NumRows() int { return in.rows }
 

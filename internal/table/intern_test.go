@@ -3,6 +3,7 @@ package table
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 	"testing"
 )
 
@@ -191,5 +192,55 @@ func TestCompactPreservesCells(t *testing.T) {
 	diff, err := tb.Diff(orig)
 	if err != nil || len(diff) != 0 {
 		t.Fatalf("Compact changed cells: diff=%v err=%v", diff, err)
+	}
+}
+
+// TestExtendMatchesFreshBuild pins the Extend contract: extending a view
+// over appended rows yields a view observationally identical to a fresh
+// build over the merged table — same codes, same group IDs, same members.
+func TestExtendMatchesFreshBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vals := []string{"a", "b", "c", "dd", "ee"}
+	for trial := 0; trial < 50; trial++ {
+		cols := 1 + rng.Intn(4)
+		total := 1 + rng.Intn(40)
+		split := rng.Intn(total + 1)
+		rows := make([][]string, total)
+		for i := range rows {
+			row := make([]string, cols)
+			for j := range row {
+				row[j] = vals[rng.Intn(len(vals))]
+			}
+			rows[i] = row
+		}
+		tbl := &Table{Name: "t", Columns: make([]string, cols), Rows: rows[:split]}
+		in := tbl.Interned()
+		tbl.Rows = rows
+		in.Extend(tbl)
+		want := tbl.Interned()
+		if in.NumRows() != want.NumRows() || in.NumGroups() != want.NumGroups() {
+			t.Fatalf("trial %d: rows/groups %d/%d, want %d/%d",
+				trial, in.NumRows(), in.NumGroups(), want.NumRows(), want.NumGroups())
+		}
+		for i := 0; i < total; i++ {
+			if in.GroupOf(i) != want.GroupOf(i) {
+				t.Fatalf("trial %d: GroupOf(%d) = %d, want %d", trial, i, in.GroupOf(i), want.GroupOf(i))
+			}
+			for j := 0; j < cols; j++ {
+				if in.Code(i, j) != want.Code(i, j) {
+					t.Fatalf("trial %d: Code(%d,%d) = %d, want %d", trial, i, j, in.Code(i, j), want.Code(i, j))
+				}
+			}
+		}
+		for g := 0; g < want.NumGroups(); g++ {
+			if in.Group(g).Rep != want.Group(g).Rep || !reflect.DeepEqual(in.Group(g).Rows, want.Group(g).Rows) {
+				t.Fatalf("trial %d: group %d = %+v, want %+v", trial, g, in.Group(g), want.Group(g))
+			}
+		}
+		for j := 0; j < cols; j++ {
+			if in.Dict(j).Len() != want.Dict(j).Len() {
+				t.Fatalf("trial %d: dict %d len %d, want %d", trial, j, in.Dict(j).Len(), want.Dict(j).Len())
+			}
+		}
 	}
 }

@@ -9,6 +9,7 @@ package validation
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -66,8 +67,51 @@ type Validator struct {
 	// Prov records each MUVF entropy step's evidence; nil disables.
 	Prov *provenance.Recorder
 
+	// Memo, when set, records each variable's plurality decision keyed on
+	// (variable, candidate domain) — the full decision context of one
+	// validate call. With Replay false the validator runs normally and
+	// stores every decision it reaches; with Replay true it answers from
+	// the memo WITHOUT consulting the crowd, and a lookup miss sets Missed
+	// and aborts the run (the MUVF degrade path). Incremental cleaning uses
+	// replay as its drift detector: re-running MUVF over freshly discovered
+	// candidates purely from memoised decisions either reproduces the
+	// validated pattern — proving the crowd's answers still pin it — or
+	// misses, meaning the appended rows shifted a decision context and the
+	// pattern must be re-validated live.
+	Memo   *AnswerMemo
+	Replay bool
+	// Missed reports that a Replay run needed a decision the memo lacks.
+	Missed bool
+
 	ambCache map[[2]rdf.ID]float64
 }
+
+// AnswerMemo is a memo of crowd plurality decisions, keyed on the variable
+// and the exact candidate domain it was decided over. It assumes the crowd's
+// plurality is a function of that context — true for the deterministic
+// simulated crowds; a noisy live crowd voids replay anyway, since even batch
+// re-runs would diverge.
+type AnswerMemo struct {
+	m map[string]rdf.ID
+}
+
+// NewAnswerMemo returns an empty memo.
+func NewAnswerMemo() *AnswerMemo { return &AnswerMemo{m: make(map[string]rdf.ID)} }
+
+// Len returns the number of memoised decisions.
+func (m *AnswerMemo) Len() int { return len(m.m) }
+
+func memoKey(v Variable, domain []rdf.ID) string {
+	var b strings.Builder
+	b.WriteString(v.String())
+	for _, id := range domain {
+		fmt.Fprintf(&b, ",%d", id)
+	}
+	return b.String()
+}
+
+// errMemoMiss aborts a replay at the first decision the memo cannot answer.
+var errMemoMiss = errors.New("validation: answer memo miss")
 
 // recordStep records one validation iteration into the provenance recorder.
 func (val *Validator) recordStep(v Variable, entropy float64, asked int, answer rdf.ID, degraded bool) {
@@ -444,6 +488,16 @@ func bestOf(ps []*pattern.Pattern) *pattern.Pattern {
 // answers already collected for it are discarded (the caller degrades).
 func (val *Validator) validate(v Variable, ps []*pattern.Pattern) (rdf.ID, int, error) {
 	domain := domainOf(ps, v)
+	if val.Memo != nil {
+		key := memoKey(v, domain)
+		if a, ok := val.Memo.m[key]; ok {
+			return a, 0, nil
+		}
+		if val.Replay {
+			val.Missed = true
+			return rdf.NoID, 0, errMemoMiss
+		}
+	}
 	truth := val.truthFor(v)
 	options, truthIdx := val.renderOptions(domain, truth)
 	difficulty := val.difficulty(domain, v)
@@ -475,10 +529,14 @@ func (val *Validator) validate(v Variable, ps []*pattern.Pattern) (rdf.ID, int, 
 			best, bestVotes = opt, votes[opt]
 		}
 	}
-	if best == len(options)-1 { // "none of the above"
-		return rdf.NoID, asked, nil
+	answer := rdf.NoID
+	if best != len(options)-1 { // not "none of the above"
+		answer = domain[best]
 	}
-	return domain[best], asked, nil
+	if val.Memo != nil {
+		val.Memo.m[memoKey(v, domain)] = answer
+	}
+	return answer, asked, nil
 }
 
 func domainOf(ps []*pattern.Pattern, v Variable) []rdf.ID {

@@ -276,6 +276,17 @@ type Options struct {
 	// deadline exhaustion: DegradeTrustKB (default) or DegradeMarkUnknown.
 	Degrade DegradePolicy
 
+	// Incremental keeps a session alive after Clean so Append and
+	// ApplyKBDelta can extend the run: appended rows reuse the validated
+	// pattern (re-checked by crowd-free replay of the §5 decisions) and only
+	// the delta is annotated and repaired; KB additions reconcile the report
+	// without a full re-run when provably safe. The cumulative report is
+	// semantically identical to one batch Clean of the merged inputs — the
+	// propcheck incremental ≡ batch differential pins this down. Costs a KB
+	// snapshot (CloneExact) and a private table copy per Clean; the caller's
+	// table is never mutated by Append.
+	Incremental bool
+
 	// ValidationOracle answers "what is the true type/relationship"
 	// questions; nil skips crowd validation and trusts the top pattern.
 	ValidationOracle ValidationOracle
@@ -338,6 +349,10 @@ type Cleaner struct {
 	// threaded through discovery and annotation so a cell value resolved in
 	// one stage is free in every later stage and run.
 	resolver *resolve.Cache
+	// session is the live incremental state (Options.Incremental): the KB
+	// snapshot, memoised crowd decisions and cumulative report that Append
+	// and ApplyKBDelta extend. nil until the first Clean.
+	session *session
 }
 
 // NewCleaner builds a Cleaner. The KB statistics (entity counts, coherence
@@ -364,6 +379,11 @@ func NewCleaner(kb *KB, c *Crowd, opts Options) *Cleaner {
 		resolver: resolve.New(kb, opts.Threshold),
 	}
 }
+
+// SetPipeline redirects subsequent runs' instrumentation to p (nil detaches
+// it). Service layers that keep one incremental Cleaner across several jobs
+// use this to point each increment at its own job's pipeline.
+func (c *Cleaner) SetPipeline(p *TelemetryPipeline) { c.opts.Pipeline = p }
 
 // ResolverStats returns the shared resolution cache's cumulative hit and
 // miss counts (all runs of this Cleaner combined).
@@ -424,6 +444,11 @@ func (c *Cleaner) validatePattern(ctx context.Context, t *Table, candidates []*P
 		Rng:                  rand.New(rand.NewSource(c.opts.Seed)),
 		Ctx:                  ctx,
 		Prov:                 c.opts.Provenance,
+	}
+	if c.opts.Incremental && c.session != nil {
+		// Record the crowd's decisions so later Appends can replay MUVF
+		// without re-asking (the incremental drift check).
+		v.Memo = c.session.memo
 	}
 	res := v.MUVF(candidates)
 	return res.Pattern, res.QuestionsAsked, res.Degraded

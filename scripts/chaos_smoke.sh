@@ -3,11 +3,12 @@
 #
 #   1. generate a small benchmark environment (kbgen)
 #   2. build katarad and kchaos
-#   3. run kchaos: a submission burst racing KILLS seeded SIGKILL/restart
-#      cycles against one journal directory — kchaos itself asserts that no
-#      accepted job is lost, every job reaches `done`, every report is
-#      byte-identical to a crash-free oracle run, and /metrics scrapes stay
-#      lint-clean and monotone within each boot
+#   3. run kchaos: a submission burst plus APPENDS root+append chains racing
+#      KILLS seeded SIGKILL/restart cycles against one journal directory —
+#      kchaos itself asserts that no accepted job (root or appended) is
+#      lost, every job reaches `done`, every report is byte-identical to a
+#      crash-free oracle run (appends against an oracle append), and
+#      /metrics scrapes stay lint-clean and monotone within each boot
 #   4. require the journal directory to have been compacted down to a single
 #      wal file by the final boot
 #
@@ -20,6 +21,7 @@ set -eu
 ADDR="127.0.0.1:18571"
 JOBS="${JOBS:-40}"
 KILLS="${KILLS:-3}"
+APPENDS="${APPENDS:-4}"
 SEED="${SEED:-1}"
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
@@ -31,14 +33,14 @@ echo "chaos-smoke: building binaries"
 go build -o "$WORK/katarad" ./cmd/katarad
 go build -o "$WORK/kchaos" ./cmd/kchaos
 
-echo "chaos-smoke: kchaos run ($JOBS jobs, $KILLS kills, seed $SEED)"
+echo "chaos-smoke: kchaos run ($JOBS jobs, $APPENDS append chains, $KILLS kills, seed $SEED)"
 "$WORK/kchaos" \
     -katarad "$WORK/katarad" \
     -kb "$WORK/yago.nt" \
     -in "$WORK/RelationalTables/Soccer.dirty.csv" \
     -addr "$ADDR" \
     -journal-dir "$WORK/journal" \
-    -jobs "$JOBS" -kills "$KILLS" -seed "$SEED"
+    -jobs "$JOBS" -kills "$KILLS" -appends "$APPENDS" -seed "$SEED"
 
 # The final boot checkpointed and deleted its predecessors' files: the
 # journal must not accumulate one file per boot.

@@ -106,6 +106,12 @@ func (c *Cleaner) runClean(ctx context.Context, t *Table, shards int) (*Report, 
 		return nil, fmt.Errorf("katara: empty table")
 	}
 	shards = resolveShards(shards)
+	if c.opts.Incremental {
+		// Snapshot the pristine KB and open a fresh session before the
+		// pipeline can enrich anything; captureSession below records the
+		// outcome Append/ApplyKBDelta extend.
+		c.beginIncremental(t, shards)
+	}
 	var tel *telemetry.Pipeline
 	switch {
 	case c.opts.Pipeline != nil:
@@ -223,6 +229,9 @@ func (c *Cleaner) runClean(ctx context.Context, t *Table, shards int) (*Report, 
 	root.End()
 	rep.Timings = tel.Snapshot()
 	rep.Provenance = rec
+	if c.opts.Incremental && c.session != nil {
+		c.captureSession(t, rep, in)
+	}
 	return rep, nil
 }
 
@@ -293,6 +302,12 @@ func shardPipelines(tel *telemetry.Pipeline, n int) []*telemetry.Pipeline {
 func (c *Cleaner) annotateSharded(ctx context.Context, t *Table, p *Pattern, tel *telemetry.Pipeline, shards int, in *table.Interned) *annotation.Result {
 	ann := c.annotator(ctx, p, tel)
 	ann.Interned = in
+	if c.opts.Incremental && c.session != nil {
+		// Carry the memo state (questions, coverage, seen facts) on the
+		// session so a later Append's delta pass continues where this run
+		// left off.
+		ann.Session = c.session.ann
+	}
 	n := t.NumRows()
 	units := n
 	if in != nil {
@@ -341,6 +356,21 @@ func (c *Cleaner) repairsSharded(t *Table, p *Pattern, rows []int, tel *telemetr
 // kept as the dedup-aware entry point for tests.
 func (c *Cleaner) repairsShardedDedup(t *Table, p *Pattern, rows []int, tel *telemetry.Pipeline, shards int, in *table.Interned) map[int][]Repair {
 	return c.repairsShardedProv(t, p, rows, tel, shards, in, nil)
+}
+
+// repairCandidates converts a ranked repair list to its provenance record —
+// shared by the batch retrieval paths below and the incremental
+// sessionRepairs path.
+func repairCandidates(reps []Repair) []provenance.Candidate {
+	cands := make([]provenance.Candidate, len(reps))
+	for j, r := range reps {
+		ch := make([]provenance.Change, len(r.Changes))
+		for k, cg := range r.Changes {
+			ch[k] = provenance.Change{Col: cg.Col, From: cg.From, To: cg.To}
+		}
+		cands[j] = provenance.Candidate{Graph: r.Graph.ID, Cost: r.Cost, Changes: ch}
+	}
+	return cands
 }
 
 // repairsShardedProv is the sharded §6.2 stage: the index is built once
@@ -418,17 +448,7 @@ func (c *Cleaner) repairsShardedProv(t *Table, p *Pattern, rows []int, tel *tele
 		}
 		return row
 	}
-	toCands := func(reps []Repair) []provenance.Candidate {
-		cands := make([]provenance.Candidate, len(reps))
-		for j, r := range reps {
-			ch := make([]provenance.Change, len(r.Changes))
-			for k, cg := range r.Changes {
-				ch[k] = provenance.Change{Col: cg.Col, From: cg.From, To: cg.To}
-			}
-			cands[j] = provenance.Candidate{Graph: r.Graph.ID, Cost: r.Cost, Changes: ch}
-		}
-		return cands
-	}
+	toCands := repairCandidates
 
 	perRow := make([][]Repair, len(lookup))
 	switch {

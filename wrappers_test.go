@@ -1,0 +1,76 @@
+package katara
+
+import (
+	"testing"
+
+	"katara/internal/telemetry"
+)
+
+// TestPublicConstructors: the re-exported constructors on the package
+// surface hand back live objects wired for Options.
+func TestPublicConstructors(t *testing.T) {
+	b := NewBudget(3, 0)
+	if b == nil {
+		t.Fatal("NewBudget returned nil")
+	}
+	if tel := NewTelemetry(); tel == nil {
+		t.Fatal("NewTelemetry returned nil")
+	}
+
+	// The nil-oracle trusting policy accepts everything — the documented
+	// "missing facts are KB incompleteness" default.
+	var tf trustingFacts
+	if !tf.TypeHolds("x", 0) || !tf.RelHolds("x", 0, "y") || !tf.PathHolds("x", nil, "y") {
+		t.Fatal("trustingFacts rejected a fact")
+	}
+}
+
+// TestSetPipelineRedirects: SetPipeline points subsequent runs at a new
+// pipeline — the seam the job layer uses to give each increment of a
+// retained session its own job's instrumentation.
+func TestSetPipelineRedirects(t *testing.T) {
+	kb, tbl := figure1()
+	c := NewCleaner(kb, TrustingCrowd(), Options{FactOracle: fig1Oracle{kb}})
+
+	p1 := NewTelemetry()
+	c.SetPipeline(p1)
+	if _, err := c.Clean(tbl); err != nil {
+		t.Fatal(err)
+	}
+	if p1.Get(telemetry.TuplesAnnotated) == 0 {
+		t.Fatal("first pipeline saw no annotation work")
+	}
+
+	p2 := NewTelemetry()
+	c.SetPipeline(p2)
+	before := p1.Get(telemetry.TuplesAnnotated)
+	if _, err := c.Clean(tbl); err != nil {
+		t.Fatal(err)
+	}
+	if p2.Get(telemetry.TuplesAnnotated) == 0 {
+		t.Fatal("second pipeline saw no annotation work after SetPipeline")
+	}
+	if p1.Get(telemetry.TuplesAnnotated) != before {
+		t.Fatal("detached pipeline kept receiving counts")
+	}
+
+	c.SetPipeline(nil) // detaching must not break the next run
+	if _, err := c.Clean(tbl); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAnnotateOneShot: the public one-shot Annotate labels every tuple
+// against a validated pattern, matching what Clean reports.
+func TestAnnotateOneShot(t *testing.T) {
+	kb, tbl := figure1()
+	c := NewCleaner(kb, TrustingCrowd(), Options{FactOracle: fig1Oracle{kb}})
+	pats := c.DiscoverPatterns(tbl)
+	if len(pats) == 0 {
+		t.Fatal("no patterns discovered")
+	}
+	res := c.Annotate(tbl, pats[0])
+	if len(res.Tuples) != tbl.NumRows() {
+		t.Fatalf("annotated %d tuples, want %d", len(res.Tuples), tbl.NumRows())
+	}
+}
